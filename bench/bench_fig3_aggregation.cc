@@ -1,0 +1,105 @@
+// Reproduces Figure 3: visualization of FedGTA's personalized server-side
+// model aggregation on the Amazon Photo surrogate with a 10-client split.
+//
+// For each client we print (a) its local label distribution (Fig. 3a) and
+// (b) the aggregation set the server selected for it plus the
+// confidence-derived aggregation weights (Fig. 3b, circle sizes), after
+// training to the best round.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "data/registry.h"
+#include "fed/fedgta_strategy.h"
+#include "fed/simulation.h"
+#include "graph/metrics.h"
+
+namespace fedgta {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  Dataset dataset = MakeDatasetByName("amazon-photo", seed);
+  const int num_classes = dataset.num_classes;
+
+  SplitConfig split;
+  split.method = SplitMethod::kLouvain;
+  split.num_clients = 10;
+  Rng rng(seed);
+  FederatedDataset fed = BuildFederatedDataset(std::move(dataset), split, rng);
+
+  // Fig. 3(a): per-client label distributions.
+  std::printf("== Fig 3(a): client label distributions (%% of local nodes) ==\n");
+  {
+    std::vector<std::string> headers{"client"};
+    for (int c = 0; c < num_classes; ++c) {
+      headers.push_back(StrFormat("y%d", c));
+    }
+    TablePrinter table(headers);
+    for (const ClientData& client : fed.clients) {
+      const std::vector<int64_t> hist =
+          LabelHistogram(client.labels, num_classes);
+      std::vector<std::string> row{StrFormat("%d", client.client_id)};
+      for (int64_t count : hist) {
+        row.push_back(StrFormat(
+            "%.0f", 100.0 * static_cast<double>(count) /
+                        static_cast<double>(client.num_nodes())));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+
+  // Train with FedGTA and capture the final round's aggregation structure.
+  ModelConfig model;
+  model.type = ModelType::kGamlp;
+  model.hidden = 64;
+  model.k = 3;
+  OptimizerConfig opt;
+  StrategyOptions sopt;
+  auto strategy = std::make_unique<FedGtaStrategy>(sopt.fedgta);
+  FedGtaStrategy* fedgta = strategy.get();
+
+  SimulationConfig sim;
+  sim.rounds = 20;
+  sim.local_epochs = 3;
+  sim.eval_every = 5;
+  sim.seed = seed;
+  Simulation simulation(&fed, model, opt, std::move(strategy), sim);
+  const SimulationResult result = simulation.Run();
+
+  std::printf("\n== Fig 3(b): aggregation sets & weights after %d rounds "
+              "(test acc %.1f%%) ==\n",
+              sim.rounds, result.final_test_accuracy * 100.0);
+  const auto& sets = fedgta->last_aggregation_sets();
+  const auto& confidences = fedgta->last_confidences();
+  TablePrinter table({"client", "aggregation set", "weights (conf-normalized)"});
+  for (int i = 0; i < fed.num_clients(); ++i) {
+    const auto& set = sets[static_cast<size_t>(i)];
+    double total = 0.0;
+    for (int j : set) total += confidences[static_cast<size_t>(j)];
+    std::vector<std::string> ids;
+    std::vector<std::string> weights;
+    for (int j : set) {
+      ids.push_back(StrFormat("%d", j));
+      weights.push_back(StrFormat(
+          "%d:%.2f", j, confidences[static_cast<size_t>(j)] / total));
+    }
+    table.AddRow({StrFormat("%d", i), StrJoin(ids, " "),
+                  StrJoin(weights, " ")});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 3): clients sharing a label profile are\n"
+      "grouped; smoother (higher-confidence) subgraphs dominate the weights.\n");
+}
+
+}  // namespace
+}  // namespace fedgta
+
+int main() {
+  fedgta::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 5: training efficiency (per-round wall time, split into
+// client work and server aggregation) as the number of clients grows.
+//
+// Expected shape (paper Fig. 5): FedGTA's per-round time stays close to
+// FedAvg and flat-ish in N (its server cost is O(N·k·K·c)); MOON pays the
+// extra forward passes; GCFL+'s server cost grows superlinearly with N
+// (pairwise windowed-gradient similarity).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace fedgta {
+namespace {
+
+void Run() {
+  const std::string dataset = bench::FullMode() ? "ogbn-arxiv" : "pubmed";
+  const std::vector<int> client_counts =
+      bench::FullMode() ? std::vector<int>{5, 10, 20, 50}
+                        : std::vector<int>{5, 10, 20};
+
+  std::printf("== Fig 5: per-round time vs number of clients (%s, SGC) ==\n",
+              dataset.c_str());
+  TablePrinter table({"strategy", "clients", "client s/round",
+                      "server s/round", "total s/round", "comm MB/round"});
+  for (const char* strategy :
+       {"fedavg", "fedprox", "scaffold", "moon", "feddc", "gcfl+",
+        "fedgta"}) {
+    for (const int n : client_counts) {
+      ExperimentConfig config = bench::MakeExperiment(
+          dataset, strategy, ModelType::kSgc, SplitMethod::kLouvain, n);
+      config.sim.rounds = bench::FullMode() ? 10 : 6;
+      config.sim.eval_every = config.sim.rounds;  // timing run, skip evals
+      config.repeats = 1;
+      const ExperimentResult result = RunExperiment(config);
+      const double rounds = static_cast<double>(config.sim.rounds);
+      table.AddRow(
+          {strategy, StrFormat("%d", n),
+           StrFormat("%.3f", result.mean_client_seconds / rounds),
+           StrFormat("%.4f", result.mean_server_seconds / rounds),
+           StrFormat("%.3f", (result.mean_client_seconds +
+                              result.mean_server_seconds) /
+                                 rounds),
+           StrFormat("%.2f", (result.mean_upload_mb +
+                              result.mean_download_mb) /
+                                 rounds)});
+      std::fflush(stdout);
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace fedgta
+
+int main() {
+  fedgta::Run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Supporting microbenchmarks for the substrate kernels: dense GEMM, sparse
+// SpMM, label propagation, moments, Louvain, and METIS-style partitioning.
+// These back the Table 1 / §4.5 discussion with kernel-level numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/label_propagation.h"
+#include "core/moments.h"
+#include "graph/generator.h"
+#include "graph/normalized_adjacency.h"
+#include "linalg/ops.h"
+#include "partition/louvain.h"
+#include "partition/metis.h"
+
+namespace fedgta {
+namespace {
+
+LabeledGraph MakeGraph(int n, uint64_t seed) {
+  SbmConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_classes = 8;
+  cfg.avg_degree = 10.0;
+  Rng rng(seed);
+  return GeneratePlantedPartition(cfg, rng);
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.GaussianInit(rng, 1.0f);
+  b.GaussianInit(rng, 1.0f);
+  for (auto _ : state) {
+    Gemm(a, Transpose::kNo, b, Transpose::kNo, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(n, 2);
+  const CsrMatrix adj = NormalizedAdjacency(lg.graph);
+  Rng rng(3);
+  Matrix x(n, 64);
+  x.GaussianInit(rng, 1.0f);
+  Matrix out;
+  for (auto _ : state) {
+    adj.Multiply(x, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)
+    ->RangeMultiplier(4)
+    ->Range(4000, 64000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(n, 4);
+  const CsrMatrix op = LabelPropagationOperator(lg.graph);
+  Matrix y0(n, 8, 1.0f / 8.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NonParamLabelPropagation(op, y0, 0.5f, 5));
+  }
+}
+BENCHMARK(BM_LabelPropagation)
+    ->RangeMultiplier(4)
+    ->Range(4000, 64000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MixedMoments(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<Matrix> hops;
+  for (int l = 0; l < 5; ++l) {
+    Matrix y(n, 8);
+    y.GaussianInit(rng, 1.0f);
+    RowSoftmaxInPlace(&y);
+    hops.push_back(std::move(y));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MixedMoments(hops, 3));
+  }
+}
+BENCHMARK(BM_MixedMoments)
+    ->RangeMultiplier(4)
+    ->Range(4000, 64000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Louvain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(n, 6);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(LouvainCommunities(lg.graph, rng));
+  }
+}
+BENCHMARK(BM_Louvain)
+    ->RangeMultiplier(4)
+    ->Range(2000, 32000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MetisPartition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(n, 8);
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(MetisPartition(lg.graph, 10, rng));
+  }
+}
+BENCHMARK(BM_MetisPartition)
+    ->RangeMultiplier(4)
+    ->Range(2000, 32000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fedgta
+
+BENCHMARK_MAIN();

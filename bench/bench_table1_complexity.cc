@@ -1,0 +1,196 @@
+// Validates Table 1 (algorithmic complexity) and the §4.5 efficiency
+// discussion with measured scaling, using google-benchmark.
+//
+//  * FedGTA client cost (Eq. 3-5) scales with the local edge count (k·m·c
+//    SpMM work) and with k·K·c — independent of the training process.
+//  * FedGTA server cost scales linearly in the number of participants N
+//    (O(N·k·K·c) similarity work), while GCFL+'s server cost grows
+//    superlinearly in N (pairwise windowed similarities).
+//  * Per-backbone inference cost (§4.5): decoupled models (SGC, SIGN,
+//    GAMLP) are cheapest; coupled GCN/SAGE pay per-layer propagation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fedgta_metrics.h"
+#include "fed/gcfl_plus.h"
+#include "fed/strategy.h"
+#include "gnn/factory.h"
+#include "graph/generator.h"
+
+namespace fedgta {
+namespace {
+
+LabeledGraph MakeGraph(int n, int classes, double degree, uint64_t seed) {
+  SbmConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_classes = classes;
+  cfg.avg_degree = degree;
+  Rng rng(seed);
+  return GeneratePlantedPartition(cfg, rng);
+}
+
+// --- FedGTA client-side metric cost (Algorithm 1 lines 5-10) ---
+
+void BM_FedGtaClientMetrics_Nodes(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(n, 8, 8.0, 1);
+  Rng rng(2);
+  Matrix logits(n, 8);
+  logits.GaussianInit(rng, 1.0f);
+  FedGtaOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeClientMetrics(lg.graph, logits, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FedGtaClientMetrics_Nodes)
+    ->RangeMultiplier(2)
+    ->Range(2000, 32000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FedGtaClientMetrics_Classes(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(4000, c, 8.0, 1);
+  Rng rng(2);
+  Matrix logits(4000, c);
+  logits.GaussianInit(rng, 1.0f);
+  FedGtaOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeClientMetrics(lg.graph, logits, options));
+  }
+  state.SetComplexityN(c);
+}
+BENCHMARK(BM_FedGtaClientMetrics_Classes)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FedGtaClientMetrics_Hops(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  LabeledGraph lg = MakeGraph(4000, 8, 8.0, 1);
+  Rng rng(2);
+  Matrix logits(4000, 8);
+  logits.GaussianInit(rng, 1.0f);
+  FedGtaOptions options;
+  options.k = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeClientMetrics(lg.graph, logits, options));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_FedGtaClientMetrics_Hops)
+    ->DenseRange(2, 10, 2)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Server aggregation cost vs participant count N ---
+
+void BM_FedGtaServer_Participants(benchmark::State& state) {
+  const int n_clients = static_cast<int>(state.range(0));
+  const int moment_dim = 5 * 3 * 8;  // k * K * c
+  const int param_dim = 8000;
+  Rng rng(3);
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n_clients));
+  std::vector<std::vector<float>> params(static_cast<size_t>(n_clients));
+  std::vector<int64_t> sizes(static_cast<size_t>(n_clients), 100);
+  std::vector<int> participants;
+  for (int i = 0; i < n_clients; ++i) {
+    metrics[static_cast<size_t>(i)].confidence = rng.Uniform(0.5f, 2.0f);
+    metrics[static_cast<size_t>(i)].moments.resize(moment_dim);
+    for (float& v : metrics[static_cast<size_t>(i)].moments) v = rng.Normal();
+    params[static_cast<size_t>(i)].resize(param_dim);
+    for (float& v : params[static_cast<size_t>(i)]) v = rng.Normal();
+    participants.push_back(i);
+  }
+  FedGtaOptions options;
+  std::vector<std::vector<float>> personalized(static_cast<size_t>(n_clients));
+  for (auto _ : state) {
+    FedGtaAggregate(metrics, params, sizes, participants, options,
+                    &personalized);
+    benchmark::DoNotOptimize(personalized);
+  }
+  state.SetComplexityN(n_clients);
+}
+BENCHMARK(BM_FedGtaServer_Participants)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GcflPlusServer_Participants(benchmark::State& state) {
+  const int n_clients = static_cast<int>(state.range(0));
+  const int param_dim = 8000;
+  Rng rng(4);
+  GcflPlusStrategy strategy(/*window=*/5, /*eps1=*/1e9f, /*eps2=*/0.0f);
+  std::vector<float> init(param_dim, 0.0f);
+  std::vector<int64_t> sizes(static_cast<size_t>(n_clients), 100);
+  strategy.Initialize(n_clients, sizes, init);
+  std::vector<LocalResult> results(static_cast<size_t>(n_clients));
+  std::vector<int> participants;
+  for (int i = 0; i < n_clients; ++i) {
+    results[static_cast<size_t>(i)].client_id = i;
+    results[static_cast<size_t>(i)].num_samples = 100;
+    results[static_cast<size_t>(i)].params.resize(param_dim);
+    for (float& v : results[static_cast<size_t>(i)].params) v = rng.Normal();
+    participants.push_back(i);
+  }
+  for (auto _ : state) {
+    strategy.Aggregate(participants, results);
+  }
+  state.SetComplexityN(n_clients);
+}
+BENCHMARK(BM_GcflPlusServer_Participants)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+// --- §4.5 inference efficiency across backbones ---
+
+void BM_Inference(benchmark::State& state, ModelType type) {
+  static LabeledGraph* lg = new LabeledGraph(MakeGraph(20000, 16, 10.0, 7));
+  static Matrix* features = [] {
+    Rng rng(8);
+    FeatureConfig cfg;
+    cfg.dim = 64;
+    return new Matrix(GenerateFeatures(lg->labels, 16, cfg, rng));
+  }();
+  ModelConfig cfg;
+  cfg.type = type;
+  cfg.hidden = 64;
+  cfg.num_layers = 2;
+  cfg.k = 3;
+  cfg.dropout = 0.0f;
+  auto model = MakeModel(cfg);
+  ModelInput input;
+  input.graph_full = &lg->graph;
+  input.graph_train = &lg->graph;
+  input.features = features;
+  input.num_classes = 16;
+  Rng rng(9);
+  model->Prepare(input, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Forward(false));
+  }
+}
+BENCHMARK_CAPTURE(BM_Inference, sgc, ModelType::kSgc)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, sign, ModelType::kSign)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, s2gc, ModelType::kS2gc)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, gbp, ModelType::kGbp)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, gamlp, ModelType::kGamlp)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, gcn, ModelType::kGcn)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, sage, ModelType::kSage)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fedgta
+
+BENCHMARK_MAIN();

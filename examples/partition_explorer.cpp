@@ -1,0 +1,91 @@
+// Example: exploring how federated subgraph simulation (Louvain vs METIS)
+// shapes the label distributions that motivate FedGTA (paper Fig. 1a).
+// Prints, for a chosen dataset, the per-client label histograms, the edge
+// cut, the modularity, and each client's local homophily under both splits.
+//
+// Usage: partition_explorer [dataset] [num_clients]
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "data/federated.h"
+#include "data/registry.h"
+#include "graph/metrics.h"
+#include "partition/metis.h"
+
+int main(int argc, char** argv) {
+  using namespace fedgta;
+  const std::string dataset_name = argc > 1 ? argv[1] : "amazon-photo";
+  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  const Result<DatasetSpec> spec = GetDatasetSpec(dataset_name);
+  if (!spec.ok()) {
+    std::printf("unknown dataset '%s'. Available:\n", dataset_name.c_str());
+    for (const std::string& name : ListDatasets()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 1;
+  }
+
+  for (const SplitMethod method : {SplitMethod::kLouvain, SplitMethod::kMetis}) {
+    Dataset dataset = MakeDataset(*spec, /*seed=*/42);
+    const int num_classes = dataset.num_classes;
+    const double global_homophily = EdgeHomophily(dataset.graph, dataset.labels);
+    const Graph global_graph = dataset.graph;  // keep for cut computation
+    const std::vector<int> global_labels = dataset.labels;
+
+    SplitConfig split;
+    split.method = method;
+    split.num_clients = num_clients;
+    Rng rng(42);
+    FederatedDataset fed = BuildFederatedDataset(std::move(dataset), split, rng);
+
+    // Edge cut of the client assignment.
+    std::vector<int> assignment(
+        static_cast<size_t>(global_graph.num_nodes()), 0);
+    for (const ClientData& client : fed.clients) {
+      for (NodeId g : client.sub.global_ids) {
+        assignment[static_cast<size_t>(g)] = client.client_id;
+      }
+    }
+    const int64_t cut = EdgeCut(global_graph, assignment);
+    const double modularity = Modularity(global_graph, assignment);
+
+    std::printf("== %s / %s split: edge cut %lld of %lld (%.1f%%), "
+                "assignment modularity %.3f, global homophily %.2f ==\n",
+                dataset_name.c_str(), SplitMethodName(method),
+                static_cast<long long>(cut),
+                static_cast<long long>(global_graph.num_edges()),
+                100.0 * static_cast<double>(cut) /
+                    static_cast<double>(global_graph.num_edges()),
+                modularity, global_homophily);
+
+    std::vector<std::string> headers{"client", "nodes", "train", "homoph."};
+    for (int c = 0; c < num_classes && c < 12; ++c) {
+      headers.push_back(StrFormat("y%d%%", c));
+    }
+    TablePrinter table(headers);
+    for (const ClientData& client : fed.clients) {
+      const auto hist = LabelHistogram(client.labels, num_classes);
+      std::vector<std::string> row{
+          StrFormat("%d", client.client_id),
+          StrFormat("%lld", static_cast<long long>(client.num_nodes())),
+          StrFormat("%zu", client.train_idx.size()),
+          StrFormat("%.2f", EdgeHomophily(client.sub.graph, client.labels))};
+      for (int c = 0; c < num_classes && c < 12; ++c) {
+        row.push_back(StrFormat(
+            "%.0f", 100.0 * static_cast<double>(hist[static_cast<size_t>(c)]) /
+                        static_cast<double>(client.num_nodes())));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Both community-driven splits concentrate classes inside clients —\n"
+      "the label Non-iid regime FedGTA's moment matching is built for.\n");
+  return 0;
+}

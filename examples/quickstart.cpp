@@ -1,0 +1,54 @@
+// Quickstart: federated node classification on a synthetic Cora-like graph
+// with 10 Louvain clients, comparing FedAvg against FedGTA.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace fedgta;
+
+  // 1. Materialize the dataset surrogate (synthetic planted-partition graph
+  //    matched to Cora's class count / density / homophily).
+  ExperimentConfig config;
+  config.dataset = "cora";
+  config.split.method = SplitMethod::kLouvain;
+  config.split.num_clients = 10;
+
+  // 2. Local model: 2-layer GCN (the paper's conventional baseline).
+  config.model.type = ModelType::kGcn;
+  config.model.hidden = 64;
+  config.model.num_layers = 2;
+  config.model.dropout = 0.3f;
+
+  // 3. Federated training: 30 rounds, 3 local epochs, full participation.
+  config.sim.rounds = 50;
+  config.sim.local_epochs = 3;
+  config.sim.eval_every = 5;
+  config.repeats = 2;
+
+  std::printf("Running FedAvg vs FedGTA on %s (%d clients, Louvain)...\n",
+              config.dataset.c_str(), config.split.num_clients);
+
+  TablePrinter table({"strategy", "test acc (%)", "client s", "server s"});
+  for (const char* strategy : {"local", "fedavg", "fedgta"}) {
+    config.strategy = strategy;
+    const ExperimentResult result = RunExperiment(config);
+    table.AddRow({strategy,
+                  FormatMeanStd(result.test_accuracy.mean,
+                                result.test_accuracy.stddev),
+                  StrFormat("%.2f", result.mean_client_seconds),
+                  StrFormat("%.3f", result.mean_server_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nFedGTA's topology-aware personalized aggregation should beat the\n"
+      "plain FedAvg global average under this label-Non-iid split.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Example: large-scale federated graph learning — the paper's headline
+// "FGL meets large-scale graph learning" scenario. Trains a scalable
+// decoupled GNN (SGC) with FedGTA on the ogbn-papers100M surrogate
+// (100k nodes here) split across 100 clients with 20% participation per
+// round, and reports throughput numbers.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace fedgta;
+
+  const std::string dataset_name = "ogbn-papers100m";
+  WallTimer total;
+
+  WallTimer phase;
+  Dataset dataset = MakeDatasetByName(dataset_name, /*seed=*/1);
+  std::printf("dataset %-18s %8lld nodes, %9lld edges, %d classes (%.1fs)\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.graph.num_nodes()),
+              static_cast<long long>(dataset.graph.num_edges()),
+              dataset.num_classes, phase.Seconds());
+
+  phase.Restart();
+  SplitConfig split;
+  split.method = SplitMethod::kLouvain;
+  split.num_clients = 100;
+  Rng rng(1);
+  FederatedDataset fed = BuildFederatedDataset(std::move(dataset), split, rng);
+  std::printf("louvain split into %d clients (%.1fs)\n", fed.num_clients(),
+              phase.Seconds());
+
+  ModelConfig model;
+  model.type = ModelType::kSgc;  // decoupled: precompute once, train linear
+  model.k = 3;
+
+  SimulationConfig sim;
+  sim.rounds = 10;
+  sim.local_epochs = 3;
+  sim.participation = 0.2;  // 20 clients per round
+  sim.eval_every = 2;
+  sim.seed = 1;
+
+  StrategyOptions options;
+  phase.Restart();
+  Simulation simulation(&fed, model, OptimizerConfig{},
+                        std::move(*MakeStrategy("fedgta", options)), sim);
+  std::printf("client setup incl. per-client propagation precompute (%.1fs)\n",
+              phase.Seconds());
+
+  const SimulationResult result = simulation.Run();
+  std::printf("\nround  test-acc  cum-client-s  cum-server-s\n");
+  for (const RoundStats& stats : result.curve) {
+    std::printf("%5d   %6.2f%%     %8.2f      %8.3f\n", stats.round,
+                stats.test_accuracy * 100.0, stats.client_seconds,
+                stats.server_seconds);
+  }
+  std::printf(
+      "\nfinal accuracy %.2f%%; total wall %.1fs — the FedGTA server stays\n"
+      "at milliseconds per round because it only touches moments (k*K*c\n"
+      "floats) and weight vectors, never the graph.\n",
+      result.final_test_accuracy * 100.0, total.Seconds());
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null
+for b in build/bench/*; do
+  echo "### RUNNING $b"
+  "$b"
+  echo
+done 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo DONE > /root/repo/.suite_done

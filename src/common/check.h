@@ -1,0 +1,76 @@
+#ifndef FEDGTA_COMMON_CHECK_H_
+#define FEDGTA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fedgta {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the FEDGTA_CHECK* macros below; invariant violations are
+/// programming errors and are not recoverable.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "FEDGTA_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowest-precedence void sink so the macro's ternary has type void while
+/// still allowing `FEDGTA_CHECK(x) << "context"`.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace fedgta
+
+/// Aborts with a message when `condition` is false. Additional context can
+/// be streamed: FEDGTA_CHECK(x > 0) << "x=" << x;
+#define FEDGTA_CHECK(condition)                                  \
+  (condition) ? (void)0                                          \
+              : ::fedgta::internal_check::Voidify() &            \
+                    ::fedgta::internal_check::CheckFailure(      \
+                        __FILE__, __LINE__, #condition)
+
+#define FEDGTA_CHECK_OP(a, b, op)                                          \
+  FEDGTA_CHECK((a)op(b)) << "(" << #a << "=" << (a) << " vs " << #b << "=" \
+                         << (b) << ") "
+
+#define FEDGTA_CHECK_EQ(a, b) FEDGTA_CHECK_OP(a, b, ==)
+#define FEDGTA_CHECK_NE(a, b) FEDGTA_CHECK_OP(a, b, !=)
+#define FEDGTA_CHECK_LT(a, b) FEDGTA_CHECK_OP(a, b, <)
+#define FEDGTA_CHECK_LE(a, b) FEDGTA_CHECK_OP(a, b, <=)
+#define FEDGTA_CHECK_GT(a, b) FEDGTA_CHECK_OP(a, b, >)
+#define FEDGTA_CHECK_GE(a, b) FEDGTA_CHECK_OP(a, b, >=)
+
+/// Checks that a fedgta::Status-returning expression is OK.
+#define FEDGTA_CHECK_OK(expr)                             \
+  do {                                                    \
+    auto _fedgta_check_ok_status = (expr);                \
+    FEDGTA_CHECK(_fedgta_check_ok_status.ok())            \
+        << _fedgta_check_ok_status.ToString();            \
+  } while (false)
+
+#ifndef NDEBUG
+#define FEDGTA_DCHECK(condition) FEDGTA_CHECK(condition)
+#else
+#define FEDGTA_DCHECK(condition) FEDGTA_CHECK(true || (condition))
+#endif
+
+#endif  // FEDGTA_COMMON_CHECK_H_

@@ -1,0 +1,61 @@
+#ifndef FEDGTA_COMMON_LOGGING_H_
+#define FEDGTA_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fedgta {
+
+/// Log severities in increasing order.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global minimum severity that is actually emitted. Messages below
+/// this level are cheaply discarded. Default: kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Buffers one log record and flushes it (with timestamp and level tag) to
+/// stderr on destruction. Use via the FEDGTA_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace fedgta
+
+/// Streaming log macro: FEDGTA_LOG(INFO) << "round " << r;
+#define FEDGTA_LOG(severity)                                              \
+  (::fedgta::LogLevel::k##severity < ::fedgta::MinLogLevel())             \
+      ? (void)0                                                           \
+      : ::fedgta::internal_logging::LogVoidify() &                        \
+            ::fedgta::internal_logging::LogMessage(                       \
+                ::fedgta::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // FEDGTA_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace fedgta {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  FEDGTA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FEDGTA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FEDGTA_CHECK_GT(total, 0.0) << "Categorical weights must not all be zero";
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double r = dist(engine_);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
+  FEDGTA_CHECK_GE(n, 0);
+  FEDGTA_CHECK_GE(count, 0);
+  FEDGTA_CHECK_LE(count, n);
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: only the first `count` positions are needed.
+  for (int i = 0; i < count; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace fedgta

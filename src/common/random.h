@@ -1,0 +1,72 @@
+#ifndef FEDGTA_COMMON_RANDOM_H_
+#define FEDGTA_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+/// Deterministic random number generator used throughout the library.
+/// All stochastic components take an explicit Rng (or seed) so experiments
+/// are reproducible bit-for-bit given the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    FEDGTA_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Gaussian sample.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// Samples `count` distinct elements from [0, n) without replacement.
+  std::vector<int> SampleWithoutReplacement(int n, int count);
+
+  /// Forks a child generator with an independent stream; deterministic in
+  /// (parent state, salt).
+  Rng Fork(uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_RANDOM_H_

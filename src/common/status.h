@@ -1,0 +1,123 @@
+#ifndef FEDGTA_COMMON_STATUS_H_
+#define FEDGTA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+/// Canonical error codes, modeled on absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object used for recoverable errors across API
+/// boundaries. This library does not throw exceptions; fallible operations
+/// return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// A value-or-status holder, similar to absl::StatusOr. Accessing the value
+/// of a non-OK result aborts via FEDGTA_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return InvalidArgumentError(...)`.
+  Result(T value) : payload_(std::move(value)) {}        // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    FEDGTA_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of this result; OkStatus() when a value is held.
+  Status status() const {
+    return ok() ? OkStatus() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    FEDGTA_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    FEDGTA_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    FEDGTA_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define FEDGTA_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::fedgta::Status _fedgta_status = (expr);          \
+    if (!_fedgta_status.ok()) return _fedgta_status;   \
+  } while (false)
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_STATUS_H_

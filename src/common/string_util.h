@@ -1,0 +1,25 @@
+#ifndef FEDGTA_COMMON_STRING_UTIL_H_
+#define FEDGTA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fedgta {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+/// Formats "12.34±0.56" accuracy cells used in result tables.
+std::string FormatMeanStd(double mean, double stddev, int precision = 1);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_STRING_UTIL_H_

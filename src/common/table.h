@@ -1,0 +1,37 @@
+#ifndef FEDGTA_COMMON_TABLE_H_
+#define FEDGTA_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fedgta {
+
+/// Column-aligned text table used by the benchmark harnesses to print
+/// paper-style result tables.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Renders the table with padded columns and a header rule.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_TABLE_H_

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+ThreadPool::ThreadPool(int num_threads) {
+  FEDGTA_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FEDGTA_CHECK(!shutdown_) << "Submit() after shutdown";
+    tasks_.push(std::move(task));
+    ++outstanding_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw == 0 ? 4 : static_cast<int>(hw));
+  }();
+  return *pool;
+}
+
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t min_chunk) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  ThreadPool& pool = GlobalThreadPool();
+  const int64_t max_chunks = pool.num_threads() * 4;
+  int64_t chunk = std::max<int64_t>(min_chunk, (range + max_chunks - 1) / max_chunks);
+  if (range <= chunk) {
+    fn(begin, end);
+    return;
+  }
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    const int64_t hi = std::min(end, lo + chunk);
+    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t grain) {
+  ParallelForChunked(
+      begin, end,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace fedgta

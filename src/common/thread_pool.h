@@ -1,0 +1,64 @@
+#ifndef FEDGTA_COMMON_THREAD_POOL_H_
+#define FEDGTA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedgta {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until
+/// all submitted tasks have finished. Used by ParallelFor; most code should
+/// prefer ParallelFor over using the pool directly.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int64_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Returns the process-wide shared pool (hardware_concurrency workers).
+ThreadPool& GlobalThreadPool();
+
+/// Runs fn(i) for i in [begin, end) across the global pool, blocking until
+/// complete. Falls back to a serial loop for small ranges. `fn` must be safe
+/// to invoke concurrently for distinct i.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn,
+                 int64_t grain = 1024);
+
+/// Runs fn(chunk_begin, chunk_end) over disjoint chunks of [begin, end).
+/// Lower overhead than per-index dispatch for tight loops.
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t min_chunk = 256);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_THREAD_POOL_H_

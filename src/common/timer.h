@@ -1,0 +1,31 @@
+#ifndef FEDGTA_COMMON_TIMER_H_
+#define FEDGTA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fedgta {
+
+/// Monotonic wall-clock timer for reporting phase durations.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_COMMON_TIMER_H_

@@ -1,0 +1,123 @@
+#include "core/fedgta_metrics.h"
+
+#include <algorithm>
+
+#include "core/label_propagation.h"
+#include "core/moments.h"
+#include "core/similarity.h"
+#include "core/smoothing_confidence.h"
+#include "graph/normalized_adjacency.h"
+#include "linalg/ops.h"
+
+namespace fedgta {
+
+ClientMetrics ComputeClientMetrics(const Graph& graph, const Matrix& logits,
+                                   const FedGtaOptions& options,
+                                   const Matrix* features) {
+  FEDGTA_CHECK_EQ(static_cast<int64_t>(graph.num_nodes()), logits.rows());
+  Matrix y0 = logits;
+  RowSoftmaxInPlace(&y0);
+
+  const CsrMatrix op = LabelPropagationOperator(graph);
+  const std::vector<Matrix> hops =
+      NonParamLabelPropagation(op, y0, options.alpha, options.k);
+
+  ClientMetrics metrics;
+  metrics.confidence =
+      SmoothingConfidence(hops.back(), SelfLoopDegrees(graph));
+  metrics.moments = MixedMoments(hops, options.moment_order);
+
+  // FedGTA+feat extension (paper §5): also characterize the subgraph by
+  // moments of its k-step propagated node features (first d dimensions),
+  // L2-normalized so the two blocks contribute comparably to the cosine.
+  if (options.use_feature_moments && features != nullptr) {
+    FEDGTA_CHECK_EQ(features->rows(), logits.rows());
+    const int64_t d =
+        std::min<int64_t>(options.feature_moment_dims, features->cols());
+    Matrix truncated(features->rows(), d);
+    for (int64_t i = 0; i < features->rows(); ++i) {
+      const auto src = features->Row(i);
+      std::copy(src.begin(), src.begin() + d, truncated.Row(i).begin());
+    }
+    const std::vector<Matrix> feature_hops =
+        NonParamLabelPropagation(op, truncated, options.alpha, options.k);
+    std::vector<float> feature_moments =
+        MixedMoments(feature_hops, options.moment_order);
+    const auto normalize = [](std::vector<float>& v) {
+      const double norm = L2Norm(v);
+      if (norm > 0.0) {
+        for (float& x : v) x = static_cast<float>(x / norm);
+      }
+    };
+    normalize(metrics.moments);
+    normalize(feature_moments);
+    metrics.moments.insert(metrics.moments.end(), feature_moments.begin(),
+                           feature_moments.end());
+  }
+  return metrics;
+}
+
+void FedGtaAggregate(const std::vector<ClientMetrics>& metrics,
+                     const std::vector<std::vector<float>>& params,
+                     const std::vector<int64_t>& train_sizes,
+                     const std::vector<int>& participants,
+                     const FedGtaOptions& options,
+                     std::vector<std::vector<float>>* personalized,
+                     std::vector<std::vector<int>>* aggregation_sets_out) {
+  FEDGTA_CHECK(personalized != nullptr);
+  FEDGTA_CHECK_EQ(metrics.size(), params.size());
+  FEDGTA_CHECK_EQ(metrics.size(), train_sizes.size());
+  FEDGTA_CHECK_EQ(metrics.size(), personalized->size());
+
+  // Eq. (6): aggregation sets from moment similarity.
+  std::vector<std::vector<int>> sets;
+  if (options.disable_moments) {
+    sets.assign(metrics.size(), {});
+    for (int i : participants) {
+      sets[static_cast<size_t>(i)] = participants;
+    }
+  } else {
+    std::vector<std::vector<float>> moments(metrics.size());
+    for (int i : participants) {
+      moments[static_cast<size_t>(i)] = metrics[static_cast<size_t>(i)].moments;
+    }
+    double epsilon = options.epsilon;
+    if (options.adaptive_epsilon) {
+      // Adaptive-ε extension: threshold at the round's similarity quantile
+      // so the set sizes track the actual client heterogeneity.
+      const Matrix sim = MomentSimilarityMatrix(moments, participants);
+      epsilon = SimilarityQuantile(sim, participants,
+                                   options.adaptive_quantile);
+    }
+    sets = BuildAggregationSets(moments, participants, epsilon);
+  }
+
+  // Eq. (7): confidence-weighted aggregation within each set.
+  for (int i : participants) {
+    const auto& set = sets[static_cast<size_t>(i)];
+    FEDGTA_CHECK(!set.empty());
+    double weight_sum = 0.0;
+    for (int j : set) {
+      weight_sum += options.disable_confidence
+                        ? static_cast<double>(
+                              std::max<int64_t>(1, train_sizes[static_cast<size_t>(j)]))
+                        : metrics[static_cast<size_t>(j)].confidence;
+    }
+    auto& out = (*personalized)[static_cast<size_t>(i)];
+    out.assign(params[static_cast<size_t>(set.front())].size(), 0.0f);
+    for (int j : set) {
+      const double weight =
+          options.disable_confidence
+              ? static_cast<double>(
+                    std::max<int64_t>(1, train_sizes[static_cast<size_t>(j)]))
+              : metrics[static_cast<size_t>(j)].confidence;
+      const float w = weight_sum > 0.0
+                          ? static_cast<float>(weight / weight_sum)
+                          : 1.0f / static_cast<float>(set.size());
+      Axpy(w, params[static_cast<size_t>(j)], out);
+    }
+  }
+  if (aggregation_sets_out != nullptr) *aggregation_sets_out = std::move(sets);
+}
+
+}  // namespace fedgta

@@ -1,0 +1,59 @@
+#include "core/label_propagation.h"
+
+#include <cmath>
+
+#include "graph/normalized_adjacency.h"
+
+namespace fedgta {
+
+CsrMatrix LabelPropagationOperator(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  const std::vector<float> deg = SelfLoopDegrees(graph);
+  std::vector<float> inv_sqrt(deg.size());
+  for (size_t i = 0; i < deg.size(); ++i) {
+    inv_sqrt[i] = 1.0f / std::sqrt(deg[i]);
+  }
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    row_ptr[static_cast<size_t>(v) + 1] =
+        row_ptr[static_cast<size_t>(v)] + graph.Degree(v);
+  }
+  std::vector<int32_t> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<float> values(col_idx.size());
+  for (NodeId u = 0; u < n; ++u) {
+    int64_t p = row_ptr[static_cast<size_t>(u)];
+    for (NodeId v : graph.Neighbors(u)) {
+      col_idx[static_cast<size_t>(p)] = v;
+      values[static_cast<size_t>(p)] =
+          inv_sqrt[static_cast<size_t>(u)] * inv_sqrt[static_cast<size_t>(v)];
+      ++p;
+    }
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
+std::vector<Matrix> NonParamLabelPropagation(const CsrMatrix& adj,
+                                             const Matrix& y0, float alpha,
+                                             int k) {
+  FEDGTA_CHECK_GE(k, 1);
+  FEDGTA_CHECK_GE(alpha, 0.0f);
+  FEDGTA_CHECK_LE(alpha, 1.0f);
+  FEDGTA_CHECK_EQ(adj.rows(), y0.rows());
+
+  std::vector<Matrix> hops;
+  hops.reserve(static_cast<size_t>(k));
+  const Matrix* previous = &y0;
+  Matrix neighbor_sum;
+  for (int l = 1; l <= k; ++l) {
+    adj.Multiply(*previous, &neighbor_sum);
+    Matrix current = y0;
+    current *= alpha;
+    current.Axpy(1.0f - alpha, neighbor_sum);
+    hops.push_back(std::move(current));
+    previous = &hops.back();
+  }
+  return hops;
+}
+
+}  // namespace fedgta

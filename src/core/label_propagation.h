@@ -1,0 +1,28 @@
+#ifndef FEDGTA_CORE_LABEL_PROPAGATION_H_
+#define FEDGTA_CORE_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/csr.h"
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// k-step non-parametric label propagation, paper Eq. (3):
+///   Ŷ^l(v_i) = α Ŷ^0(v_i) + (1-α) Σ_{j∈N_i} Ŷ^{l-1}(v_j) / sqrt(d̃_i d̃_j)
+/// (approximate personalized PageRank). `y0` is the softmax soft-label
+/// matrix; `adj` must be the symmetric-normalized adjacency *without*
+/// self-loops but with self-loop degrees (build with
+/// LabelPropagationOperator). Returns [Ŷ^1, ..., Ŷ^k] (k entries).
+std::vector<Matrix> NonParamLabelPropagation(const CsrMatrix& adj,
+                                             const Matrix& y0, float alpha,
+                                             int k);
+
+/// Builds the neighbor operator of Eq. (3): entries 1/sqrt(d̃_i d̃_j) for
+/// every edge (i, j), with d̃ the self-loop-inclusive degrees; no diagonal.
+CsrMatrix LabelPropagationOperator(const Graph& graph);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_CORE_LABEL_PROPAGATION_H_

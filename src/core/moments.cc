@@ -1,0 +1,47 @@
+#include "core/moments.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+std::vector<float> MixedMoments(const std::vector<Matrix>& y_hops,
+                                int moment_order) {
+  FEDGTA_CHECK(!y_hops.empty());
+  FEDGTA_CHECK_GE(moment_order, 1);
+  const int64_t n = y_hops.front().rows();
+  const int64_t c = y_hops.front().cols();
+  FEDGTA_CHECK_GT(n, 0);
+  FEDGTA_CHECK_GT(c, 0);
+
+  std::vector<float> moments;
+  moments.reserve(y_hops.size() * static_cast<size_t>(moment_order) *
+                  static_cast<size_t>(c));
+  std::vector<double> acc(static_cast<size_t>(c));
+  for (const Matrix& y : y_hops) {
+    FEDGTA_CHECK_EQ(y.rows(), n);
+    FEDGTA_CHECK_EQ(y.cols(), c);
+    for (int order = 1; order <= moment_order; ++order) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* row = y.data() + i * c;
+        double mean = 0.0;
+        for (int64_t j = 0; j < c; ++j) mean += row[j];
+        mean /= static_cast<double>(c);
+        for (int64_t j = 0; j < c; ++j) {
+          acc[static_cast<size_t>(j)] +=
+              std::pow(static_cast<double>(row[j]) - mean, order);
+        }
+      }
+      for (int64_t j = 0; j < c; ++j) {
+        moments.push_back(
+            static_cast<float>(acc[static_cast<size_t>(j)] /
+                               static_cast<double>(n)));
+      }
+    }
+  }
+  return moments;
+}
+
+}  // namespace fedgta

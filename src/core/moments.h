@@ -1,0 +1,22 @@
+#ifndef FEDGTA_CORE_MOMENTS_H_
+#define FEDGTA_CORE_MOMENTS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Mixed moments of neighbor features, paper Eq. (5). For each propagation
+/// hop l = 1..k and each order o = 1..K, computes the per-class central
+/// moment over nodes:
+///   M[l][o][c] = (1/n) Σ_i ( Ŷ^l_i[c] - mean_c'( Ŷ^l_i[c'] ) )^o
+/// and concatenates everything into a flat vector of length k*K*|Y|
+/// (hop-major, then order, then class). `y_hops` is the output of
+/// NonParamLabelPropagation.
+std::vector<float> MixedMoments(const std::vector<Matrix>& y_hops,
+                                int moment_order);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_CORE_MOMENTS_H_

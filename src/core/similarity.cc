@@ -1,0 +1,66 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace fedgta {
+
+Matrix MomentSimilarityMatrix(const std::vector<std::vector<float>>& moments,
+                              const std::vector<int>& participants) {
+  const int n = static_cast<int>(moments.size());
+  Matrix sim(n, n);
+  for (size_t a = 0; a < participants.size(); ++a) {
+    const int i = participants[a];
+    FEDGTA_CHECK(i >= 0 && i < n);
+    sim(i, i) = 1.0f;
+    for (size_t b = a + 1; b < participants.size(); ++b) {
+      const int j = participants[b];
+      FEDGTA_CHECK_EQ(moments[static_cast<size_t>(i)].size(),
+                      moments[static_cast<size_t>(j)].size());
+      const float s = static_cast<float>(
+          CosineSimilarity(moments[static_cast<size_t>(i)],
+                           moments[static_cast<size_t>(j)]));
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+double SimilarityQuantile(const Matrix& similarity,
+                          const std::vector<int>& participants, double q) {
+  FEDGTA_CHECK_GE(q, 0.0);
+  FEDGTA_CHECK_LE(q, 1.0);
+  std::vector<float> values;
+  for (size_t a = 0; a < participants.size(); ++a) {
+    for (size_t b = a + 1; b < participants.size(); ++b) {
+      values.push_back(similarity(participants[a], participants[b]));
+    }
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+std::vector<std::vector<int>> BuildAggregationSets(
+    const std::vector<std::vector<float>>& moments,
+    const std::vector<int>& participants, double epsilon) {
+  const Matrix sim = MomentSimilarityMatrix(moments, participants);
+  std::vector<std::vector<int>> sets(moments.size());
+  for (int i : participants) {
+    auto& set = sets[static_cast<size_t>(i)];
+    set.push_back(i);
+    for (int j : participants) {
+      if (j == i) continue;
+      if (sim(i, j) >= static_cast<float>(epsilon)) set.push_back(j);
+    }
+  }
+  return sets;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,30 @@
+#ifndef FEDGTA_CORE_SIMILARITY_H_
+#define FEDGTA_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Pairwise cosine-similarity matrix of the participants' moment vectors.
+/// `moments[i]` may be empty (non-participant); its similarities are 0.
+Matrix MomentSimilarityMatrix(const std::vector<std::vector<float>>& moments,
+                              const std::vector<int>& participants);
+
+/// Aggregation sets, paper Eq. (6): for each participant i,
+///   I_i = { j participant : cos(M_i, M_j) >= epsilon } ∪ {i}.
+/// Returned indexed by client id; non-participants get empty sets.
+std::vector<std::vector<int>> BuildAggregationSets(
+    const std::vector<std::vector<float>>& moments,
+    const std::vector<int>& participants, double epsilon);
+
+/// q-quantile (q in [0, 1]) of the off-diagonal pairwise similarities among
+/// participants; used by the adaptive-ε extension. Returns 0 with fewer
+/// than two participants.
+double SimilarityQuantile(const Matrix& similarity,
+                          const std::vector<int>& participants, double q);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_CORE_SIMILARITY_H_

@@ -1,0 +1,28 @@
+#include "core/smoothing_confidence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+double SmoothingConfidence(const Matrix& y_k,
+                           const std::vector<float>& degrees) {
+  FEDGTA_CHECK_EQ(degrees.size(), static_cast<size_t>(y_k.rows()));
+  const double inv_e = std::exp(-1.0);
+  const int64_t c = y_k.cols();
+  double total = 0.0;
+  for (int64_t i = 0; i < y_k.rows(); ++i) {
+    const float* row = y_k.data() + i * c;
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double p = row[j];
+      const double entropy_term = p > 0.0 ? -p * std::log(p) : 0.0;
+      row_sum += inv_e - entropy_term;
+    }
+    total += static_cast<double>(degrees[static_cast<size_t>(i)]) * row_sum;
+  }
+  return total;
+}
+
+}  // namespace fedgta

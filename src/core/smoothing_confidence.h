@@ -1,0 +1,21 @@
+#ifndef FEDGTA_CORE_SMOOTHING_CONFIDENCE_H_
+#define FEDGTA_CORE_SMOOTHING_CONFIDENCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Local smoothing confidence, paper Eq. (4):
+///   H = Σ_i Σ_j D_ii ( e^{-1} - ( -Ŷ^k_ij log Ŷ^k_ij ) )
+/// where D_ii are the self-loop-inclusive degrees and e^{-1} is the maximum
+/// of -p log p. Smoother subgraphs yield sharper propagated predictions,
+/// lower entropy, and therefore a higher H. Entries with Ŷ_ij = 0 contribute
+/// the full e^{-1} (lim p→0 of -p log p is 0).
+double SmoothingConfidence(const Matrix& y_k,
+                           const std::vector<float>& degrees);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_CORE_SMOOTHING_CONFIDENCE_H_

@@ -1,0 +1,49 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace fedgta {
+
+void StratifiedSplit(const std::vector<int>& labels, int num_classes,
+                     double train_frac, double val_frac, Rng& rng,
+                     std::vector<int32_t>* train_idx,
+                     std::vector<int32_t>* val_idx,
+                     std::vector<int32_t>* test_idx) {
+  FEDGTA_CHECK(train_idx && val_idx && test_idx);
+  FEDGTA_CHECK_GE(train_frac, 0.0);
+  FEDGTA_CHECK_GE(val_frac, 0.0);
+  FEDGTA_CHECK_LE(train_frac + val_frac, 1.0 + 1e-9);
+  train_idx->clear();
+  val_idx->clear();
+  test_idx->clear();
+
+  std::vector<std::vector<int32_t>> by_class(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    FEDGTA_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    by_class[static_cast<size_t>(labels[i])].push_back(
+        static_cast<int32_t>(i));
+  }
+  for (auto& nodes : by_class) {
+    rng.Shuffle(nodes);
+    const size_t n = nodes.size();
+    // Guarantee at least one training node per present class.
+    size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+    if (n > 0 && n_train == 0) n_train = 1;
+    const size_t n_val = std::min(
+        n - n_train, static_cast<size_t>(val_frac * static_cast<double>(n)));
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        train_idx->push_back(nodes[i]);
+      } else if (i < n_train + n_val) {
+        val_idx->push_back(nodes[i]);
+      } else {
+        test_idx->push_back(nodes[i]);
+      }
+    }
+  }
+  std::sort(train_idx->begin(), train_idx->end());
+  std::sort(val_idx->begin(), val_idx->end());
+  std::sort(test_idx->begin(), test_idx->end());
+}
+
+}  // namespace fedgta

@@ -1,0 +1,42 @@
+#ifndef FEDGTA_DATA_DATASET_H_
+#define FEDGTA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// A node-classification dataset: global graph, features, labels, and
+/// train/val/test node index sets.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  Matrix features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  std::vector<int32_t> train_idx;
+  std::vector<int32_t> val_idx;
+  std::vector<int32_t> test_idx;
+  /// Inductive protocol: edges incident to test nodes are hidden from
+  /// training-time propagation.
+  bool inductive = false;
+
+  int64_t num_nodes() const { return graph.num_nodes(); }
+};
+
+/// Draws a per-class stratified random train/val/test split with the given
+/// fractions (which must sum to <= 1; leftovers go to test). Output index
+/// vectors are sorted.
+void StratifiedSplit(const std::vector<int>& labels, int num_classes,
+                     double train_frac, double val_frac, Rng& rng,
+                     std::vector<int32_t>* train_idx,
+                     std::vector<int32_t>* val_idx,
+                     std::vector<int32_t>* test_idx);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_DATA_DATASET_H_

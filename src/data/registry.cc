@@ -1,0 +1,142 @@
+#include "data/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedgta {
+namespace {
+
+// Builds the 12 surrogate specs (paper Table 2, scaled per DESIGN.md §6).
+std::vector<DatasetSpec> BuildRegistry() {
+  std::vector<DatasetSpec> specs;
+  auto add = [&specs](std::string name, int n, int classes, double avg_deg,
+                      double homophily, int f, float center_scale,
+                      double train, double val, bool inductive, int regions,
+                      double skew, double imbalance, int default_clients,
+                      double labeled_region_fraction = 1.0) {
+    DatasetSpec s;
+    s.name = std::move(name);
+    s.sbm.num_nodes = n;
+    s.sbm.num_classes = classes;
+    s.sbm.avg_degree = avg_deg;
+    s.sbm.homophily = homophily;
+    s.sbm.degree_skew = skew;
+    s.sbm.class_imbalance = imbalance;
+    s.sbm.regions_per_class = regions;
+    s.feature.dim = f;
+    s.feature.center_scale = center_scale;
+    s.feature.noise_scale = 1.0f;
+    s.train_frac = train;
+    s.val_frac = val;
+    s.labeled_region_fraction = labeled_region_fraction;
+    s.inductive = inductive;
+    s.default_clients = default_clients;
+    specs.push_back(std::move(s));
+  };
+
+  // Transductive citation networks.
+  add("cora", 2708, 7, 4.0, 0.81, 96, 0.085f, 0.2, 0.4, false, 8, 0.3, 0.2, 10,
+      /*labeled_region_fraction=*/0.75);
+  add("citeseer", 3327, 6, 2.8, 0.74, 96, 0.12f, 0.2, 0.4, false, 8, 0.3, 0.2,
+      10, /*labeled_region_fraction=*/0.75);
+  add("pubmed", 8000, 3, 4.5, 0.80, 64, 0.13f, 0.2, 0.4, false, 12, 0.3, 0.1,
+      10, /*labeled_region_fraction=*/0.75);
+  // Co-purchase graphs (denser).
+  add("amazon-photo", 6000, 8, 16.0, 0.83, 64, 0.07f, 0.2, 0.4, false, 4, 0.6,
+      0.3, 10);
+  add("amazon-computer", 8000, 10, 18.0, 0.78, 64, 0.07f, 0.2, 0.4, false, 4,
+      0.6, 0.3, 10);
+  // Co-authorship graphs.
+  add("coauthor-cs", 8000, 15, 9.0, 0.81, 64, 0.12f, 0.2, 0.4, false, 4, 0.4,
+      0.3, 10);
+  add("coauthor-physics", 10000, 5, 14.0, 0.87, 64, 0.10f, 0.2, 0.4, false, 6,
+      0.4, 0.2, 10);
+  // OGB-scale surrogates.
+  add("ogbn-arxiv", 24000, 40, 13.0, 0.65, 64, 0.125f, 0.6, 0.2, false, 4, 0.5,
+      0.4, 10);
+  add("ogbn-products", 48000, 47, 25.0, 0.81, 48, 0.125f, 0.1, 0.05, false, 4,
+      0.8, 0.5, 10);
+  add("ogbn-papers100m", 100000, 64, 15.0, 0.70, 32, 0.14f, 0.01, 0.002, false,
+      4, 0.8, 0.4, 100);
+  // Inductive datasets.
+  add("flickr", 10000, 7, 10.0, 0.40, 64, 0.14f, 0.50, 0.25, true, 5, 0.6, 0.3,
+      10);
+  add("reddit", 12000, 41, 14.0, 0.76, 64, 0.10f, 0.66, 0.10, true, 2, 0.7,
+      0.4, 10);
+  return specs;
+}
+
+const std::vector<DatasetSpec>& Registry() {
+  static const std::vector<DatasetSpec>* specs =
+      new std::vector<DatasetSpec>(BuildRegistry());
+  return *specs;
+}
+
+}  // namespace
+
+std::vector<std::string> ListDatasets() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const DatasetSpec& spec : Registry()) names.push_back(spec.name);
+  return names;
+}
+
+Result<DatasetSpec> GetDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& spec : Registry()) {
+    if (spec.name == name) return spec;
+  }
+  return NotFoundError("unknown dataset: " + name);
+}
+
+Dataset MakeDataset(const DatasetSpec& spec, uint64_t seed) {
+  Rng rng(seed ^ 0xfed67a);
+  Dataset ds;
+  ds.name = spec.name;
+  LabeledGraph lg = GeneratePlantedPartition(spec.sbm, rng);
+  ds.graph = std::move(lg.graph);
+  ds.labels = std::move(lg.labels);
+  ds.num_classes = lg.num_classes;
+  ds.features = GenerateFeatures(ds.labels, ds.num_classes, spec.feature, rng);
+  ds.inductive = spec.inductive;
+  StratifiedSplit(ds.labels, ds.num_classes, spec.train_frac, spec.val_frac,
+                  rng, &ds.train_idx, &ds.val_idx, &ds.test_idx);
+
+  // Label locality: keep training labels only in a random subset of each
+  // class's regions; the remaining would-be training nodes become test
+  // nodes. This models the clustered label coverage of real graphs — the
+  // regime where cross-client knowledge transfer matters.
+  if (spec.labeled_region_fraction < 1.0) {
+    const int rpc = spec.sbm.regions_per_class;
+    std::vector<bool> labeled(static_cast<size_t>(lg.num_regions), false);
+    const int keep = std::max(
+        1, static_cast<int>(std::ceil(spec.labeled_region_fraction * rpc)));
+    for (int y = 0; y < ds.num_classes; ++y) {
+      std::vector<int> order(static_cast<size_t>(rpc));
+      for (int r = 0; r < rpc; ++r) order[static_cast<size_t>(r)] = r;
+      rng.Shuffle(order);
+      for (int r = 0; r < keep; ++r) {
+        labeled[static_cast<size_t>(y * rpc + order[static_cast<size_t>(r)])] =
+            true;
+      }
+    }
+    std::vector<int32_t> kept_train;
+    for (int32_t i : ds.train_idx) {
+      if (labeled[static_cast<size_t>(lg.regions[static_cast<size_t>(i)])]) {
+        kept_train.push_back(i);
+      } else {
+        ds.test_idx.push_back(i);
+      }
+    }
+    ds.train_idx = std::move(kept_train);
+    std::sort(ds.test_idx.begin(), ds.test_idx.end());
+  }
+  return ds;
+}
+
+Dataset MakeDatasetByName(const std::string& name, uint64_t seed) {
+  Result<DatasetSpec> spec = GetDatasetSpec(name);
+  FEDGTA_CHECK(spec.ok()) << spec.status().ToString();
+  return MakeDataset(*spec, seed);
+}
+
+}  // namespace fedgta

@@ -1,0 +1,48 @@
+#ifndef FEDGTA_DATA_REGISTRY_H_
+#define FEDGTA_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "graph/generator.h"
+
+namespace fedgta {
+
+/// Recipe for one synthetic surrogate of a paper dataset. See DESIGN.md §6
+/// for the scaling rationale: class counts, density regime, homophily and
+/// split protocol match the original; node counts are scaled down.
+struct DatasetSpec {
+  std::string name;
+  SbmConfig sbm;
+  FeatureConfig feature;
+  double train_frac = 0.2;
+  double val_frac = 0.4;
+  /// Fraction of each class's regions that carry training labels (labels in
+  /// real graphs cluster spatially; regions without labels create the
+  /// cross-client transfer opportunities federated methods exploit).
+  /// Training nodes falling in unlabeled regions are moved to the test set.
+  double labeled_region_fraction = 1.0;
+  bool inductive = false;
+  /// Default client count used by the paper for this dataset.
+  int default_clients = 10;
+};
+
+/// Names of all 12 registered dataset surrogates (paper Table 2).
+std::vector<std::string> ListDatasets();
+
+/// Looks up a registered spec ("cora", "ogbn-arxiv", ...).
+Result<DatasetSpec> GetDatasetSpec(const std::string& name);
+
+/// Materializes a dataset from its spec with a deterministic seed: generates
+/// the planted-partition graph, label-conditioned features, and the
+/// stratified split.
+Dataset MakeDataset(const DatasetSpec& spec, uint64_t seed);
+
+/// Convenience: spec lookup + materialization. Aborts on unknown name.
+Dataset MakeDatasetByName(const std::string& name, uint64_t seed);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_DATA_REGISTRY_H_

@@ -1,0 +1,30 @@
+#include "eval/csv.h"
+
+#include <fstream>
+
+namespace fedgta {
+
+Status WriteCurvesCsv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<RoundStats>>>&
+        curves) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  out << "label,round,test_acc,val_acc,train_loss,client_seconds,"
+         "server_seconds,upload_floats,download_floats\n";
+  for (const auto& [label, curve] : curves) {
+    for (const RoundStats& stats : curve) {
+      out << label << ',' << stats.round << ',' << stats.test_accuracy << ','
+          << stats.val_accuracy << ',' << stats.train_loss << ','
+          << stats.client_seconds << ',' << stats.server_seconds << ','
+          << stats.upload_floats << ',' << stats.download_floats << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) return InternalError("write failed: " + path);
+  return OkStatus();
+}
+
+}  // namespace fedgta

@@ -1,0 +1,24 @@
+#ifndef FEDGTA_EVAL_CSV_H_
+#define FEDGTA_EVAL_CSV_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/simulation.h"
+
+namespace fedgta {
+
+/// Writes labeled convergence curves to CSV (columns: label, round,
+/// test_acc, val_acc, train_loss, client_seconds, server_seconds,
+/// upload_floats, download_floats). Overwrites `path`. Fails with an error
+/// Status when the file cannot be created.
+Status WriteCurvesCsv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<RoundStats>>>&
+        curves);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_EVAL_CSV_H_

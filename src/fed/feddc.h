@@ -1,0 +1,32 @@
+#ifndef FEDGTA_FED_FEDDC_H_
+#define FEDGTA_FED_FEDDC_H_
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// FedDC (Gao et al. 2022): each client maintains a local drift variable
+/// h_i that decouples its parameter drift from the global model. The local
+/// objective adds (α/2)||w + h_i - w_g||²; after training h_i accumulates
+/// the round's drift (h_i += y_i - x); the server aggregates the
+/// drift-corrected weights avg(y_i + h_i).
+class FedDcStrategy : public Strategy {
+ public:
+  explicit FedDcStrategy(float alpha) : alpha_(alpha) {}
+  std::string_view name() const override { return "feddc"; }
+
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  LocalResult TrainClient(Client& client, int epochs,
+                          const TrainHooks& extra_hooks) override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+ private:
+  float alpha_;
+  std::vector<std::vector<float>> drift_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_FEDDC_H_

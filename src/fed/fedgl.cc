@@ -1,0 +1,94 @@
+#include "fed/fedgl.h"
+
+#include "linalg/ops.h"
+
+namespace fedgta {
+
+FedGlCoordinator::FedGlCoordinator(const FederatedDataset* data,
+                                   const FedGlConfig& config)
+    : data_(data), config_(config) {
+  FEDGTA_CHECK(data != nullptr);
+  const int n_clients = data->num_clients();
+  targets_.resize(static_cast<size_t>(n_clients));
+  target_rows_.resize(static_cast<size_t>(n_clients));
+
+  // Index holders of every global node; keep only shared ones.
+  std::unordered_map<NodeId, std::vector<std::pair<int, int32_t>>> all;
+  for (const ClientData& client : data->clients) {
+    for (int64_t i = 0; i < client.num_nodes(); ++i) {
+      const NodeId g = client.sub.global_ids[static_cast<size_t>(i)];
+      if (g < 0) continue;  // generated node (FedSage)
+      all[g].emplace_back(client.client_id, static_cast<int32_t>(i));
+    }
+  }
+  for (auto& [g, list] : all) {
+    if (list.size() >= 2) holders_.emplace(g, std::move(list));
+  }
+  for (const ClientData& client : data->clients) {
+    targets_[static_cast<size_t>(client.client_id)].Resize(
+        client.num_nodes(), client.num_classes);
+  }
+}
+
+TrainHooks FedGlCoordinator::HooksFor(int client_id) {
+  TrainHooks hooks;
+  hooks.logits_hook = [this, client_id](const Matrix& logits,
+                                        Matrix* dlogits) {
+    const auto& rows = target_rows_[static_cast<size_t>(client_id)];
+    if (rows.empty()) return 0.0;
+    return SoftCrossEntropy(logits, targets_[static_cast<size_t>(client_id)],
+                            rows, config_.pseudo_weight, dlogits);
+  };
+  return hooks;
+}
+
+void FedGlCoordinator::UpdatePseudoLabels(std::vector<Client>& clients,
+                                          const std::vector<int>& participants) {
+  if (holders_.empty()) return;
+  const int64_t c = data_->global.num_classes;
+
+  // Accumulate softmax predictions per shared node across participants.
+  std::unordered_map<NodeId, std::pair<std::vector<double>, int>> acc;
+  std::vector<bool> participating(static_cast<size_t>(data_->num_clients()),
+                                  false);
+  for (int p : participants) participating[static_cast<size_t>(p)] = true;
+
+  std::vector<Matrix> predictions(clients.size());
+  for (int p : participants) {
+    predictions[static_cast<size_t>(p)] = clients[static_cast<size_t>(p)].Predict();
+    RowSoftmaxInPlace(&predictions[static_cast<size_t>(p)]);
+  }
+  for (const auto& [g, list] : holders_) {
+    auto& [sum, count] = acc[g];
+    for (const auto& [client_id, row] : list) {
+      if (!participating[static_cast<size_t>(client_id)]) continue;
+      const Matrix& pred = predictions[static_cast<size_t>(client_id)];
+      if (sum.empty()) sum.assign(static_cast<size_t>(c), 0.0);
+      const auto r = pred.Row(row);
+      for (int64_t j = 0; j < c; ++j) sum[static_cast<size_t>(j)] += r[static_cast<size_t>(j)];
+      ++count;
+    }
+  }
+
+  // Refresh targets on each client's overlap rows.
+  for (ClientData const& client : data_->clients) {
+    const int id = client.client_id;
+    auto& rows = target_rows_[static_cast<size_t>(id)];
+    rows.clear();
+    Matrix& target = targets_[static_cast<size_t>(id)];
+    for (int32_t i : client.overlap_idx) {
+      const NodeId g = client.sub.global_ids[static_cast<size_t>(i)];
+      const auto it = acc.find(g);
+      if (it == acc.end() || it->second.second == 0) continue;
+      const auto& [sum, count] = it->second;
+      auto row = target.Row(i);
+      for (int64_t j = 0; j < c; ++j) {
+        row[static_cast<size_t>(j)] = static_cast<float>(
+            sum[static_cast<size_t>(j)] / static_cast<double>(count));
+      }
+      rows.push_back(i);
+    }
+  }
+}
+
+}  // namespace fedgta

@@ -1,0 +1,53 @@
+#ifndef FEDGTA_FED_FEDGL_H_
+#define FEDGTA_FED_FEDGL_H_
+
+#include <unordered_map>
+#include <utility>
+
+#include "fed/client.h"
+
+namespace fedgta {
+
+/// FedGL configuration.
+struct FedGlConfig {
+  /// Weight λ of the pseudo-label cross-entropy.
+  float pseudo_weight = 0.5f;
+};
+
+/// FedGL (Chen et al. 2021): global self-supervision through overlapping
+/// subgraph nodes. Nodes replicated across clients (ClientData::overlap_idx,
+/// created with FederatedOptions::overlap_fraction > 0) are predicted by
+/// every holder; the server averages those soft predictions into global
+/// pseudo labels, which each holder uses as extra supervision on its
+/// unlabeled replicas. Composable with any optimization strategy (Table 5).
+class FedGlCoordinator {
+ public:
+  /// `data` must outlive the coordinator; clients must have been built with
+  /// a positive overlap fraction for FedGL to have any effect.
+  FedGlCoordinator(const FederatedDataset* data, const FedGlConfig& config);
+
+  /// Training hooks adding the pseudo-label loss for `client_id` (no-op
+  /// until the first UpdatePseudoLabels call fills targets).
+  TrainHooks HooksFor(int client_id);
+
+  /// Server step: collects every participant's soft predictions on shared
+  /// nodes and refreshes the pseudo-label targets.
+  void UpdatePseudoLabels(std::vector<Client>& clients,
+                          const std::vector<int>& participants);
+
+  /// Number of globally shared nodes (held by >= 2 clients).
+  int64_t num_shared_nodes() const { return static_cast<int64_t>(holders_.size()); }
+
+ private:
+  const FederatedDataset* data_;
+  FedGlConfig config_;
+  /// Per client: soft targets and the local rows they apply to.
+  std::vector<Matrix> targets_;
+  std::vector<std::vector<int32_t>> target_rows_;
+  /// global node id -> (client id, local row) holders, shared nodes only.
+  std::unordered_map<NodeId, std::vector<std::pair<int, int32_t>>> holders_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_FEDGL_H_

@@ -1,0 +1,43 @@
+#include "fed/fedgta_strategy.h"
+
+namespace fedgta {
+
+void FedGtaStrategy::Initialize(int num_clients,
+                                const std::vector<int64_t>& train_sizes,
+                                const std::vector<float>& init_params) {
+  Strategy::Initialize(num_clients, train_sizes, init_params);
+  personal_.assign(static_cast<size_t>(num_clients), init_params);
+  last_confidences_.assign(static_cast<size_t>(num_clients), 0.0);
+}
+
+std::span<const float> FedGtaStrategy::ParamsFor(int client_id) const {
+  FEDGTA_CHECK(client_id >= 0 && client_id < num_clients_);
+  return personal_[static_cast<size_t>(client_id)];
+}
+
+LocalResult FedGtaStrategy::TrainClient(Client& client, int epochs,
+                                        const TrainHooks& extra_hooks) {
+  // Algorithm 1: local update (Eq. 2), then topology-aware metrics
+  // (Eq. 3-5) computed on the freshly trained weights.
+  LocalResult result = Strategy::TrainClient(client, epochs, extra_hooks);
+  result.metrics = client.ComputeFedGtaMetrics(options_);
+  return result;
+}
+
+void FedGtaStrategy::Aggregate(const std::vector<int>& participants,
+                               const std::vector<LocalResult>& results) {
+  if (results.empty()) return;
+  // Scatter uploads into id-indexed tables for the core aggregation.
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(num_clients_));
+  std::vector<std::vector<float>> params(static_cast<size_t>(num_clients_));
+  for (const LocalResult& r : results) {
+    metrics[static_cast<size_t>(r.client_id)] = r.metrics;
+    params[static_cast<size_t>(r.client_id)] = r.params;
+    last_confidences_[static_cast<size_t>(r.client_id)] =
+        r.metrics.confidence;
+  }
+  FedGtaAggregate(metrics, params, train_sizes_, participants, options_,
+                  &personal_, &last_sets_);
+}
+
+}  // namespace fedgta

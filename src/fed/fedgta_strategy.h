@@ -1,0 +1,46 @@
+#ifndef FEDGTA_FED_FEDGTA_STRATEGY_H_
+#define FEDGTA_FED_FEDGTA_STRATEGY_H_
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// FedGTA (this paper). Clients additionally upload their local smoothing
+/// confidence (Eq. 4) and mixed neighbor-feature moments (Eq. 5); the
+/// server builds per-client aggregation sets from moment similarity
+/// (Eq. 6) and performs confidence-weighted personalized aggregation
+/// (Eq. 7). Ablations (w/o Mom., w/o Conf.) are switched in FedGtaOptions.
+class FedGtaStrategy : public Strategy {
+ public:
+  explicit FedGtaStrategy(const FedGtaOptions& options) : options_(options) {}
+  std::string_view name() const override { return "fedgta"; }
+
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  std::span<const float> ParamsFor(int client_id) const override;
+  LocalResult TrainClient(Client& client, int epochs,
+                          const TrainHooks& extra_hooks) override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+  /// Aggregation sets of the last round (for Fig. 3 inspection).
+  const std::vector<std::vector<int>>& last_aggregation_sets() const {
+    return last_sets_;
+  }
+  /// Confidence uploads of the last round, indexed by client id.
+  const std::vector<double>& last_confidences() const {
+    return last_confidences_;
+  }
+
+  const FedGtaOptions& options() const { return options_; }
+
+ private:
+  FedGtaOptions options_;
+  std::vector<std::vector<float>> personal_;
+  std::vector<std::vector<int>> last_sets_;
+  std::vector<double> last_confidences_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_FEDGTA_STRATEGY_H_

@@ -1,0 +1,26 @@
+#ifndef FEDGTA_FED_FEDPROX_H_
+#define FEDGTA_FED_FEDPROX_H_
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// FedProx (Li et al. 2020): FedAvg plus a proximal term (μ/2)||w - w_g||²
+/// in every local objective, limiting client drift from the global model.
+class FedProxStrategy : public Strategy {
+ public:
+  explicit FedProxStrategy(float mu) : mu_(mu) {}
+  std::string_view name() const override { return "fedprox"; }
+
+  LocalResult TrainClient(Client& client, int epochs,
+                          const TrainHooks& extra_hooks) override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+ private:
+  float mu_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_FEDPROX_H_

@@ -1,0 +1,41 @@
+#ifndef FEDGTA_FED_FEDSAGE_H_
+#define FEDGTA_FED_FEDSAGE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/federated.h"
+
+namespace fedgta {
+
+/// FedSage+ configuration.
+struct FedSageConfig {
+  /// Fraction of each client's nodes hidden to create missing-neighbor
+  /// supervision for the generator.
+  double hide_fraction = 0.15;
+  /// Cap on generated neighbors per node at mending time.
+  int max_generated = 3;
+  /// Gaussian noise added to generated features (the generator's noise
+  /// injection).
+  float noise_scale = 0.1f;
+  /// Local generator training epochs per federation round, and rounds of
+  /// generator weight averaging across clients.
+  int gen_epochs = 20;
+  int gen_fed_rounds = 3;
+  float gen_lr = 0.05f;
+};
+
+/// FedSage+ (Zhang et al. 2021): each client trains a missing-neighbor
+/// generator (NeighGen) — a degree head predicting how many neighbors were
+/// lost to the federation split and a feature head generating their
+/// features — then "mends" its local subgraph with generated nodes before
+/// classifier training. The generators themselves are federated (weight
+/// averaging), standing in for the original's cross-client gradient
+/// exchange. Returns the mended client shards (generated nodes appended
+/// with global id -1, excluded from every supervision mask).
+std::vector<ClientData> FedSageAugment(const std::vector<ClientData>& clients,
+                                       const FedSageConfig& config, Rng& rng);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_FEDSAGE_H_

@@ -1,0 +1,52 @@
+#ifndef FEDGTA_FED_GCFL_PLUS_H_
+#define FEDGTA_FED_GCFL_PLUS_H_
+
+#include <deque>
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// GCFL+ (Xie et al. 2021): clustered federated learning driven by gradient
+/// sequences. The server keeps a sliding window of each client's weight
+/// updates; a cluster whose mean update norm is small while its max update
+/// norm is large (the GCFL criterion: clients have converged jointly but
+/// individually disagree) is bipartitioned by the cosine similarity of the
+/// windowed update sequences. FedAvg runs within each cluster.
+///
+/// Simplification vs. the original: sequence similarity uses cosine over
+/// the concatenated window instead of dynamic time warping; bipartition is
+/// 2-medoid assignment seeded with the least-similar pair (the original
+/// uses complete-linkage hierarchical bipartition). Both preserve the
+/// "split disagreeing clients, average agreeing ones" behaviour.
+class GcflPlusStrategy : public Strategy {
+ public:
+  GcflPlusStrategy(int window, float eps1, float eps2)
+      : window_(window), eps1_(eps1), eps2_(eps2) {}
+  std::string_view name() const override { return "gcfl+"; }
+
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  std::span<const float> ParamsFor(int client_id) const override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+  /// Current cluster assignment (for tests/inspection).
+  const std::vector<int>& clusters() const { return cluster_of_; }
+  int num_clusters() const { return static_cast<int>(cluster_models_.size()); }
+
+ private:
+  /// Concatenated window of a client's recent updates (zero-padded).
+  std::vector<float> WindowVector(int client_id) const;
+
+  int window_;
+  float eps1_;
+  float eps2_;
+  std::vector<int> cluster_of_;
+  std::vector<std::vector<float>> cluster_models_;
+  std::vector<std::deque<std::vector<float>>> update_history_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_GCFL_PLUS_H_

@@ -1,0 +1,34 @@
+#ifndef FEDGTA_FED_MOON_H_
+#define FEDGTA_FED_MOON_H_
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// MOON (Li et al. 2021): model-contrastive federated learning. Each local
+/// step adds a contrastive loss pulling the local representation z toward
+/// the global model's representation z_g and away from the previous local
+/// model's representation z_p:
+///   l_con = -log( exp(sim(z, z_g)/τ) / (exp(sim(z, z_g)/τ) + exp(sim(z, z_p)/τ)) )
+/// with row-wise cosine similarity. Aggregation is FedAvg.
+class MoonStrategy : public Strategy {
+ public:
+  MoonStrategy(float mu, float tau) : mu_(mu), tau_(tau) {}
+  std::string_view name() const override { return "moon"; }
+
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  LocalResult TrainClient(Client& client, int epochs,
+                          const TrainHooks& extra_hooks) override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+ private:
+  float mu_;
+  float tau_;
+  std::vector<std::vector<float>> previous_local_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_MOON_H_

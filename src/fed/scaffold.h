@@ -1,0 +1,38 @@
+#ifndef FEDGTA_FED_SCAFFOLD_H_
+#define FEDGTA_FED_SCAFFOLD_H_
+
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// Scaffold (Karimireddy et al. 2020): server control variate c and client
+/// control variates c_i correct the local update direction
+/// (g <- g - c_i + c). After K local steps, c_i is updated with the
+/// "option II" rule c_i^+ = c_i - c + (x - y_i)/(K η).
+class ScaffoldStrategy : public Strategy {
+ public:
+  explicit ScaffoldStrategy(float lr) : lr_(lr) {}
+  std::string_view name() const override { return "scaffold"; }
+
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  LocalResult TrainClient(Client& client, int epochs,
+                          const TrainHooks& extra_hooks) override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+  /// Scaffold additionally ships the server control variate down and the
+  /// client control-variate delta up (one extra weight-sized vector each).
+  CommunicationStats RoundCommunication(
+      const std::vector<LocalResult>& results) const override;
+
+ private:
+  float lr_;
+  std::vector<float> server_control_;
+  std::vector<std::vector<float>> client_control_;
+  // Per-round deltas of participating clients' control variates.
+  std::vector<std::vector<float>> round_control_delta_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_SCAFFOLD_H_

@@ -1,0 +1,144 @@
+#include "fed/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace fedgta {
+
+Simulation::Simulation(const FederatedDataset* data,
+                       const ModelConfig& model_config,
+                       const OptimizerConfig& opt_config,
+                       std::unique_ptr<Strategy> strategy,
+                       const SimulationConfig& config)
+    : data_(data), config_(config), strategy_(std::move(strategy)) {
+  FEDGTA_CHECK(data_ != nullptr);
+  FEDGTA_CHECK(strategy_ != nullptr);
+  FEDGTA_CHECK_GE(config.participation, 0.0);
+  FEDGTA_CHECK_LE(config.participation, 1.0);
+
+  WallTimer setup_timer;
+  Rng rng(config.seed);
+  const std::vector<ClientData>* shards = &data_->clients;
+  if (config.fgl == FglModel::kFedSage) {
+    Rng sage_rng = rng.Fork(0x5a63);
+    augmented_ = FedSageAugment(data_->clients, config.fedsage, sage_rng);
+    shards = &augmented_;
+  }
+
+  clients_.reserve(shards->size());
+  for (const ClientData& shard : *shards) {
+    clients_.emplace_back(&shard, model_config, opt_config, config.seed);
+    clients_.back().SetBatchSize(config.batch_size);
+  }
+
+  if (config.fgl == FglModel::kFedGl) {
+    fedgl_ = std::make_unique<FedGlCoordinator>(data_, config.fedgl);
+  }
+
+  // Common initialization: client 0's fresh weights become round-0 global.
+  std::vector<int64_t> train_sizes;
+  train_sizes.reserve(clients_.size());
+  for (Client& client : clients_) train_sizes.push_back(client.num_train());
+  strategy_->Initialize(static_cast<int>(clients_.size()), train_sizes,
+                        clients_.front().GetParams());
+  setup_seconds_ = setup_timer.Seconds();
+}
+
+void Simulation::Evaluate(double* test_accuracy, double* val_accuracy) {
+  double test_correct = 0.0;
+  double val_correct = 0.0;
+  int64_t test_total = 0;
+  int64_t val_total = 0;
+  for (Client& client : clients_) {
+    client.SetParams(strategy_->ParamsFor(client.id()));
+    const int64_t n_test =
+        static_cast<int64_t>(client.data().test_idx.size());
+    const int64_t n_val = static_cast<int64_t>(client.data().val_idx.size());
+    if (n_test > 0) {
+      test_correct += client.TestAccuracy() * static_cast<double>(n_test);
+      test_total += n_test;
+    }
+    if (n_val > 0) {
+      val_correct += client.ValAccuracy() * static_cast<double>(n_val);
+      val_total += n_val;
+    }
+  }
+  *test_accuracy = test_total > 0 ? test_correct / static_cast<double>(test_total) : 0.0;
+  *val_accuracy = val_total > 0 ? val_correct / static_cast<double>(val_total) : 0.0;
+}
+
+SimulationResult Simulation::Run() {
+  SimulationResult result;
+  result.setup_seconds = setup_seconds_;
+  Rng rng(config_.seed ^ 0x517u);
+  const int n_clients = static_cast<int>(clients_.size());
+  const int per_round = std::max(
+      1, static_cast<int>(std::lround(config_.participation * n_clients)));
+
+  double best_val = -1.0;
+  for (int round = 1; round <= config_.rounds; ++round) {
+    // Participant sampling.
+    std::vector<int> participants =
+        per_round >= n_clients
+            ? [n_clients] {
+                std::vector<int> all(static_cast<size_t>(n_clients));
+                for (int i = 0; i < n_clients; ++i) all[static_cast<size_t>(i)] = i;
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(n_clients, per_round);
+    std::sort(participants.begin(), participants.end());
+
+    // Local training.
+    WallTimer client_timer;
+    std::vector<LocalResult> results;
+    results.reserve(participants.size());
+    double loss_sum = 0.0;
+    for (int id : participants) {
+      Client& client = clients_[static_cast<size_t>(id)];
+      const TrainHooks extra =
+          fedgl_ != nullptr ? fedgl_->HooksFor(id) : TrainHooks{};
+      LocalResult r =
+          strategy_->TrainClient(client, config_.local_epochs, extra);
+      loss_sum += r.loss;
+      results.push_back(std::move(r));
+    }
+    const double client_seconds = client_timer.Seconds();
+
+    // Server aggregation (+ FedGL pseudo-label refresh).
+    WallTimer server_timer;
+    strategy_->Aggregate(participants, results);
+    if (fedgl_ != nullptr) {
+      fedgl_->UpdatePseudoLabels(clients_, participants);
+    }
+    const double server_seconds = server_timer.Seconds();
+
+    result.total_client_seconds += client_seconds;
+    result.total_server_seconds += server_seconds;
+    const Strategy::CommunicationStats comm =
+        strategy_->RoundCommunication(results);
+    result.total_upload_floats += comm.upload_floats;
+    result.total_download_floats += comm.download_floats;
+
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      RoundStats stats;
+      stats.round = round;
+      stats.train_loss = loss_sum / static_cast<double>(participants.size());
+      stats.client_seconds = result.total_client_seconds;
+      stats.server_seconds = result.total_server_seconds;
+      stats.upload_floats = result.total_upload_floats;
+      stats.download_floats = result.total_download_floats;
+      Evaluate(&stats.test_accuracy, &stats.val_accuracy);
+      if (stats.val_accuracy > best_val) {
+        best_val = stats.val_accuracy;
+        result.best_test_accuracy = stats.test_accuracy;
+      }
+      result.final_test_accuracy = stats.test_accuracy;
+      result.curve.push_back(stats);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,99 @@
+#ifndef FEDGTA_FED_SIMULATION_H_
+#define FEDGTA_FED_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "fed/client.h"
+#include "fed/fedgl.h"
+#include "fed/fedsage.h"
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// Optional FGL Model wrapper applied on top of the optimization strategy
+/// (paper Tables 3 & 5).
+enum class FglModel { kNone, kFedGl, kFedSage };
+
+/// Round-based federated training configuration.
+struct SimulationConfig {
+  int rounds = 50;
+  /// Local epochs per round (paper: 3 small / 5 large datasets).
+  int local_epochs = 3;
+  /// Minibatch size of the local steps; 0 = full-batch (see
+  /// Client::SetBatchSize for why this matters to the baselines).
+  int batch_size = 0;
+  /// Fraction of clients sampled each round (Fig. 6).
+  double participation = 1.0;
+  uint64_t seed = 1;
+  /// Evaluate every this many rounds (accuracy curve resolution).
+  int eval_every = 1;
+  FglModel fgl = FglModel::kNone;
+  FedGlConfig fedgl;
+  FedSageConfig fedsage;
+};
+
+/// Per-evaluated-round statistics.
+struct RoundStats {
+  int round = 0;
+  double test_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double train_loss = 0.0;
+  /// Cumulative wall-clock seconds of client work / server aggregation.
+  double client_seconds = 0.0;
+  double server_seconds = 0.0;
+  /// Cumulative simulated communication volume (floats up / down).
+  int64_t upload_floats = 0;
+  int64_t download_floats = 0;
+};
+
+/// Outcome of a full federated run.
+struct SimulationResult {
+  std::vector<RoundStats> curve;
+  /// Test accuracy at the round with the best validation accuracy.
+  double best_test_accuracy = 0.0;
+  double final_test_accuracy = 0.0;
+  double total_client_seconds = 0.0;
+  double total_server_seconds = 0.0;
+  /// Total simulated communication volume (floats up / down).
+  int64_t total_upload_floats = 0;
+  int64_t total_download_floats = 0;
+  /// Wall-clock seconds of the setup phase (incl. FedSage+ mending).
+  double setup_seconds = 0.0;
+};
+
+/// Drives `rounds` of strategy-managed federated training over the clients
+/// of a FederatedDataset. Evaluation is the data-size-weighted accuracy of
+/// each client's served model on its local test set (the standard subgraph
+/// FL protocol; for global-model strategies this equals evaluating the
+/// global model).
+class Simulation {
+ public:
+  /// `data` must outlive the simulation. The strategy is owned.
+  Simulation(const FederatedDataset* data, const ModelConfig& model_config,
+             const OptimizerConfig& opt_config,
+             std::unique_ptr<Strategy> strategy,
+             const SimulationConfig& config);
+
+  SimulationResult Run();
+
+  Strategy& strategy() { return *strategy_; }
+  std::vector<Client>& clients() { return clients_; }
+
+ private:
+  /// Weighted test/val accuracy across clients with each client's served
+  /// parameters.
+  void Evaluate(double* test_accuracy, double* val_accuracy);
+
+  const FederatedDataset* data_;
+  SimulationConfig config_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<ClientData> augmented_;  // FedSage+ mended shards, if any
+  std::vector<Client> clients_;
+  std::unique_ptr<FedGlCoordinator> fedgl_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_SIMULATION_H_

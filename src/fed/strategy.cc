@@ -1,0 +1,123 @@
+#include "fed/strategy.h"
+
+#include "fed/feddc.h"
+#include "fed/fedgta_strategy.h"
+#include "fed/fedprox.h"
+#include "fed/gcfl_plus.h"
+#include "fed/moon.h"
+#include "fed/scaffold.h"
+#include "linalg/ops.h"
+
+namespace fedgta {
+
+void Strategy::Initialize(int num_clients,
+                          const std::vector<int64_t>& train_sizes,
+                          const std::vector<float>& init_params) {
+  FEDGTA_CHECK_GE(num_clients, 1);
+  FEDGTA_CHECK_EQ(train_sizes.size(), static_cast<size_t>(num_clients));
+  num_clients_ = num_clients;
+  train_sizes_ = train_sizes;
+  global_params_ = init_params;
+}
+
+std::span<const float> Strategy::ParamsFor(int client_id) const {
+  FEDGTA_CHECK(client_id >= 0 && client_id < num_clients_);
+  return global_params_;
+}
+
+LocalResult Strategy::TrainClient(Client& client, int epochs,
+                                  const TrainHooks& extra_hooks) {
+  client.SetParams(ParamsFor(client.id()));
+  LocalResult result;
+  result.client_id = client.id();
+  result.loss = client.TrainLocal(epochs, extra_hooks);
+  result.params = client.GetParams();
+  result.num_samples = client.num_train();
+  return result;
+}
+
+Strategy::CommunicationStats Strategy::RoundCommunication(
+    const std::vector<LocalResult>& results) const {
+  CommunicationStats stats;
+  for (const LocalResult& r : results) {
+    stats.download_floats += static_cast<int64_t>(r.params.size());
+    stats.upload_floats += static_cast<int64_t>(r.params.size()) +
+                           static_cast<int64_t>(r.metrics.moments.size()) +
+                           (r.metrics.moments.empty() ? 0 : 1);
+  }
+  return stats;
+}
+
+void Strategy::WeightedAverage(const std::vector<LocalResult>& results,
+                               std::vector<float>* out) {
+  FEDGTA_CHECK(out != nullptr);
+  FEDGTA_CHECK(!results.empty());
+  double total = 0.0;
+  for (const LocalResult& r : results) {
+    total += static_cast<double>(std::max<int64_t>(1, r.num_samples));
+  }
+  out->assign(results.front().params.size(), 0.0f);
+  for (const LocalResult& r : results) {
+    const float w = static_cast<float>(
+        static_cast<double>(std::max<int64_t>(1, r.num_samples)) / total);
+    Axpy(w, r.params, *out);
+  }
+}
+
+void FedAvgStrategy::Aggregate(const std::vector<int>& /*participants*/,
+                               const std::vector<LocalResult>& results) {
+  if (results.empty()) return;
+  WeightedAverage(results, &global_params_);
+}
+
+void LocalOnlyStrategy::Initialize(int num_clients,
+                                   const std::vector<int64_t>& train_sizes,
+                                   const std::vector<float>& init_params) {
+  Strategy::Initialize(num_clients, train_sizes, init_params);
+  personal_.assign(static_cast<size_t>(num_clients), init_params);
+}
+
+std::span<const float> LocalOnlyStrategy::ParamsFor(int client_id) const {
+  FEDGTA_CHECK(client_id >= 0 && client_id < num_clients_);
+  return personal_[static_cast<size_t>(client_id)];
+}
+
+void LocalOnlyStrategy::Aggregate(const std::vector<int>& /*participants*/,
+                                  const std::vector<LocalResult>& results) {
+  for (const LocalResult& r : results) {
+    personal_[static_cast<size_t>(r.client_id)] = r.params;
+  }
+}
+
+std::vector<std::string> ListStrategies() {
+  return {"fedavg", "fedprox", "scaffold", "moon",
+          "feddc",  "gcfl+",   "fedgta",   "local"};
+}
+
+Result<std::unique_ptr<Strategy>> MakeStrategy(
+    const std::string& name, const StrategyOptions& options) {
+  std::unique_ptr<Strategy> strategy;
+  if (name == "fedavg") {
+    strategy = std::make_unique<FedAvgStrategy>();
+  } else if (name == "local") {
+    strategy = std::make_unique<LocalOnlyStrategy>();
+  } else if (name == "fedprox") {
+    strategy = std::make_unique<FedProxStrategy>(options.prox_mu);
+  } else if (name == "scaffold") {
+    strategy = std::make_unique<ScaffoldStrategy>(options.scaffold_lr);
+  } else if (name == "moon") {
+    strategy = std::make_unique<MoonStrategy>(options.moon_mu, options.moon_tau);
+  } else if (name == "feddc") {
+    strategy = std::make_unique<FedDcStrategy>(options.feddc_alpha);
+  } else if (name == "gcfl+") {
+    strategy = std::make_unique<GcflPlusStrategy>(
+        options.gcfl_window, options.gcfl_eps1, options.gcfl_eps2);
+  } else if (name == "fedgta") {
+    strategy = std::make_unique<FedGtaStrategy>(options.fedgta);
+  } else {
+    return InvalidArgumentError("unknown strategy: " + name);
+  }
+  return strategy;
+}
+
+}  // namespace fedgta

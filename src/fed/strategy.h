@@ -1,0 +1,128 @@
+#ifndef FEDGTA_FED_STRATEGY_H_
+#define FEDGTA_FED_STRATEGY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fedgta_metrics.h"
+#include "fed/client.h"
+
+namespace fedgta {
+
+/// What a participant sends back to the server after local training.
+struct LocalResult {
+  int client_id = 0;
+  std::vector<float> params;
+  int64_t num_samples = 0;
+  double loss = 0.0;
+  /// FedGTA uploads (Algorithm 1 line 11); unused by other strategies.
+  ClientMetrics metrics;
+};
+
+/// Tunables for all built-in strategies (only the relevant block applies).
+struct StrategyOptions {
+  /// FedProx: proximal coefficient μ.
+  float prox_mu = 0.01f;
+  /// MOON: contrastive weight μ and temperature τ.
+  float moon_mu = 1.0f;
+  float moon_tau = 0.5f;
+  /// FedDC: drift penalty α.
+  float feddc_alpha = 0.01f;
+  /// Scaffold: control-variate update uses the optimizer lr; set here so the
+  /// strategy need not query the optimizer.
+  float scaffold_lr = 0.01f;
+  /// GCFL+: gradient-sequence window and the mean/max norm thresholds that
+  /// trigger cluster bipartition.
+  int gcfl_window = 5;
+  float gcfl_eps1 = 0.05f;
+  float gcfl_eps2 = 0.10f;
+  /// FedGTA hyperparameters (Eq. 3-7) and ablation switches.
+  FedGtaOptions fedgta;
+};
+
+/// A federated optimization strategy: decides which weights each client
+/// starts a round from, how local training is modified, and how uploads are
+/// aggregated. Personalized strategies (FedGTA, GCFL+, local-only) serve
+/// different weights per client; the rest serve one global model.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Called once before round 1. `init_params` is the common initialization
+  /// every client starts from.
+  virtual void Initialize(int num_clients,
+                          const std::vector<int64_t>& train_sizes,
+                          const std::vector<float>& init_params);
+
+  /// Weights client `client_id` trains from (and is evaluated with).
+  virtual std::span<const float> ParamsFor(int client_id) const;
+
+  /// Runs one round of local training on `client`: pushes ParamsFor,
+  /// trains `epochs` epochs (with strategy-specific hooks merged over
+  /// `extra_hooks`), and returns the upload.
+  virtual LocalResult TrainClient(Client& client, int epochs,
+                                  const TrainHooks& extra_hooks);
+
+  /// Server aggregation at the end of a round.
+  virtual void Aggregate(const std::vector<int>& participants,
+                         const std::vector<LocalResult>& results) = 0;
+
+  /// Floats moved over the (simulated) network this round. The default
+  /// counts one weight vector down and one weight vector plus any uploaded
+  /// metrics up, per participant. Strategies that ship extra state
+  /// (Scaffold's control variates, FedDC's drift) override.
+  struct CommunicationStats {
+    int64_t upload_floats = 0;
+    int64_t download_floats = 0;
+  };
+  virtual CommunicationStats RoundCommunication(
+      const std::vector<LocalResult>& results) const;
+
+ protected:
+  /// FedAvg-style weighted average of `results` into `out`.
+  static void WeightedAverage(const std::vector<LocalResult>& results,
+                              std::vector<float>* out);
+
+  int num_clients_ = 0;
+  std::vector<int64_t> train_sizes_;
+  std::vector<float> global_params_;
+};
+
+/// FedAvg (McMahan et al. 2017), Eq. (2): data-size-weighted global average.
+class FedAvgStrategy : public Strategy {
+ public:
+  std::string_view name() const override { return "fedavg"; }
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+};
+
+/// No-communication baseline ("Local" in Fig. 1b): every client keeps its
+/// own weights forever.
+class LocalOnlyStrategy : public Strategy {
+ public:
+  std::string_view name() const override { return "local"; }
+  void Initialize(int num_clients, const std::vector<int64_t>& train_sizes,
+                  const std::vector<float>& init_params) override;
+  std::span<const float> ParamsFor(int client_id) const override;
+  void Aggregate(const std::vector<int>& participants,
+                 const std::vector<LocalResult>& results) override;
+
+ private:
+  std::vector<std::vector<float>> personal_;
+};
+
+/// All built-in strategy names (the paper's comparison set).
+std::vector<std::string> ListStrategies();
+
+/// Factory: "fedavg", "fedprox", "scaffold", "moon", "feddc", "gcfl+",
+/// "fedgta", "local".
+Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
+                                               const StrategyOptions& options);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_STRATEGY_H_

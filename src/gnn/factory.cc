@@ -1,0 +1,75 @@
+#include "gnn/factory.h"
+
+#include "gnn/gamlp.h"
+#include "gnn/gbp.h"
+#include "gnn/gcn.h"
+#include "gnn/s2gc.h"
+#include "gnn/sage.h"
+#include "gnn/sgc.h"
+#include "gnn/sign.h"
+
+namespace fedgta {
+
+const char* ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kGcn:
+      return "gcn";
+    case ModelType::kSage:
+      return "sage";
+    case ModelType::kSgc:
+      return "sgc";
+    case ModelType::kSign:
+      return "sign";
+    case ModelType::kS2gc:
+      return "s2gc";
+    case ModelType::kGbp:
+      return "gbp";
+    case ModelType::kGamlp:
+      return "gamlp";
+  }
+  return "unknown";
+}
+
+Result<ModelType> ParseModelType(const std::string& name) {
+  if (name == "gcn") return ModelType::kGcn;
+  if (name == "sage") return ModelType::kSage;
+  if (name == "sgc") return ModelType::kSgc;
+  if (name == "sign") return ModelType::kSign;
+  if (name == "s2gc") return ModelType::kS2gc;
+  if (name == "gbp") return ModelType::kGbp;
+  if (name == "gamlp") return ModelType::kGamlp;
+  return InvalidArgumentError("unknown model type: " + name);
+}
+
+std::unique_ptr<GnnModel> MakeModel(const ModelConfig& config) {
+  switch (config.type) {
+    case ModelType::kGcn:
+      return std::make_unique<GcnModel>(config.num_layers, config.hidden,
+                                        config.dropout, config.r);
+    case ModelType::kSage:
+      return std::make_unique<SageModel>(config.num_layers, config.hidden,
+                                         config.dropout);
+    case ModelType::kSgc:
+      return std::make_unique<SgcModel>(config.k, config.dropout, config.r);
+    case ModelType::kSign:
+      return std::make_unique<SignModel>(config.k, config.hidden,
+                                         config.num_layers, config.dropout,
+                                         config.r);
+    case ModelType::kS2gc:
+      return std::make_unique<S2gcModel>(config.k, config.hidden,
+                                         config.num_layers, config.dropout,
+                                         config.r);
+    case ModelType::kGbp:
+      return std::make_unique<GbpModel>(config.k, config.hidden,
+                                        config.num_layers, config.dropout,
+                                        config.r, config.gbp_beta);
+    case ModelType::kGamlp:
+      return std::make_unique<GamlpModel>(config.k, config.hidden,
+                                          config.num_layers, config.dropout,
+                                          config.r);
+  }
+  FEDGTA_CHECK(false) << "unknown model type";
+  return nullptr;
+}
+
+}  // namespace fedgta

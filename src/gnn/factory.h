@@ -1,0 +1,40 @@
+#ifndef FEDGTA_GNN_FACTORY_H_
+#define FEDGTA_GNN_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// Backbone GNNs evaluated by the paper.
+enum class ModelType { kGcn, kSage, kSgc, kSign, kS2gc, kGbp, kGamlp };
+
+const char* ModelTypeName(ModelType type);
+Result<ModelType> ParseModelType(const std::string& name);
+
+/// Hyperparameters shared by all backbones (unused fields are ignored by
+/// models that do not need them).
+struct ModelConfig {
+  ModelType type = ModelType::kGamlp;
+  /// Hidden width of the MLP / GCN / SAGE layers.
+  int hidden = 64;
+  /// Trainable layer count (MLP depth for decoupled models).
+  int num_layers = 2;
+  /// Feature propagation steps for decoupled models.
+  int k = 3;
+  float dropout = 0.3f;
+  /// GBP's β weight.
+  float gbp_beta = 0.3f;
+  /// Propagation kernel coefficient r of Eq. (1); 0.5 = symmetric.
+  float r = 0.5f;
+};
+
+/// Instantiates an un-Prepared model of the configured type.
+std::unique_ptr<GnnModel> MakeModel(const ModelConfig& config);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_FACTORY_H_

@@ -1,0 +1,122 @@
+#include "gnn/gamlp.h"
+
+#include <cmath>
+
+#include "gnn/propagation.h"
+#include "graph/normalized_adjacency.h"
+
+namespace fedgta {
+
+GamlpModel::GamlpModel(int k, int hidden, int mlp_layers, float dropout,
+                       float r)
+    : k_(k), hidden_(hidden), mlp_layers_(mlp_layers), dropout_(dropout),
+      r_(r) {
+  FEDGTA_CHECK_GE(k, 0);
+  FEDGTA_CHECK_GE(mlp_layers, 1);
+}
+
+void GamlpModel::Prepare(const ModelInput& input, Rng& rng) {
+  FEDGTA_CHECK(mlp_ == nullptr) << "Prepare called twice";
+  FEDGTA_CHECK(input.graph_full != nullptr && input.graph_train != nullptr &&
+               input.features != nullptr);
+  const CsrMatrix adj_full = NormalizedAdjacency(*input.graph_full, r_);
+  hops_full_ = PropagateHops(adj_full, *input.features, k_);
+  if (input.graph_train == input.graph_full) {
+    hops_train_ = hops_full_;
+  } else {
+    const CsrMatrix adj_train = NormalizedAdjacency(*input.graph_train, r_);
+    hops_train_ = PropagateHops(adj_train, *input.features, k_);
+  }
+
+  gate_scores_.Resize(1, k_ + 1);
+  gate_grad_.Resize(1, k_ + 1);
+
+  MlpConfig cfg;
+  cfg.in_dim = input.features->cols();
+  cfg.hidden_dim = hidden_;
+  cfg.out_dim = input.num_classes;
+  cfg.num_layers = mlp_layers_;
+  cfg.dropout = dropout_;
+  mlp_ = std::make_unique<Mlp>(cfg, rng);
+}
+
+Matrix GamlpModel::Forward(bool training) {
+  FEDGTA_CHECK(mlp_ != nullptr) << "Forward before Prepare";
+  last_training_ = training;
+  const std::vector<Matrix>& hops = training ? hops_train_ : hops_full_;
+
+  // Softmax over the gate scores.
+  last_attention_.assign(static_cast<size_t>(k_) + 1, 0.0f);
+  float max_s = gate_scores_(0, 0);
+  for (int l = 1; l <= k_; ++l) max_s = std::max(max_s, gate_scores_(0, l));
+  float sum = 0.0f;
+  for (int l = 0; l <= k_; ++l) {
+    last_attention_[static_cast<size_t>(l)] =
+        std::exp(gate_scores_(0, l) - max_s);
+    sum += last_attention_[static_cast<size_t>(l)];
+  }
+  for (float& a : last_attention_) a /= sum;
+
+  Matrix combined(hops.front().rows(), hops.front().cols());
+  for (int l = 0; l <= k_; ++l) {
+    combined.Axpy(last_attention_[static_cast<size_t>(l)],
+                  hops[static_cast<size_t>(l)]);
+  }
+  return mlp_->Forward(combined, training);
+}
+
+void GamlpModel::Backward(const Matrix& dlogits, const Matrix* dhidden) {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  FEDGTA_CHECK(!last_attention_.empty()) << "Backward before Forward";
+  Matrix dcombined = mlp_->Backward(dlogits, dhidden);
+
+  const std::vector<Matrix>& hops = last_training_ ? hops_train_ : hops_full_;
+  // g_l = <dcombined, X^(l)>; gate gradient through the softmax.
+  std::vector<double> g(static_cast<size_t>(k_) + 1, 0.0);
+  for (int l = 0; l <= k_; ++l) {
+    const Matrix& hop = hops[static_cast<size_t>(l)];
+    const float* a = dcombined.data();
+    const float* b = hop.data();
+    double acc = 0.0;
+    const int64_t size = dcombined.size();
+    for (int64_t i = 0; i < size; ++i) acc += static_cast<double>(a[i]) * b[i];
+    g[static_cast<size_t>(l)] = acc;
+  }
+  double weighted = 0.0;
+  for (int l = 0; l <= k_; ++l) {
+    weighted += last_attention_[static_cast<size_t>(l)] * g[static_cast<size_t>(l)];
+  }
+  for (int l = 0; l <= k_; ++l) {
+    gate_grad_(0, l) += static_cast<float>(
+        last_attention_[static_cast<size_t>(l)] *
+        (g[static_cast<size_t>(l)] - weighted));
+  }
+}
+
+std::vector<ParamRef> GamlpModel::Params() {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  std::vector<ParamRef> params = mlp_->Params();
+  params.push_back({&gate_scores_, &gate_grad_});
+  return params;
+}
+
+void GamlpModel::ZeroGrad() {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  mlp_->ZeroGrad();
+  gate_grad_.SetZero();
+}
+
+std::vector<float> GamlpModel::HopAttention() const {
+  std::vector<float> attention(static_cast<size_t>(k_) + 1);
+  float max_s = gate_scores_(0, 0);
+  for (int l = 1; l <= k_; ++l) max_s = std::max(max_s, gate_scores_(0, l));
+  float sum = 0.0f;
+  for (int l = 0; l <= k_; ++l) {
+    attention[static_cast<size_t>(l)] = std::exp(gate_scores_(0, l) - max_s);
+    sum += attention[static_cast<size_t>(l)];
+  }
+  for (float& a : attention) a /= sum;
+  return attention;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,50 @@
+#ifndef FEDGTA_GNN_GAMLP_H_
+#define FEDGTA_GNN_GAMLP_H_
+
+#include <memory>
+
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// GAMLP (Zhang et al. 2022): attention-weighted combination of multi-hop
+/// propagated features followed by an MLP. Of the paper's "multiple
+/// calculation versions" of the attention weight we implement the recursive
+/// gate variant: a trainable score per hop, softmax-normalized, so the model
+/// learns how far to look. Gates train jointly with the MLP.
+class GamlpModel : public GnnModel {
+ public:
+  GamlpModel(int k, int hidden, int mlp_layers, float dropout, float r);
+
+  void Prepare(const ModelInput& input, Rng& rng) override;
+  Matrix Forward(bool training) override;
+  void Backward(const Matrix& dlogits, const Matrix* dhidden) override;
+  std::vector<ParamRef> Params() override;
+  void ZeroGrad() override;
+  const Matrix& Hidden() const override { return mlp_->Hidden(); }
+  std::string_view name() const override { return "gamlp"; }
+
+  /// Current softmax-normalized hop attention (for inspection/tests).
+  std::vector<float> HopAttention() const;
+
+ private:
+  int k_;
+  int hidden_;
+  int mlp_layers_;
+  float dropout_;
+  float r_;
+
+  std::vector<Matrix> hops_train_;
+  std::vector<Matrix> hops_full_;
+  Matrix gate_scores_;  // 1 x (k+1)
+  Matrix gate_grad_;
+  std::unique_ptr<Mlp> mlp_;
+
+  // Caches from the last Forward for gate backprop.
+  std::vector<float> last_attention_;
+  bool last_training_ = false;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_GAMLP_H_

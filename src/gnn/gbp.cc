@@ -1,0 +1,4 @@
+#include "gnn/gbp.h"
+
+// GbpModel is header-only beyond the DecoupledGnn base; this TU anchors the
+// library target.

@@ -1,0 +1,38 @@
+#ifndef FEDGTA_GNN_GBP_H_
+#define FEDGTA_GNN_GBP_H_
+
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// GBP (Chen et al. 2020): β-weighted hop averaging,
+/// X = Σ_{l=0..k} w_l Ã^l X^(0) with w_l = β (1-β)^l.
+class GbpModel : public DecoupledGnn {
+ public:
+  GbpModel(int k, int hidden, int mlp_layers, float dropout, float r,
+           float beta)
+      : DecoupledGnn(k, hidden, mlp_layers, dropout, r), beta_(beta) {
+    FEDGTA_CHECK_GT(beta, 0.0f);
+    FEDGTA_CHECK_LE(beta, 1.0f);
+  }
+
+  std::string_view name() const override { return "gbp"; }
+
+ protected:
+  Matrix CombineHops(const std::vector<Matrix>& hops) const override {
+    Matrix out(hops.front().rows(), hops.front().cols());
+    float w = beta_;
+    for (const Matrix& hop : hops) {
+      out.Axpy(w, hop);
+      w *= (1.0f - beta_);
+    }
+    return out;
+  }
+
+ private:
+  float beta_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_GBP_H_

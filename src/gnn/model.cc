@@ -1,0 +1,62 @@
+#include "gnn/model.h"
+
+#include "gnn/propagation.h"
+#include "graph/normalized_adjacency.h"
+
+namespace fedgta {
+
+DecoupledGnn::DecoupledGnn(int k, int hidden, int mlp_layers, float dropout,
+                           float r)
+    : k_(k), hidden_(hidden), mlp_layers_(mlp_layers), dropout_(dropout),
+      r_(r) {
+  FEDGTA_CHECK_GE(k, 0);
+  FEDGTA_CHECK_GE(mlp_layers, 1);
+}
+
+void DecoupledGnn::Prepare(const ModelInput& input, Rng& rng) {
+  FEDGTA_CHECK(input.graph_full != nullptr && input.graph_train != nullptr &&
+               input.features != nullptr);
+  FEDGTA_CHECK_GT(input.num_classes, 0);
+  FEDGTA_CHECK(mlp_ == nullptr) << "Prepare called twice";
+
+  const CsrMatrix adj_full = NormalizedAdjacency(*input.graph_full, r_);
+  features_full_ = CombineHops(PropagateHops(adj_full, *input.features, k_));
+  if (input.graph_train == input.graph_full) {
+    features_train_ = features_full_;
+  } else {
+    const CsrMatrix adj_train = NormalizedAdjacency(*input.graph_train, r_);
+    features_train_ =
+        CombineHops(PropagateHops(adj_train, *input.features, k_));
+  }
+
+  MlpConfig cfg;
+  cfg.in_dim = features_full_.cols();
+  cfg.hidden_dim = hidden_;
+  cfg.out_dim = input.num_classes;
+  cfg.num_layers = mlp_layers_;
+  cfg.dropout = dropout_;
+  mlp_ = std::make_unique<Mlp>(cfg, rng);
+}
+
+Matrix DecoupledGnn::Forward(bool training) {
+  FEDGTA_CHECK(mlp_ != nullptr) << "Forward before Prepare";
+  last_training_ = training;
+  return mlp_->Forward(training ? features_train_ : features_full_, training);
+}
+
+void DecoupledGnn::Backward(const Matrix& dlogits, const Matrix* dhidden) {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  mlp_->Backward(dlogits, dhidden);
+}
+
+std::vector<ParamRef> DecoupledGnn::Params() {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  return mlp_->Params();
+}
+
+void DecoupledGnn::ZeroGrad() {
+  FEDGTA_CHECK(mlp_ != nullptr);
+  mlp_->ZeroGrad();
+}
+
+}  // namespace fedgta

@@ -1,0 +1,93 @@
+#ifndef FEDGTA_GNN_MODEL_H_
+#define FEDGTA_GNN_MODEL_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/csr.h"
+#include "nn/mlp.h"
+#include "nn/parameters.h"
+
+namespace fedgta {
+
+/// Everything a GNN needs about one client's shard. `graph_train` is the
+/// training-view graph (== graph_full for transductive data; test-edge-free
+/// for inductive data). Pointers must outlive the model.
+struct ModelInput {
+  const Graph* graph_full = nullptr;
+  const Graph* graph_train = nullptr;
+  const Matrix* features = nullptr;
+  int num_classes = 0;
+};
+
+/// Common interface of all local models. The lifecycle is:
+///   model->Prepare(input, rng);           // build operators / precompute
+///   logits = model->Forward(true);        // full-batch, train view
+///   ... compute dlogits from the loss ...
+///   model->ZeroGrad(); model->Backward(dlogits); optimizer->Step(params);
+/// Federated strategies move weights in and out through Params() +
+/// Flatten/UnflattenParams.
+class GnnModel {
+ public:
+  virtual ~GnnModel() = default;
+
+  /// Builds adjacency operators and precomputed features for `input` and
+  /// initializes weights. Must be called exactly once before any other call.
+  virtual void Prepare(const ModelInput& input, Rng& rng) = 0;
+
+  /// Full-batch logits for every local node. `training` selects the
+  /// training-view adjacency and enables dropout.
+  virtual Matrix Forward(bool training) = 0;
+
+  /// Backprop from the loss gradient of the most recent Forward.
+  /// `dhidden`, if non-null, is an extra gradient on Hidden() (used by
+  /// MOON's model-contrastive term). Gradients accumulate.
+  virtual void Backward(const Matrix& dlogits,
+                        const Matrix* dhidden = nullptr) = 0;
+
+  virtual std::vector<ParamRef> Params() = 0;
+  virtual void ZeroGrad() = 0;
+
+  /// Representation entering the final layer from the most recent Forward.
+  virtual const Matrix& Hidden() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Base for decoupled scalable GNNs (SGC / SIGN / S²GC / GBP): propagation
+/// is precomputed once in Prepare, training is an MLP on the precomputed
+/// features. Subclasses implement the hop-combination rule.
+class DecoupledGnn : public GnnModel {
+ public:
+  /// `mlp_layers` == 1 yields the linear model of SGC.
+  DecoupledGnn(int k, int hidden, int mlp_layers, float dropout, float r);
+
+  void Prepare(const ModelInput& input, Rng& rng) final;
+  Matrix Forward(bool training) final;
+  void Backward(const Matrix& dlogits, const Matrix* dhidden) final;
+  std::vector<ParamRef> Params() override;
+  void ZeroGrad() override;
+  const Matrix& Hidden() const final { return mlp_->Hidden(); }
+
+ protected:
+  /// Combines hop features [X^(0) .. X^(k)] into the MLP input.
+  virtual Matrix CombineHops(const std::vector<Matrix>& hops) const = 0;
+
+  int k_;
+  int hidden_;
+  int mlp_layers_;
+  float dropout_;
+  float r_;  // propagation kernel coefficient (Eq. 1)
+
+ private:
+  Matrix features_train_;
+  Matrix features_full_;
+  std::unique_ptr<Mlp> mlp_;
+  bool last_training_ = false;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_MODEL_H_

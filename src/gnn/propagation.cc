@@ -1,0 +1,32 @@
+#include "gnn/propagation.h"
+
+#include "common/check.h"
+
+namespace fedgta {
+
+std::vector<Matrix> PropagateHops(const CsrMatrix& adj, const Matrix& x,
+                                  int k) {
+  FEDGTA_CHECK_GE(k, 0);
+  FEDGTA_CHECK_EQ(adj.rows(), adj.cols());
+  FEDGTA_CHECK_EQ(adj.cols(), x.rows());
+  std::vector<Matrix> hops;
+  hops.reserve(static_cast<size_t>(k) + 1);
+  hops.push_back(x);
+  for (int l = 1; l <= k; ++l) {
+    hops.push_back(adj * hops.back());
+  }
+  return hops;
+}
+
+Matrix PropagateK(const CsrMatrix& adj, const Matrix& x, int k) {
+  FEDGTA_CHECK_GE(k, 0);
+  Matrix current = x;
+  Matrix next;
+  for (int l = 0; l < k; ++l) {
+    adj.Multiply(current, &next);
+    std::swap(current, next);
+  }
+  return current;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,21 @@
+#ifndef FEDGTA_GNN_PROPAGATION_H_
+#define FEDGTA_GNN_PROPAGATION_H_
+
+#include <vector>
+
+#include "linalg/csr.h"
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Returns [X^(0), X^(1), ..., X^(k)] with X^(l) = Ã X^(l-1) (k+1 entries).
+/// This is the shared precompute of every decoupled scalable GNN.
+std::vector<Matrix> PropagateHops(const CsrMatrix& adj, const Matrix& x,
+                                  int k);
+
+/// Returns only X^(k) = Ã^k X without materializing intermediate hops.
+Matrix PropagateK(const CsrMatrix& adj, const Matrix& x, int k);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_PROPAGATION_H_

@@ -1,0 +1,4 @@
+#include "gnn/s2gc.h"
+
+// S2gcModel is header-only beyond the DecoupledGnn base; this TU anchors
+// the library target.

@@ -1,0 +1,28 @@
+#ifndef FEDGTA_GNN_S2GC_H_
+#define FEDGTA_GNN_S2GC_H_
+
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// S²GC (Zhu & Koniusz 2021): averages the spectral hop features,
+/// X = (1/(k+1)) Σ_{l=0..k} Ã^l X^(0), then classifies.
+class S2gcModel : public DecoupledGnn {
+ public:
+  S2gcModel(int k, int hidden, int mlp_layers, float dropout, float r)
+      : DecoupledGnn(k, hidden, mlp_layers, dropout, r) {}
+
+  std::string_view name() const override { return "s2gc"; }
+
+ protected:
+  Matrix CombineHops(const std::vector<Matrix>& hops) const override {
+    Matrix out(hops.front().rows(), hops.front().cols());
+    for (const Matrix& hop : hops) out += hop;
+    out *= 1.0f / static_cast<float>(hops.size());
+    return out;
+  }
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_S2GC_H_

@@ -1,0 +1,46 @@
+#ifndef FEDGTA_GNN_SAGE_H_
+#define FEDGTA_GNN_SAGE_H_
+
+#include "gnn/model.h"
+#include "nn/linear.h"
+
+namespace fedgta {
+
+/// GraphSAGE (Hamilton et al. 2017) with the mean aggregator, full-neighbor
+/// version: H^{l+1} = σ(H^l W_self + mean_nbr(H^l) W_nbr). The two weight
+/// blocks are the split form of the original concatenation [H || mean] W.
+class SageModel : public GnnModel {
+ public:
+  SageModel(int num_layers, int hidden, float dropout);
+
+  void Prepare(const ModelInput& input, Rng& rng) override;
+  Matrix Forward(bool training) override;
+  void Backward(const Matrix& dlogits, const Matrix* dhidden) override;
+  std::vector<ParamRef> Params() override;
+  void ZeroGrad() override;
+  const Matrix& Hidden() const override { return hidden_; }
+  std::string_view name() const override { return "sage"; }
+
+ private:
+  int num_layers_;
+  int hidden_dim_;
+  float dropout_;
+
+  CsrMatrix mean_full_;
+  CsrMatrix mean_full_t_;
+  CsrMatrix mean_train_;
+  CsrMatrix mean_train_t_;
+  const Matrix* features_ = nullptr;
+  std::vector<Linear> self_layers_;
+  std::vector<Linear> nbr_layers_;
+  Rng dropout_rng_{0};
+
+  std::vector<Matrix> pre_activations_;
+  std::vector<Matrix> dropout_masks_;
+  Matrix hidden_;
+  bool last_training_ = false;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_SAGE_H_

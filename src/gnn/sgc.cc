@@ -1,0 +1,4 @@
+#include "gnn/sgc.h"
+
+// SgcModel is header-only beyond the DecoupledGnn base; this TU anchors the
+// library target.

@@ -1,0 +1,25 @@
+#ifndef FEDGTA_GNN_SGC_H_
+#define FEDGTA_GNN_SGC_H_
+
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// SGC (Wu et al. 2019): Y = softmax(Θ Ã^k X) — a linear classifier on the
+/// k-step propagated features (paper Eq. 1).
+class SgcModel : public DecoupledGnn {
+ public:
+  SgcModel(int k, float dropout, float r)
+      : DecoupledGnn(k, /*hidden=*/1, /*mlp_layers=*/1, dropout, r) {}
+
+  std::string_view name() const override { return "sgc"; }
+
+ protected:
+  Matrix CombineHops(const std::vector<Matrix>& hops) const override {
+    return hops.back();
+  }
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_SGC_H_

@@ -1,0 +1,21 @@
+#include "gnn/sign.h"
+
+#include <algorithm>
+
+namespace fedgta {
+
+Matrix SignModel::CombineHops(const std::vector<Matrix>& hops) const {
+  const int64_t n = hops.front().rows();
+  const int64_t f = hops.front().cols();
+  Matrix out(n, f * static_cast<int64_t>(hops.size()));
+  for (size_t l = 0; l < hops.size(); ++l) {
+    for (int64_t i = 0; i < n; ++i) {
+      const auto src = hops[l].Row(i);
+      std::copy(src.begin(), src.end(),
+                out.Row(i).begin() + static_cast<int64_t>(l) * f);
+    }
+  }
+  return out;
+}
+
+}  // namespace fedgta

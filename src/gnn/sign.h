@@ -1,0 +1,26 @@
+#ifndef FEDGTA_GNN_SIGN_H_
+#define FEDGTA_GNN_SIGN_H_
+
+#include "gnn/model.h"
+
+namespace fedgta {
+
+/// SIGN (Frasca et al. 2020): concatenates the propagated features of all
+/// hops [X^(0) || ... || X^(k)] and classifies with an MLP. The per-hop
+/// learnable transforms W_l of the original are absorbed into the first MLP
+/// layer acting on the concatenation (a strictly more general
+/// parameterization).
+class SignModel : public DecoupledGnn {
+ public:
+  SignModel(int k, int hidden, int mlp_layers, float dropout, float r)
+      : DecoupledGnn(k, hidden, mlp_layers, dropout, r) {}
+
+  std::string_view name() const override { return "sign"; }
+
+ protected:
+  Matrix CombineHops(const std::vector<Matrix>& hops) const override;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GNN_SIGN_H_

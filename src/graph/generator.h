@@ -1,0 +1,82 @@
+#ifndef FEDGTA_GRAPH_GENERATOR_H_
+#define FEDGTA_GRAPH_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Configuration for the planted-partition (stochastic block model) graph
+/// generator. Communities double as node classes; `homophily` controls the
+/// fraction of edges that stay inside a class, matching the homophily
+/// assumption the paper relies on ("linked nodes are similar in both feature
+/// distributions and labels").
+struct SbmConfig {
+  /// Number of nodes.
+  int num_nodes = 1000;
+  /// Number of classes (= planted communities).
+  int num_classes = 5;
+  /// Expected average degree.
+  double avg_degree = 4.0;
+  /// Probability that an edge endpoint pair is drawn within one class.
+  double homophily = 0.8;
+  /// Pareto-ish degree skew exponent; 0 disables skew (uniform propensity).
+  double degree_skew = 0.0;
+  /// Optional class-size imbalance: sizes ∝ (rank+1)^{-imbalance}.
+  double class_imbalance = 0.0;
+  /// Number of disjoint "regions" per class; communities are split into
+  /// regions so community-detection splits produce label-heterogeneous
+  /// clients (>= 1).
+  int regions_per_class = 2;
+  /// Fraction of cross-class edges that stay inside the node's "district"
+  /// (a fixed random group of `district_regions` regions) instead of going
+  /// to a uniformly random node. Real graphs keep locality even across
+  /// labels (cross-topic links are still neighborhood-local), so community
+  /// splits stay label-skewed even at low homophily: districts are dense,
+  /// detectable communities whose label mixture is a biased handful of
+  /// classes. 0 disables locality.
+  double cross_locality = 0.7;
+  /// Regions per district (>= 1).
+  int district_regions = 3;
+};
+
+/// A generated labeled graph.
+struct LabeledGraph {
+  Graph graph;
+  std::vector<int> labels;  // size num_nodes, values in [0, num_classes)
+  int num_classes = 0;
+  /// Locality region of each node (region id = class * regions_per_class +
+  /// r). Regions model label-coverage locality: dataset recipes can
+  /// restrict training labels to a subset of regions per class.
+  std::vector<int> regions;
+  int num_regions = 0;
+};
+
+/// Generates a planted-partition graph: nodes get classes (optionally
+/// imbalanced); each class is subdivided into locality "regions"; edges are
+/// sampled within-region with probability `homophily` and across classes
+/// otherwise. The result is connected-ish, homophilous, and community
+/// structured — Louvain on it recovers label-correlated communities.
+LabeledGraph GeneratePlantedPartition(const SbmConfig& config, Rng& rng);
+
+/// Configuration for synthetic node features conditioned on labels.
+struct FeatureConfig {
+  int dim = 64;
+  /// Distance scale between class centroids.
+  float center_scale = 1.0f;
+  /// Per-node Gaussian noise around the class centroid.
+  float noise_scale = 1.0f;
+};
+
+/// Features = class centroid + noise; centroids are random Gaussian
+/// directions scaled by center_scale. Lower center_scale/noise ratio makes
+/// the task harder.
+Matrix GenerateFeatures(const std::vector<int>& labels, int num_classes,
+                        const FeatureConfig& config, Rng& rng);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GRAPH_GENERATOR_H_

@@ -1,0 +1,58 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace fedgta {
+
+Graph Graph::FromEdges(NodeId num_nodes, const std::vector<Edge>& edges) {
+  FEDGTA_CHECK_GE(num_nodes, 0);
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    FEDGTA_CHECK(e.u >= 0 && e.u < num_nodes) << "edge endpoint " << e.u;
+    FEDGTA_CHECK(e.v >= 0 && e.v < num_nodes) << "edge endpoint " << e.v;
+    if (e.u == e.v) continue;  // drop self-loops
+    directed.emplace_back(e.u, e.v);
+    directed.emplace_back(e.v, e.u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = static_cast<int64_t>(directed.size()) / 2;
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  g.adj_.resize(directed.size());
+  for (const auto& [u, v] : directed) {
+    ++g.offsets_[static_cast<size_t>(u) + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.offsets_[static_cast<size_t>(v) + 1] += g.offsets_[static_cast<size_t>(v)];
+  }
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : directed) {
+    g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+  }
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  FEDGTA_CHECK(u >= 0 && u < num_nodes_);
+  FEDGTA_CHECK(v >= 0 && v < num_nodes_);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::UndirectedEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,69 @@
+#ifndef FEDGTA_GRAPH_GRAPH_H_
+#define FEDGTA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+/// Node identifier. Graphs in this library are bounded by int32 node counts.
+using NodeId = int32_t;
+
+/// An undirected edge (unordered pair of endpoints).
+struct Edge {
+  NodeId u;
+  NodeId v;
+};
+
+/// Immutable undirected simple graph in CSR form (each undirected edge is
+/// stored in both directions). Self-loops and duplicate edges are removed at
+/// construction; normalized-adjacency builders re-add self-loops explicitly
+/// where the model calls for them.
+class Graph {
+ public:
+  Graph() : num_nodes_(0), num_edges_(0) {}
+
+  /// Builds from an edge list over nodes [0, num_nodes). Duplicates and
+  /// self-loops are dropped.
+  static Graph FromEdges(NodeId num_nodes, const std::vector<Edge>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges (each counted once).
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Neighbors of `v`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    FEDGTA_DCHECK(v >= 0 && v < num_nodes_);
+    return {adj_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Degree of `v` (without self-loop).
+  int64_t Degree(NodeId v) const {
+    FEDGTA_DCHECK(v >= 0 && v < num_nodes_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// True if u and v are adjacent (binary search).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// All undirected edges, each once, with u < v.
+  std::vector<Edge> UndirectedEdges() const;
+
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& adjacency() const { return adj_; }
+
+ private:
+  NodeId num_nodes_;
+  int64_t num_edges_;
+  std::vector<int64_t> offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> adj_;       // size 2 * num_edges_
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GRAPH_GRAPH_H_

@@ -1,0 +1,80 @@
+#include "graph/metrics.h"
+
+#include <unordered_map>
+
+namespace fedgta {
+
+double EdgeHomophily(const Graph& graph, const std::vector<int>& labels) {
+  FEDGTA_CHECK_EQ(labels.size(), static_cast<size_t>(graph.num_nodes()));
+  int64_t same = 0;
+  int64_t total = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      ++total;
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        ++same;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(same) / static_cast<double>(total);
+}
+
+std::vector<int64_t> LabelHistogram(const std::vector<int>& labels,
+                                    int num_classes) {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (int y : labels) {
+    FEDGTA_CHECK(y >= 0 && y < num_classes) << "label " << y;
+    ++hist[static_cast<size_t>(y)];
+  }
+  return hist;
+}
+
+std::vector<int> ConnectedComponents(const Graph& graph, int* num_components) {
+  FEDGTA_CHECK(num_components != nullptr);
+  const NodeId n = graph.num_nodes();
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  std::vector<NodeId> stack;
+  int next = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[static_cast<size_t>(s)] != -1) continue;
+    comp[static_cast<size_t>(s)] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (comp[static_cast<size_t>(v)] == -1) {
+          comp[static_cast<size_t>(v)] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  *num_components = next;
+  return comp;
+}
+
+double Modularity(const Graph& graph, const std::vector<int>& community) {
+  FEDGTA_CHECK_EQ(community.size(), static_cast<size_t>(graph.num_nodes()));
+  const double two_m = 2.0 * static_cast<double>(graph.num_edges());
+  if (two_m == 0.0) return 0.0;
+  // Q = (1/2m) Σ_{uv} [A_uv - d_u d_v / 2m] δ(c_u, c_v)
+  //   = Σ_c (in_c / 2m - (tot_c / 2m)^2) with in_c counting directed pairs.
+  std::unordered_map<int, double> in_c;    // internal directed edge endpoints
+  std::unordered_map<int, double> tot_c;   // degree mass per community
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int cu = community[static_cast<size_t>(u)];
+    tot_c[cu] += static_cast<double>(graph.Degree(u));
+    for (NodeId v : graph.Neighbors(u)) {
+      if (community[static_cast<size_t>(v)] == cu) in_c[cu] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, in] : in_c) q += in / two_m;
+  for (const auto& [c, tot] : tot_c) q -= (tot / two_m) * (tot / two_m);
+  return q;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,27 @@
+#ifndef FEDGTA_GRAPH_METRICS_H_
+#define FEDGTA_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fedgta {
+
+/// Fraction of undirected edges whose endpoints share a label
+/// (edge homophily ratio). Returns 0 for edgeless graphs.
+double EdgeHomophily(const Graph& graph, const std::vector<int>& labels);
+
+/// Per-class node counts. `num_classes` must exceed every label.
+std::vector<int64_t> LabelHistogram(const std::vector<int>& labels,
+                                    int num_classes);
+
+/// Connected components; returns component id per node and sets
+/// *num_components.
+std::vector<int> ConnectedComponents(const Graph& graph, int* num_components);
+
+/// Newman modularity of a node->community assignment.
+double Modularity(const Graph& graph, const std::vector<int>& community);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GRAPH_METRICS_H_

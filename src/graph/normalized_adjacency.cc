@@ -1,0 +1,107 @@
+#include "graph/normalized_adjacency.h"
+
+#include <cmath>
+
+namespace fedgta {
+
+CsrMatrix NormalizedAdjacency(const Graph& graph, float r) {
+  FEDGTA_CHECK_GE(r, 0.0f);
+  FEDGTA_CHECK_LE(r, 1.0f);
+  const NodeId n = graph.num_nodes();
+  std::vector<float> deg = SelfLoopDegrees(graph);
+  // Ã_{ij} = d̂_i^{r-1} * d̂_j^{-r} for each  Â entry (i, j).
+  std::vector<float> left(deg.size()), right(deg.size());
+  for (size_t i = 0; i < deg.size(); ++i) {
+    left[i] = std::pow(deg[i], r - 1.0f);
+    right[i] = std::pow(deg[i], -r);
+  }
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    row_ptr[static_cast<size_t>(v) + 1] =
+        row_ptr[static_cast<size_t>(v)] + graph.Degree(v) + 1;  // +1 self-loop
+  }
+  const int64_t nnz = row_ptr.back();
+  std::vector<int32_t> col_idx(static_cast<size_t>(nnz));
+  std::vector<float> values(static_cast<size_t>(nnz));
+  for (NodeId u = 0; u < n; ++u) {
+    int64_t p = row_ptr[static_cast<size_t>(u)];
+    bool self_written = false;
+    const float lu = left[static_cast<size_t>(u)];
+    auto write = [&](NodeId v) {
+      col_idx[static_cast<size_t>(p)] = v;
+      values[static_cast<size_t>(p)] = lu * right[static_cast<size_t>(v)];
+      ++p;
+    };
+    for (NodeId v : graph.Neighbors(u)) {
+      if (!self_written && v > u) {
+        write(u);
+        self_written = true;
+      }
+      write(v);
+    }
+    if (!self_written) write(u);
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
+CsrMatrix NormalizedAdjacencyNoSelfLoops(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<float> inv_sqrt(static_cast<size_t>(n), 0.0f);
+  for (NodeId v = 0; v < n; ++v) {
+    const int64_t d = graph.Degree(v);
+    inv_sqrt[static_cast<size_t>(v)] =
+        d > 0 ? 1.0f / std::sqrt(static_cast<float>(d)) : 0.0f;
+  }
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    row_ptr[static_cast<size_t>(v) + 1] =
+        row_ptr[static_cast<size_t>(v)] + graph.Degree(v);
+  }
+  std::vector<int32_t> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<float> values(col_idx.size());
+  for (NodeId u = 0; u < n; ++u) {
+    int64_t p = row_ptr[static_cast<size_t>(u)];
+    for (NodeId v : graph.Neighbors(u)) {
+      col_idx[static_cast<size_t>(p)] = v;
+      values[static_cast<size_t>(p)] =
+          inv_sqrt[static_cast<size_t>(u)] * inv_sqrt[static_cast<size_t>(v)];
+      ++p;
+    }
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
+CsrMatrix RowMeanAdjacency(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    row_ptr[static_cast<size_t>(v) + 1] =
+        row_ptr[static_cast<size_t>(v)] + graph.Degree(v);
+  }
+  std::vector<int32_t> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<float> values(col_idx.size());
+  for (NodeId u = 0; u < n; ++u) {
+    const int64_t d = graph.Degree(u);
+    const float w = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    int64_t p = row_ptr[static_cast<size_t>(u)];
+    for (NodeId v : graph.Neighbors(u)) {
+      col_idx[static_cast<size_t>(p)] = v;
+      values[static_cast<size_t>(p)] = w;
+      ++p;
+    }
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
+std::vector<float> SelfLoopDegrees(const Graph& graph) {
+  std::vector<float> deg(static_cast<size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    deg[static_cast<size_t>(v)] = static_cast<float>(graph.Degree(v) + 1);
+  }
+  return deg;
+}
+
+}  // namespace fedgta

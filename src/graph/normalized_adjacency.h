@@ -1,0 +1,28 @@
+#ifndef FEDGTA_GRAPH_NORMALIZED_ADJACENCY_H_
+#define FEDGTA_GRAPH_NORMALIZED_ADJACENCY_H_
+
+#include "graph/graph.h"
+#include "linalg/csr.h"
+
+namespace fedgta {
+
+/// Builds the normalized adjacency matrix à = D̂^{r-1} Â D̂^{-r} where
+/// Â = A + I (self-loops added) and D̂ is Â's degree matrix, per Eq. (1) of
+/// the paper. r = 0.5 gives the symmetric normalization D̂^{-1/2} Â D̂^{-1/2}.
+CsrMatrix NormalizedAdjacency(const Graph& graph, float r = 0.5f);
+
+/// Symmetric normalization without self-loops: D^{-1/2} A D^{-1/2}.
+/// Zero-degree rows are left empty.
+CsrMatrix NormalizedAdjacencyNoSelfLoops(const Graph& graph);
+
+/// Row-stochastic neighbor-mean operator D^{-1} A (no self-loops); used by
+/// GraphSAGE's mean aggregator. Zero-degree rows are empty.
+CsrMatrix RowMeanAdjacency(const Graph& graph);
+
+/// Degrees including the self-loop (d̃_i = d_i + 1), as used by the label
+/// propagation and smoothing-confidence computations.
+std::vector<float> SelfLoopDegrees(const Graph& graph);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GRAPH_NORMALIZED_ADJACENCY_H_

@@ -1,0 +1,35 @@
+#include "graph/subgraph.h"
+
+#include <unordered_map>
+
+namespace fedgta {
+
+Subgraph InduceSubgraph(const Graph& graph, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> local_of;
+  local_of.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId g = nodes[i];
+    FEDGTA_CHECK(g >= 0 && g < graph.num_nodes()) << "node id " << g;
+    const bool inserted =
+        local_of.emplace(g, static_cast<NodeId>(i)).second;
+    FEDGTA_CHECK(inserted) << "duplicate node id " << g;
+  }
+
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId g = nodes[i];
+    for (NodeId nbr : graph.Neighbors(g)) {
+      if (nbr <= g) continue;  // count each undirected edge once
+      const auto it = local_of.find(nbr);
+      if (it == local_of.end()) continue;
+      edges.push_back({static_cast<NodeId>(i), it->second});
+    }
+  }
+
+  Subgraph sub;
+  sub.graph = Graph::FromEdges(static_cast<NodeId>(nodes.size()), edges);
+  sub.global_ids = nodes;
+  return sub;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,24 @@
+#ifndef FEDGTA_GRAPH_SUBGRAPH_H_
+#define FEDGTA_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fedgta {
+
+/// An induced subgraph plus the mapping back to the parent graph.
+struct Subgraph {
+  Graph graph;
+  /// local node id -> global node id (size graph.num_nodes()).
+  std::vector<NodeId> global_ids;
+};
+
+/// Induces the subgraph on `nodes` (global ids, need not be sorted; must be
+/// distinct). Edges with both endpoints in `nodes` are kept. Local ids
+/// follow the order of `nodes`.
+Subgraph InduceSubgraph(const Graph& graph, const std::vector<NodeId>& nodes);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_GRAPH_SUBGRAPH_H_

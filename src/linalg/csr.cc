@@ -1,0 +1,139 @@
+#include "linalg/csr.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace fedgta {
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                             std::vector<CooEntry> entries) {
+  FEDGTA_CHECK_GE(rows, 0);
+  FEDGTA_CHECK_GE(cols, 0);
+  for (const CooEntry& e : entries) {
+    FEDGTA_CHECK(e.row >= 0 && e.row < rows)
+        << "COO row out of range: " << e.row;
+    FEDGTA_CHECK(e.col >= 0 && e.col < cols)
+        << "COO col out of range: " << e.col;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(sum);
+    ++m.row_ptr_[static_cast<size_t>(entries[i].row) + 1];
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<size_t>(r) + 1] += m.row_ptr_[static_cast<size_t>(r)];
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromParts(int64_t rows, int64_t cols,
+                               std::vector<int64_t> row_ptr,
+                               std::vector<int32_t> col_idx,
+                               std::vector<float> values) {
+  FEDGTA_CHECK_EQ(row_ptr.size(), static_cast<size_t>(rows) + 1);
+  FEDGTA_CHECK_EQ(col_idx.size(), values.size());
+  FEDGTA_CHECK_EQ(row_ptr.front(), 0);
+  FEDGTA_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    FEDGTA_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+  }
+  for (int32_t c : col_idx) FEDGTA_CHECK(c >= 0 && c < cols);
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(static_cast<size_t>(rows_), 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    float s = 0.0f;
+    for (float v : RowValues(r)) s += v;
+    sums[static_cast<size_t>(r)] = s;
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<int64_t> t_row_ptr(static_cast<size_t>(cols_) + 1, 0);
+  for (int32_t c : col_idx_) ++t_row_ptr[static_cast<size_t>(c) + 1];
+  for (int64_t c = 0; c < cols_; ++c) {
+    t_row_ptr[static_cast<size_t>(c) + 1] += t_row_ptr[static_cast<size_t>(c)];
+  }
+  std::vector<int32_t> t_col_idx(col_idx_.size());
+  std::vector<float> t_values(values_.size());
+  std::vector<int64_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const int32_t c = col_idx_[static_cast<size_t>(p)];
+      const int64_t dst = cursor[static_cast<size_t>(c)]++;
+      t_col_idx[static_cast<size_t>(dst)] = static_cast<int32_t>(r);
+      t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+    }
+  }
+  return FromParts(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
+                   std::move(t_values));
+}
+
+void CsrMatrix::Multiply(const Matrix& dense, Matrix* out) const {
+  FEDGTA_CHECK(out != nullptr);
+  FEDGTA_CHECK_EQ(dense.rows(), cols_);
+  const int64_t f = dense.cols();
+  out->Resize(rows_, f);
+  ParallelForChunked(
+      0, rows_,
+      [this, &dense, out, f](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* dst = out->data() + r * f;
+          for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+            const float w = values_[static_cast<size_t>(p)];
+            const float* src =
+                dense.data() +
+                static_cast<int64_t>(col_idx_[static_cast<size_t>(p)]) * f;
+            for (int64_t j = 0; j < f; ++j) dst[j] += w * src[j];
+          }
+        }
+      },
+      /*min_chunk=*/64);
+}
+
+Matrix CsrMatrix::operator*(const Matrix& dense) const {
+  Matrix out;
+  Multiply(dense, &out);
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      out(r, col_idx_[static_cast<size_t>(p)]) += values_[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,86 @@
+#ifndef FEDGTA_LINALG_CSR_H_
+#define FEDGTA_LINALG_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// One entry of a sparse matrix in coordinate form.
+struct CooEntry {
+  int32_t row;
+  int32_t col;
+  float value;
+};
+
+/// Compressed-sparse-row float matrix. Used for (normalized) adjacency
+/// matrices; SpMM against dense feature matrices is the core propagation
+/// kernel of every GNN in this library.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from COO entries. Duplicate (row, col) entries are summed.
+  static CsrMatrix FromCoo(int64_t rows, int64_t cols,
+                           std::vector<CooEntry> entries);
+
+  /// Builds directly from validated CSR arrays (row_ptr size rows+1,
+  /// col_idx/values size nnz, columns strictly in range).
+  static CsrMatrix FromParts(int64_t rows, int64_t cols,
+                             std::vector<int64_t> row_ptr,
+                             std::vector<int32_t> col_idx,
+                             std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Column indices / values of row r.
+  std::span<const int32_t> RowCols(int64_t r) const {
+    FEDGTA_DCHECK(r >= 0 && r < rows_);
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+  std::span<const float> RowValues(int64_t r) const {
+    FEDGTA_DCHECK(r >= 0 && r < rows_);
+    return {values_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Number of stored entries in row r.
+  int64_t RowNnz(int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Sum of values per row.
+  std::vector<float> RowSums() const;
+
+  /// Transposed copy.
+  CsrMatrix Transposed() const;
+
+  /// out = this * dense (parallel over rows). `dense` must have rows() ==
+  /// this->cols(); `out` is resized to rows() x dense.cols().
+  void Multiply(const Matrix& dense, Matrix* out) const;
+
+  /// Convenience wrapper returning the product.
+  Matrix operator*(const Matrix& dense) const;
+
+  /// Dense copy, for tests.
+  Matrix ToDense() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_LINALG_CSR_H_

@@ -1,0 +1,78 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedgta {
+
+Matrix::Matrix(int64_t rows, int64_t cols, float fill)
+    : rows_(rows), cols_(cols) {
+  FEDGTA_CHECK_GE(rows, 0);
+  FEDGTA_CHECK_GE(cols, 0);
+  data_.assign(static_cast<size_t>(rows * cols), fill);
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(int64_t rows, int64_t cols) {
+  FEDGTA_CHECK_GE(rows, 0);
+  FEDGTA_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0f);
+}
+
+void Matrix::GlorotInit(Rng& rng) {
+  const float scale =
+      std::sqrt(6.0f / static_cast<float>(std::max<int64_t>(1, rows_ + cols_)));
+  for (float& v : data_) v = rng.Uniform(-scale, scale);
+}
+
+void Matrix::GaussianInit(Rng& rng, float stddev) {
+  for (float& v : data_) v = rng.Normal(0.0f, stddev);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  FEDGTA_CHECK_EQ(rows_, other.rows_);
+  FEDGTA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  FEDGTA_CHECK_EQ(rows_, other.rows_);
+  FEDGTA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  FEDGTA_CHECK_EQ(rows_, other.rows_);
+  FEDGTA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Matrix::FrobeniusNormSquared() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+double Matrix::FrobeniusNorm() const { return std::sqrt(FrobeniusNormSquared()); }
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace fedgta

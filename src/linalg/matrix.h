@@ -1,0 +1,92 @@
+#ifndef FEDGTA_LINALG_MATRIX_H_
+#define FEDGTA_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace fedgta {
+
+/// Dense row-major float matrix. The workhorse container for node features,
+/// soft labels, layer activations, and model weights.
+///
+/// Copyable and movable; copies are deep. Sizes are fixed at construction
+/// (or via Resize, which discards contents).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(int64_t rows, int64_t cols, float fill = 0.0f);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& operator()(int64_t r, int64_t c) {
+    FEDGTA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(int64_t r, int64_t c) const {
+    FEDGTA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable / const view of row `r`.
+  std::span<float> Row(int64_t r) {
+    FEDGTA_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<const float> Row(int64_t r) const {
+    FEDGTA_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// Reshapes to rows x cols, discarding contents (zero-filled).
+  void Resize(int64_t rows, int64_t cols);
+
+  /// Fills with Glorot/Xavier-uniform values: U(-s, s), s = sqrt(6/(r+c)).
+  void GlorotInit(Rng& rng);
+  /// Fills with N(0, stddev) values.
+  void GaussianInit(Rng& rng, float stddev);
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  /// this += alpha * other (same shape).
+  void Axpy(float alpha, const Matrix& other);
+
+  /// Frobenius norm and squared norm.
+  double FrobeniusNormSquared() const;
+  double FrobeniusNorm() const;
+
+  /// True if same shape and all elements within `tol`.
+  bool AllClose(const Matrix& other, float tol = 1e-5f) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_LINALG_MATRIX_H_

@@ -1,0 +1,252 @@
+#include "linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace fedgta {
+namespace {
+
+// Serial kernel computing rows [row_begin, row_end) of
+// C = alpha * A_eff * B_eff + beta * C for the no-transpose layout, where
+// A_eff is m x k and B_eff is k x n, both accessed through strides so the
+// same kernel serves all four transpose combinations.
+struct StridedView {
+  const float* base;
+  int64_t row_stride;
+  int64_t col_stride;
+  float At(int64_t r, int64_t c) const {
+    return base[r * row_stride + c * col_stride];
+  }
+};
+
+void GemmRows(const StridedView& a, const StridedView& b, float alpha,
+              float beta, int64_t k, Matrix* c, int64_t row_begin,
+              int64_t row_end) {
+  const int64_t n = c->cols();
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* c_row = c->data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+    // ikj loop order: stream through B rows when B is untransposed
+    // (col_stride == 1), the common case.
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * a.At(i, p);
+      if (a_ip == 0.0f) continue;
+      if (b.col_stride == 1) {
+        const float* b_row = b.base + p * b.row_stride;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b.At(p, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
+          Transpose trans_b, float alpha, float beta, Matrix* c) {
+  FEDGTA_CHECK(c != nullptr);
+  const int64_t m = trans_a == Transpose::kNo ? a.rows() : a.cols();
+  const int64_t ka = trans_a == Transpose::kNo ? a.cols() : a.rows();
+  const int64_t kb = trans_b == Transpose::kNo ? b.rows() : b.cols();
+  const int64_t n = trans_b == Transpose::kNo ? b.cols() : b.rows();
+  FEDGTA_CHECK_EQ(ka, kb) << "GEMM inner dimensions mismatch";
+  FEDGTA_CHECK_EQ(c->rows(), m);
+  FEDGTA_CHECK_EQ(c->cols(), n);
+
+  const StridedView av{a.data(),
+                       trans_a == Transpose::kNo ? a.cols() : int64_t{1},
+                       trans_a == Transpose::kNo ? int64_t{1} : a.cols()};
+  const StridedView bv{b.data(),
+                       trans_b == Transpose::kNo ? b.cols() : int64_t{1},
+                       trans_b == Transpose::kNo ? int64_t{1} : b.cols()};
+
+  const int64_t work = m * n * ka;
+  if (work < (1 << 16)) {
+    GemmRows(av, bv, alpha, beta, ka, c, 0, m);
+    return;
+  }
+  ParallelForChunked(
+      0, m,
+      [&](int64_t lo, int64_t hi) { GemmRows(av, bv, alpha, beta, ka, c, lo, hi); },
+      /*min_chunk=*/std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, n * ka)));
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, Transpose trans_a,
+              Transpose trans_b) {
+  const int64_t m = trans_a == Transpose::kNo ? a.rows() : a.cols();
+  const int64_t n = trans_b == Transpose::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  Gemm(a, trans_a, b, trans_b, 1.0f, 0.0f, &c);
+  return c;
+}
+
+void AddRowBroadcast(const Matrix& bias, Matrix* m) {
+  FEDGTA_CHECK(m != nullptr);
+  FEDGTA_CHECK_EQ(bias.rows(), 1);
+  FEDGTA_CHECK_EQ(bias.cols(), m->cols());
+  const int64_t cols = m->cols();
+  const float* b = bias.data();
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    float* row = m->data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += b[c];
+  }
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  float* acc = out.data();
+  const int64_t cols = m.cols();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) acc[c] += row[c];
+  }
+  return out;
+}
+
+void RowSoftmaxInPlace(Matrix* m) {
+  FEDGTA_CHECK(m != nullptr);
+  const int64_t cols = m->cols();
+  if (cols == 0) return;
+  ParallelForChunked(0, m->rows(), [m, cols](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = m->data() + r * cols;
+      float max_v = row[0];
+      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    }
+  });
+}
+
+std::vector<int> RowArgmax(const Matrix& m) {
+  std::vector<int> out(static_cast<size_t>(m.rows()));
+  const int64_t cols = m.cols();
+  FEDGTA_CHECK_GT(cols, 0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * cols;
+    int best = 0;
+    for (int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+void ReluInPlace(Matrix* m) {
+  FEDGTA_CHECK(m != nullptr);
+  float* data = m->data();
+  const int64_t size = m->size();
+  for (int64_t i = 0; i < size; ++i) data[i] = std::max(0.0f, data[i]);
+}
+
+void ReluBackwardInPlace(const Matrix& pre_activation, Matrix* grad) {
+  FEDGTA_CHECK(grad != nullptr);
+  FEDGTA_CHECK_EQ(pre_activation.rows(), grad->rows());
+  FEDGTA_CHECK_EQ(pre_activation.cols(), grad->cols());
+  const float* pre = pre_activation.data();
+  float* g = grad->data();
+  const int64_t size = grad->size();
+  for (int64_t i = 0; i < size; ++i) {
+    if (pre[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+void DropoutForward(float rate, Rng& rng, Matrix* m, Matrix* mask) {
+  FEDGTA_CHECK(m != nullptr && mask != nullptr);
+  FEDGTA_CHECK_GE(rate, 0.0f);
+  FEDGTA_CHECK_LT(rate, 1.0f);
+  mask->Resize(m->rows(), m->cols());
+  if (rate == 0.0f) {
+    mask->Fill(1.0f);
+    return;
+  }
+  const float keep_scale = 1.0f / (1.0f - rate);
+  float* data = m->data();
+  float* mk = mask->data();
+  const int64_t size = m->size();
+  for (int64_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(rate)) {
+      mk[i] = 0.0f;
+      data[i] = 0.0f;
+    } else {
+      mk[i] = keep_scale;
+      data[i] *= keep_scale;
+    }
+  }
+}
+
+void DropoutBackward(const Matrix& mask, Matrix* grad) {
+  FEDGTA_CHECK(grad != nullptr);
+  FEDGTA_CHECK_EQ(mask.rows(), grad->rows());
+  FEDGTA_CHECK_EQ(mask.cols(), grad->cols());
+  const float* mk = mask.data();
+  float* g = grad->data();
+  const int64_t size = grad->size();
+  for (int64_t i = 0; i < size; ++i) g[i] *= mk[i];
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  FEDGTA_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+double L2Norm(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
+
+double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const double na = L2Norm(a);
+  const double nb = L2Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDGTA_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void RowNormalizeInPlace(Matrix* m, bool l1) {
+  FEDGTA_CHECK(m != nullptr);
+  const int64_t cols = m->cols();
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    float* row = m->data() + r * cols;
+    double norm = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      norm += l1 ? std::fabs(row[j]) : static_cast<double>(row[j]) * row[j];
+    }
+    if (!l1) norm = std::sqrt(norm);
+    if (norm <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace fedgta

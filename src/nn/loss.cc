@@ -1,0 +1,129 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace fedgta {
+
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                           const std::vector<int32_t>& rows, Matrix* dlogits) {
+  FEDGTA_CHECK(dlogits != nullptr);
+  FEDGTA_CHECK(!rows.empty());
+  FEDGTA_CHECK_EQ(labels.size(), static_cast<size_t>(logits.rows()));
+  dlogits->Resize(logits.rows(), logits.cols());
+
+  const int64_t c = logits.cols();
+  const float inv_n = 1.0f / static_cast<float>(rows.size());
+  double loss = 0.0;
+  for (int32_t r : rows) {
+    FEDGTA_CHECK(r >= 0 && r < logits.rows());
+    const int y = labels[static_cast<size_t>(r)];
+    FEDGTA_CHECK(y >= 0 && y < c) << "label out of range";
+    const float* row = logits.data() + static_cast<int64_t>(r) * c;
+    float* drow = dlogits->data() + static_cast<int64_t>(r) * c;
+    float max_v = row[0];
+    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - max_v);
+    const double log_sum = std::log(sum) + max_v;
+    loss += log_sum - row[y];
+    for (int64_t j = 0; j < c; ++j) {
+      const float p = static_cast<float>(std::exp(row[j] - log_sum));
+      drow[j] = (p - (j == y ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return loss / static_cast<double>(rows.size());
+}
+
+double SoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+                        const std::vector<int32_t>& rows, float weight,
+                        Matrix* dlogits) {
+  FEDGTA_CHECK(dlogits != nullptr);
+  FEDGTA_CHECK_EQ(dlogits->rows(), logits.rows());
+  FEDGTA_CHECK_EQ(dlogits->cols(), logits.cols());
+  FEDGTA_CHECK_EQ(targets.cols(), logits.cols());
+  FEDGTA_CHECK_EQ(targets.rows(), logits.rows());
+  if (rows.empty()) return 0.0;
+
+  const int64_t c = logits.cols();
+  const float scale = weight / static_cast<float>(rows.size());
+  double loss = 0.0;
+  for (int32_t r : rows) {
+    FEDGTA_CHECK(r >= 0 && r < logits.rows());
+    const float* row = logits.data() + static_cast<int64_t>(r) * c;
+    const float* target = targets.data() + static_cast<int64_t>(r) * c;
+    float* drow = dlogits->data() + static_cast<int64_t>(r) * c;
+    float max_v = row[0];
+    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - max_v);
+    const double log_sum = std::log(sum) + max_v;
+    for (int64_t j = 0; j < c; ++j) {
+      const float p = static_cast<float>(std::exp(row[j] - log_sum));
+      loss += target[j] * (log_sum - row[j]);
+      drow[j] += (p - target[j]) * scale;
+    }
+  }
+  return weight * loss / static_cast<double>(rows.size());
+}
+
+double MacroF1(const Matrix& logits, const std::vector<int>& labels,
+               const std::vector<int32_t>& rows) {
+  if (rows.empty()) return 0.0;
+  FEDGTA_CHECK_EQ(labels.size(), static_cast<size_t>(logits.rows()));
+  const int64_t c = logits.cols();
+  std::vector<int64_t> tp(static_cast<size_t>(c), 0);
+  std::vector<int64_t> fp(static_cast<size_t>(c), 0);
+  std::vector<int64_t> fn(static_cast<size_t>(c), 0);
+  for (int32_t r : rows) {
+    const float* row = logits.data() + static_cast<int64_t>(r) * c;
+    int pred = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[pred]) pred = static_cast<int>(j);
+    }
+    const int truth = labels[static_cast<size_t>(r)];
+    FEDGTA_CHECK(truth >= 0 && truth < c);
+    if (pred == truth) {
+      ++tp[static_cast<size_t>(truth)];
+    } else {
+      ++fp[static_cast<size_t>(pred)];
+      ++fn[static_cast<size_t>(truth)];
+    }
+  }
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int64_t j = 0; j < c; ++j) {
+    const int64_t support = tp[static_cast<size_t>(j)] + fn[static_cast<size_t>(j)];
+    const int64_t predicted = tp[static_cast<size_t>(j)] + fp[static_cast<size_t>(j)];
+    if (support == 0 && predicted == 0) continue;
+    ++present;
+    const double denom = static_cast<double>(2 * tp[static_cast<size_t>(j)] +
+                                             fp[static_cast<size_t>(j)] +
+                                             fn[static_cast<size_t>(j)]);
+    if (denom > 0.0) {
+      f1_sum += 2.0 * static_cast<double>(tp[static_cast<size_t>(j)]) / denom;
+    }
+  }
+  return present > 0 ? f1_sum / static_cast<double>(present) : 0.0;
+}
+
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int32_t>& rows) {
+  if (rows.empty()) return 0.0;
+  FEDGTA_CHECK_EQ(labels.size(), static_cast<size_t>(logits.rows()));
+  const int64_t c = logits.cols();
+  int64_t correct = 0;
+  for (int32_t r : rows) {
+    const float* row = logits.data() + static_cast<int64_t>(r) * c;
+    int best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    if (best == labels[static_cast<size_t>(r)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+}  // namespace fedgta

@@ -1,0 +1,36 @@
+#ifndef FEDGTA_NN_LOSS_H_
+#define FEDGTA_NN_LOSS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// Mean softmax cross-entropy over the rows listed in `rows`.
+/// Writes the gradient wrt logits into `dlogits` (same shape as `logits`,
+/// zero on unselected rows, already divided by |rows|). Returns the loss.
+/// `rows` must be non-empty and labels in range.
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                           const std::vector<int32_t>& rows, Matrix* dlogits);
+
+/// Mean cross-entropy against soft targets (rows of `targets` sum to 1) on
+/// the selected rows; gradient added (scaled by `weight`) into `dlogits`,
+/// which must be pre-sized. Used for FedGL pseudo-label supervision.
+double SoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+                        const std::vector<int32_t>& rows, float weight,
+                        Matrix* dlogits);
+
+/// Fraction of rows in `rows` whose argmax matches the label.
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int32_t>& rows);
+
+/// Macro-averaged F1 over the selected rows: per-class F1 averaged
+/// uniformly over classes; classes with neither true nor predicted members
+/// are skipped.
+double MacroF1(const Matrix& logits, const std::vector<int>& labels,
+               const std::vector<int32_t>& rows);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_NN_LOSS_H_

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace fedgta {
+namespace {
+
+// Lazily sizes `state` to match `params` (zero-initialized).
+void EnsureState(const std::vector<ParamRef>& params,
+                 std::vector<Matrix>* state) {
+  if (state->size() == params.size()) return;
+  FEDGTA_CHECK(state->empty()) << "optimizer reused with different params";
+  state->reserve(params.size());
+  for (const ParamRef& p : params) {
+    state->emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+}  // namespace
+
+void SgdOptimizer::Step(const std::vector<ParamRef>& params) {
+  EnsureState(params, &velocity_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& value = *params[i].value;
+    const Matrix& grad = *params[i].grad;
+    Matrix& vel = velocity_[i];
+    FEDGTA_CHECK_EQ(value.size(), grad.size());
+    float* v = value.data();
+    const float* g = grad.data();
+    float* m = vel.data();
+    const int64_t size = value.size();
+    for (int64_t j = 0; j < size; ++j) {
+      m[j] = config_.momentum * m[j] + g[j];
+      v[j] -= config_.lr * (m[j] + config_.weight_decay * v[j]);
+    }
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<ParamRef>& params) {
+  EnsureState(params, &m_);
+  EnsureState(params, &v_);
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& value = *params[i].value;
+    const Matrix& grad = *params[i].grad;
+    float* w = value.data();
+    const float* g = grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t size = value.size();
+    for (int64_t j = 0; j < size; ++j) {
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g[j];
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= config_.lr * (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+                            config_.weight_decay * w[j]);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config) {
+  switch (config.type) {
+    case OptimizerType::kSgd:
+      return std::make_unique<SgdOptimizer>(config);
+    case OptimizerType::kAdam:
+      return std::make_unique<AdamOptimizer>(config);
+  }
+  FEDGTA_CHECK(false) << "unknown optimizer type";
+  return nullptr;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,77 @@
+#ifndef FEDGTA_NN_OPTIMIZER_H_
+#define FEDGTA_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/parameters.h"
+
+namespace fedgta {
+
+/// Optimizer family.
+enum class OptimizerType { kSgd, kAdam };
+
+/// Optimizer configuration shared by all experiments.
+struct OptimizerConfig {
+  OptimizerType type = OptimizerType::kAdam;
+  float lr = 0.01f;
+  float momentum = 0.9f;       // SGD only
+  float weight_decay = 5e-4f;  // decoupled L2 on weights
+  float beta1 = 0.9f;          // Adam
+  float beta2 = 0.999f;        // Adam
+  float epsilon = 1e-8f;       // Adam
+};
+
+/// First-order optimizer operating on a model's ParamRef list. State (e.g.
+/// momentum buffers) is keyed by position, so the same optimizer must always
+/// be stepped with the same parameter list.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the accumulated gradients.
+  virtual void Step(const std::vector<ParamRef>& params) = 0;
+  /// Clears internal state (momentum/moment buffers).
+  virtual void Reset() = 0;
+  virtual float lr() const = 0;
+};
+
+/// SGD with momentum and decoupled weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(const OptimizerConfig& config) : config_(config) {}
+  void Step(const std::vector<ParamRef>& params) override;
+  void Reset() override { velocity_.clear(); }
+  float lr() const override { return config_.lr; }
+
+ private:
+  OptimizerConfig config_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(const OptimizerConfig& config) : config_(config) {}
+  void Step(const std::vector<ParamRef>& params) override;
+  void Reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  float lr() const override { return config_.lr; }
+
+ private:
+  OptimizerConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+/// Factory from config.
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_NN_OPTIMIZER_H_

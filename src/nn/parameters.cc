@@ -1,0 +1,62 @@
+#include "nn/parameters.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fedgta {
+
+int64_t ParamCount(const std::vector<ParamRef>& params) {
+  int64_t count = 0;
+  for (const ParamRef& p : params) count += p.value->size();
+  return count;
+}
+
+std::vector<float> FlattenParams(const std::vector<ParamRef>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(ParamCount(params)));
+  for (const ParamRef& p : params) {
+    flat.insert(flat.end(), p.value->data(), p.value->data() + p.value->size());
+  }
+  return flat;
+}
+
+std::vector<float> FlattenGrads(const std::vector<ParamRef>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(ParamCount(params)));
+  for (const ParamRef& p : params) {
+    FEDGTA_CHECK_EQ(p.grad->size(), p.value->size());
+    flat.insert(flat.end(), p.grad->data(), p.grad->data() + p.grad->size());
+  }
+  return flat;
+}
+
+void UnflattenParams(std::span<const float> flat,
+                     const std::vector<ParamRef>& params) {
+  FEDGTA_CHECK_EQ(static_cast<int64_t>(flat.size()), ParamCount(params));
+  size_t offset = 0;
+  for (const ParamRef& p : params) {
+    std::copy(flat.begin() + static_cast<int64_t>(offset),
+              flat.begin() + static_cast<int64_t>(offset) + p.value->size(),
+              p.value->data());
+    offset += static_cast<size_t>(p.value->size());
+  }
+}
+
+void UnflattenGrads(std::span<const float> flat,
+                    const std::vector<ParamRef>& params) {
+  FEDGTA_CHECK_EQ(static_cast<int64_t>(flat.size()), ParamCount(params));
+  size_t offset = 0;
+  for (const ParamRef& p : params) {
+    std::copy(flat.begin() + static_cast<int64_t>(offset),
+              flat.begin() + static_cast<int64_t>(offset) + p.grad->size(),
+              p.grad->data());
+    offset += static_cast<size_t>(p.grad->size());
+  }
+}
+
+void ZeroGrads(const std::vector<ParamRef>& params) {
+  for (const ParamRef& p : params) p.grad->SetZero();
+}
+
+}  // namespace fedgta

@@ -1,0 +1,41 @@
+#ifndef FEDGTA_NN_PARAMETERS_H_
+#define FEDGTA_NN_PARAMETERS_H_
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedgta {
+
+/// A view of one trainable parameter tensor and its gradient accumulator.
+/// Models expose their parameters as an ordered list of ParamRef; federated
+/// strategies exchange them as flat float vectors.
+struct ParamRef {
+  Matrix* value;
+  Matrix* grad;
+};
+
+/// Total number of scalar parameters.
+int64_t ParamCount(const std::vector<ParamRef>& params);
+
+/// Concatenates all parameter values (in order) into one flat vector.
+std::vector<float> FlattenParams(const std::vector<ParamRef>& params);
+
+/// Concatenates all gradients into one flat vector.
+std::vector<float> FlattenGrads(const std::vector<ParamRef>& params);
+
+/// Writes `flat` back into the parameter matrices. Sizes must match.
+void UnflattenParams(std::span<const float> flat,
+                     const std::vector<ParamRef>& params);
+
+/// Writes `flat` back into the gradient matrices. Sizes must match.
+void UnflattenGrads(std::span<const float> flat,
+                    const std::vector<ParamRef>& params);
+
+/// Zeroes all gradient accumulators.
+void ZeroGrads(const std::vector<ParamRef>& params);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_NN_PARAMETERS_H_

@@ -1,0 +1,171 @@
+#include "partition/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace fedgta {
+namespace {
+
+// Weighted undirected multigraph used across aggregation levels.
+// adjacency[u] holds (neighbor, weight); self-loops store the full internal
+// weight (2x the sum of internal edge weights of the collapsed community).
+struct WeightedGraph {
+  std::vector<std::vector<std::pair<int, double>>> adjacency;
+  std::vector<double> self_loop;  // per node
+  double total_weight = 0.0;      // sum over all edges (undirected, incl. loops)
+
+  int num_nodes() const { return static_cast<int>(adjacency.size()); }
+
+  // Weighted degree incl. self-loop mass (counted twice, as in modularity).
+  double WeightedDegree(int u) const {
+    double d = 2.0 * self_loop[static_cast<size_t>(u)];
+    for (const auto& [v, w] : adjacency[static_cast<size_t>(u)]) d += w;
+    return d;
+  }
+};
+
+WeightedGraph FromGraph(const Graph& graph) {
+  WeightedGraph wg;
+  wg.adjacency.resize(static_cast<size_t>(graph.num_nodes()));
+  wg.self_loop.assign(static_cast<size_t>(graph.num_nodes()), 0.0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      wg.adjacency[static_cast<size_t>(u)].emplace_back(v, 1.0);
+    }
+  }
+  wg.total_weight = static_cast<double>(graph.num_edges());
+  return wg;
+}
+
+// One level of local moving. Returns the community assignment and whether
+// any move improved modularity.
+bool LocalMoving(const WeightedGraph& wg, Rng& rng,
+                 const LouvainOptions& options, std::vector<int>* community) {
+  const int n = wg.num_nodes();
+  community->resize(static_cast<size_t>(n));
+  std::iota(community->begin(), community->end(), 0);
+
+  std::vector<double> degree(static_cast<size_t>(n));
+  for (int u = 0; u < n; ++u) degree[static_cast<size_t>(u)] = wg.WeightedDegree(u);
+  // Sum of weighted degrees of nodes in each community.
+  std::vector<double> community_degree = degree;
+
+  const double two_m = 2.0 * wg.total_weight;
+  if (two_m == 0.0) return false;
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  bool any_improvement = false;
+  std::unordered_map<int, double> weight_to_comm;
+  for (int pass = 0; pass < options.max_passes_per_level; ++pass) {
+    int moves = 0;
+    double pass_gain = 0.0;
+    for (int u : order) {
+      const int cu = (*community)[static_cast<size_t>(u)];
+      weight_to_comm.clear();
+      weight_to_comm[cu] += 0.0;  // ensure own community is a candidate
+      for (const auto& [v, w] : wg.adjacency[static_cast<size_t>(u)]) {
+        if (v == u) continue;
+        weight_to_comm[(*community)[static_cast<size_t>(v)]] += w;
+      }
+      const double du = degree[static_cast<size_t>(u)];
+      // Remove u from its community.
+      community_degree[static_cast<size_t>(cu)] -= du;
+      const double base = weight_to_comm.count(cu) ? weight_to_comm[cu] : 0.0;
+
+      int best_comm = cu;
+      double best_gain = base - community_degree[static_cast<size_t>(cu)] * du / two_m;
+      for (const auto& [comm, w] : weight_to_comm) {
+        if (comm == cu) continue;
+        const double gain =
+            w - community_degree[static_cast<size_t>(comm)] * du / two_m;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_comm = comm;
+        }
+      }
+      community_degree[static_cast<size_t>(best_comm)] += du;
+      if (best_comm != cu) {
+        (*community)[static_cast<size_t>(u)] = best_comm;
+        ++moves;
+        pass_gain += best_gain - (base - community_degree[static_cast<size_t>(cu)] * du / two_m);
+        any_improvement = true;
+      }
+    }
+    if (moves == 0 || pass_gain < options.min_modularity_gain) break;
+  }
+  return any_improvement;
+}
+
+// Renumber community ids to [0, k) and return k.
+int Compact(std::vector<int>* community) {
+  std::unordered_map<int, int> remap;
+  for (int& c : *community) {
+    const auto [it, inserted] = remap.emplace(c, static_cast<int>(remap.size()));
+    c = it->second;
+  }
+  return static_cast<int>(remap.size());
+}
+
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        const std::vector<int>& community, int k) {
+  WeightedGraph agg;
+  agg.adjacency.resize(static_cast<size_t>(k));
+  agg.self_loop.assign(static_cast<size_t>(k), 0.0);
+  agg.total_weight = wg.total_weight;
+  std::vector<std::unordered_map<int, double>> edge_weight(
+      static_cast<size_t>(k));
+  for (int u = 0; u < wg.num_nodes(); ++u) {
+    const int cu = community[static_cast<size_t>(u)];
+    agg.self_loop[static_cast<size_t>(cu)] += wg.self_loop[static_cast<size_t>(u)];
+    for (const auto& [v, w] : wg.adjacency[static_cast<size_t>(u)]) {
+      const int cv = community[static_cast<size_t>(v)];
+      if (cu == cv) {
+        // Each internal undirected edge appears twice in adjacency; add
+        // half each time so the loop holds the full internal edge weight.
+        agg.self_loop[static_cast<size_t>(cu)] += w / 2.0;
+      } else {
+        edge_weight[static_cast<size_t>(cu)][cv] += w;
+      }
+    }
+  }
+  for (int cu = 0; cu < k; ++cu) {
+    for (const auto& [cv, w] : edge_weight[static_cast<size_t>(cu)]) {
+      agg.adjacency[static_cast<size_t>(cu)].emplace_back(cv, w);
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::vector<int> LouvainCommunities(const Graph& graph, Rng& rng,
+                                    const LouvainOptions& options) {
+  const int n = graph.num_nodes();
+  std::vector<int> node_to_comm(static_cast<size_t>(n));
+  std::iota(node_to_comm.begin(), node_to_comm.end(), 0);
+  if (graph.num_edges() == 0) {
+    return node_to_comm;
+  }
+
+  WeightedGraph wg = FromGraph(graph);
+  for (int level = 0; level < options.max_levels; ++level) {
+    std::vector<int> community;
+    const bool improved = LocalMoving(wg, rng, options, &community);
+    const int k = Compact(&community);
+    // Map original nodes through this level's assignment.
+    for (int v = 0; v < n; ++v) {
+      node_to_comm[static_cast<size_t>(v)] =
+          community[static_cast<size_t>(node_to_comm[static_cast<size_t>(v)])];
+    }
+    if (!improved || k == wg.num_nodes()) break;
+    wg = Aggregate(wg, community, k);
+  }
+  Compact(&node_to_comm);
+  return node_to_comm;
+}
+
+}  // namespace fedgta

@@ -1,0 +1,31 @@
+#ifndef FEDGTA_PARTITION_LOUVAIN_H_
+#define FEDGTA_PARTITION_LOUVAIN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace fedgta {
+
+/// Options for Louvain community detection.
+struct LouvainOptions {
+  /// Stop a local-moving sweep set once the modularity gain of a full pass
+  /// falls below this threshold.
+  double min_modularity_gain = 1e-6;
+  /// Safety cap on coarsening levels.
+  int max_levels = 20;
+  /// Safety cap on local-moving passes per level.
+  int max_passes_per_level = 32;
+};
+
+/// Louvain community detection (Blondel et al. 2008): repeated greedy
+/// modularity-improving local moves followed by community aggregation.
+/// Returns a community id in [0, num_communities) for each node. Node visit
+/// order is shuffled with `rng`, so results are deterministic per seed.
+std::vector<int> LouvainCommunities(const Graph& graph, Rng& rng,
+                                    const LouvainOptions& options = {});
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_PARTITION_LOUVAIN_H_

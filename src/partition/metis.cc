@@ -1,0 +1,269 @@
+#include "partition/metis.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+namespace fedgta {
+namespace {
+
+// Weighted graph at one coarsening level. vwgt[u] counts the original nodes
+// collapsed into u; adjacency holds (neighbor, edge weight) with no
+// self-loops (internal weight is irrelevant to the cut).
+struct LevelGraph {
+  std::vector<double> vwgt;
+  std::vector<std::vector<std::pair<int, double>>> adjacency;
+
+  int num_nodes() const { return static_cast<int>(vwgt.size()); }
+  double total_vertex_weight() const {
+    return std::accumulate(vwgt.begin(), vwgt.end(), 0.0);
+  }
+};
+
+LevelGraph FromGraph(const Graph& graph) {
+  LevelGraph lg;
+  lg.vwgt.assign(static_cast<size_t>(graph.num_nodes()), 1.0);
+  lg.adjacency.resize(static_cast<size_t>(graph.num_nodes()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto& row = lg.adjacency[static_cast<size_t>(u)];
+    row.reserve(static_cast<size_t>(graph.Degree(u)));
+    for (NodeId v : graph.Neighbors(u)) row.emplace_back(v, 1.0);
+  }
+  return lg;
+}
+
+// Heavy-edge matching: each node pairs with its heaviest unmatched neighbor.
+// Returns the fine->coarse map and the number of coarse nodes.
+std::vector<int> HeavyEdgeMatching(const LevelGraph& lg, Rng& rng,
+                                   int* num_coarse) {
+  const int n = lg.num_nodes();
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<int> coarse_id(static_cast<size_t>(n), -1);
+  int next = 0;
+  for (int u : order) {
+    if (coarse_id[static_cast<size_t>(u)] != -1) continue;
+    int best = -1;
+    double best_w = -1.0;
+    for (const auto& [v, w] : lg.adjacency[static_cast<size_t>(u)]) {
+      if (coarse_id[static_cast<size_t>(v)] != -1 || v == u) continue;
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    coarse_id[static_cast<size_t>(u)] = next;
+    if (best != -1) coarse_id[static_cast<size_t>(best)] = next;
+    ++next;
+  }
+  *num_coarse = next;
+  return coarse_id;
+}
+
+LevelGraph Coarsen(const LevelGraph& lg, const std::vector<int>& coarse_id,
+                   int num_coarse) {
+  LevelGraph cg;
+  cg.vwgt.assign(static_cast<size_t>(num_coarse), 0.0);
+  cg.adjacency.resize(static_cast<size_t>(num_coarse));
+  std::vector<std::unordered_map<int, double>> acc(
+      static_cast<size_t>(num_coarse));
+  for (int u = 0; u < lg.num_nodes(); ++u) {
+    const int cu = coarse_id[static_cast<size_t>(u)];
+    cg.vwgt[static_cast<size_t>(cu)] += lg.vwgt[static_cast<size_t>(u)];
+    for (const auto& [v, w] : lg.adjacency[static_cast<size_t>(u)]) {
+      const int cv = coarse_id[static_cast<size_t>(v)];
+      if (cu != cv) acc[static_cast<size_t>(cu)][cv] += w;
+    }
+  }
+  for (int cu = 0; cu < num_coarse; ++cu) {
+    auto& row = cg.adjacency[static_cast<size_t>(cu)];
+    row.reserve(acc[static_cast<size_t>(cu)].size());
+    for (const auto& [cv, w] : acc[static_cast<size_t>(cu)]) {
+      row.emplace_back(cv, w);
+    }
+  }
+  return cg;
+}
+
+// Greedy BFS region growing on the coarsest graph.
+std::vector<int> InitialPartition(const LevelGraph& lg, int k, Rng& rng) {
+  const int n = lg.num_nodes();
+  const double target = lg.total_vertex_weight() / static_cast<double>(k);
+  std::vector<int> parts(static_cast<size_t>(n), -1);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  size_t seed_cursor = 0;
+  for (int p = 0; p + 1 < k; ++p) {
+    // Find an unassigned seed.
+    while (seed_cursor < order.size() &&
+           parts[static_cast<size_t>(order[seed_cursor])] != -1) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= order.size()) break;
+    std::deque<int> frontier{order[seed_cursor]};
+    double weight = 0.0;
+    while (!frontier.empty() && weight < target) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      if (parts[static_cast<size_t>(u)] != -1) continue;
+      parts[static_cast<size_t>(u)] = p;
+      weight += lg.vwgt[static_cast<size_t>(u)];
+      for (const auto& [v, w] : lg.adjacency[static_cast<size_t>(u)]) {
+        if (parts[static_cast<size_t>(v)] == -1) frontier.push_back(v);
+      }
+      // If the BFS island is exhausted but the part is underweight, jump to
+      // a fresh unassigned seed.
+      if (frontier.empty() && weight < target) {
+        while (seed_cursor < order.size() &&
+               parts[static_cast<size_t>(order[seed_cursor])] != -1) {
+          ++seed_cursor;
+        }
+        if (seed_cursor < order.size()) frontier.push_back(order[seed_cursor]);
+      }
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    if (parts[static_cast<size_t>(u)] == -1) {
+      parts[static_cast<size_t>(u)] = k - 1;
+    }
+  }
+  return parts;
+}
+
+// Boundary Kernighan-Lin style refinement: greedy gain moves under a
+// balance constraint.
+void Refine(const LevelGraph& lg, int k, const MetisOptions& options,
+            Rng& rng, std::vector<int>* parts) {
+  const int n = lg.num_nodes();
+  const double max_weight =
+      options.balance_factor * lg.total_vertex_weight() / static_cast<double>(k);
+  std::vector<double> part_weight(static_cast<size_t>(k), 0.0);
+  std::vector<int> part_count(static_cast<size_t>(k), 0);
+  for (int u = 0; u < n; ++u) {
+    part_weight[static_cast<size_t>((*parts)[static_cast<size_t>(u)])] +=
+        lg.vwgt[static_cast<size_t>(u)];
+    ++part_count[static_cast<size_t>((*parts)[static_cast<size_t>(u)])];
+  }
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::unordered_map<int, double> conn;
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    rng.Shuffle(order);
+    int moves = 0;
+    for (int u : order) {
+      const int pu = (*parts)[static_cast<size_t>(u)];
+      if (part_count[static_cast<size_t>(pu)] <= 1) continue;  // keep non-empty
+      conn.clear();
+      for (const auto& [v, w] : lg.adjacency[static_cast<size_t>(u)]) {
+        conn[(*parts)[static_cast<size_t>(v)]] += w;
+      }
+      const double internal = conn.count(pu) ? conn[pu] : 0.0;
+      int best_part = pu;
+      double best_gain = 0.0;
+      for (const auto& [p, w] : conn) {
+        if (p == pu) continue;
+        if (part_weight[static_cast<size_t>(p)] +
+                lg.vwgt[static_cast<size_t>(u)] >
+            max_weight) {
+          continue;
+        }
+        const double gain = w - internal;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      if (best_part != pu) {
+        part_weight[static_cast<size_t>(pu)] -= lg.vwgt[static_cast<size_t>(u)];
+        part_weight[static_cast<size_t>(best_part)] +=
+            lg.vwgt[static_cast<size_t>(u)];
+        --part_count[static_cast<size_t>(pu)];
+        ++part_count[static_cast<size_t>(best_part)];
+        (*parts)[static_cast<size_t>(u)] = best_part;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+// Ensures every part id in [0, k) owns at least one node by reassigning
+// nodes from the heaviest parts.
+void FixEmptyParts(const LevelGraph& lg, int k, std::vector<int>* parts) {
+  std::vector<int> count(static_cast<size_t>(k), 0);
+  for (int p : *parts) ++count[static_cast<size_t>(p)];
+  for (int p = 0; p < k; ++p) {
+    if (count[static_cast<size_t>(p)] > 0) continue;
+    // Take one node from the most populated part.
+    const int donor = static_cast<int>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    for (int u = 0; u < lg.num_nodes(); ++u) {
+      if ((*parts)[static_cast<size_t>(u)] == donor) {
+        (*parts)[static_cast<size_t>(u)] = p;
+        --count[static_cast<size_t>(donor)];
+        ++count[static_cast<size_t>(p)];
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> MetisPartition(const Graph& graph, int k, Rng& rng,
+                                const MetisOptions& options) {
+  FEDGTA_CHECK_GE(k, 1);
+  const int n = graph.num_nodes();
+  if (k == 1) return std::vector<int>(static_cast<size_t>(n), 0);
+  FEDGTA_CHECK_LE(k, n) << "more parts than nodes";
+
+  // Coarsening phase.
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<int>> maps;  // fine -> coarse per level
+  levels.push_back(FromGraph(graph));
+  const int stop_size = std::max(options.coarsen_until * k, 2 * k);
+  while (levels.back().num_nodes() > stop_size) {
+    int num_coarse = 0;
+    std::vector<int> coarse_id =
+        HeavyEdgeMatching(levels.back(), rng, &num_coarse);
+    // Matching degenerates on near-star graphs; stop if progress stalls.
+    if (num_coarse >= levels.back().num_nodes() * 0.95) break;
+    levels.push_back(Coarsen(levels.back(), coarse_id, num_coarse));
+    maps.push_back(std::move(coarse_id));
+  }
+
+  // Initial partition on the coarsest graph, then project + refine upward.
+  std::vector<int> parts = InitialPartition(levels.back(), k, rng);
+  Refine(levels.back(), k, options, rng, &parts);
+  for (int level = static_cast<int>(maps.size()) - 1; level >= 0; --level) {
+    const std::vector<int>& coarse_id = maps[static_cast<size_t>(level)];
+    std::vector<int> fine_parts(coarse_id.size());
+    for (size_t u = 0; u < coarse_id.size(); ++u) {
+      fine_parts[u] = parts[static_cast<size_t>(coarse_id[u])];
+    }
+    parts = std::move(fine_parts);
+    Refine(levels[static_cast<size_t>(level)], k, options, rng, &parts);
+  }
+  FixEmptyParts(levels.front(), k, &parts);
+  return parts;
+}
+
+int64_t EdgeCut(const Graph& graph, const std::vector<int>& parts) {
+  FEDGTA_CHECK_EQ(parts.size(), static_cast<size_t>(graph.num_nodes()));
+  int64_t cut = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      if (parts[static_cast<size_t>(u)] != parts[static_cast<size_t>(v)]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace fedgta

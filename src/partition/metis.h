@@ -1,0 +1,34 @@
+#ifndef FEDGTA_PARTITION_METIS_H_
+#define FEDGTA_PARTITION_METIS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace fedgta {
+
+/// Options for the METIS-style multilevel k-way partitioner.
+struct MetisOptions {
+  /// Allowed per-part size imbalance factor (max part size <=
+  /// balance_factor * n / k).
+  double balance_factor = 1.10;
+  /// Coarsening stops once the graph has <= coarsen_until * k nodes.
+  int coarsen_until = 30;
+  /// Refinement passes per uncoarsening level.
+  int refine_passes = 4;
+};
+
+/// Multilevel k-way partitioning in the METIS family (Karypis & Kumar 1998):
+/// heavy-edge-matching coarsening, greedy region-growing initial partition,
+/// and boundary Kernighan-Lin refinement during uncoarsening. Returns a part
+/// id in [0, k) per node; every part is non-empty when k <= num_nodes.
+std::vector<int> MetisPartition(const Graph& graph, int k, Rng& rng,
+                                const MetisOptions& options = {});
+
+/// Total weight of edges crossing between parts (each undirected edge once).
+int64_t EdgeCut(const Graph& graph, const std::vector<int>& parts);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_PARTITION_METIS_H_

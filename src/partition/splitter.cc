@@ -1,0 +1,106 @@
+#include "partition/splitter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "partition/louvain.h"
+#include "partition/metis.h"
+
+namespace fedgta {
+
+const char* SplitMethodName(SplitMethod method) {
+  switch (method) {
+    case SplitMethod::kLouvain:
+      return "louvain";
+    case SplitMethod::kMetis:
+      return "metis";
+  }
+  return "unknown";
+}
+
+Result<SplitMethod> ParseSplitMethod(const std::string& name) {
+  if (name == "louvain") return SplitMethod::kLouvain;
+  if (name == "metis") return SplitMethod::kMetis;
+  return InvalidArgumentError("unknown split method: " + name);
+}
+
+namespace {
+
+// Packs communities into `num_clients` bins, assigning each community (in
+// decreasing size order) to the currently lightest bin. Oversized
+// communities are chopped so that every client ends non-empty.
+std::vector<std::vector<NodeId>> PackCommunities(
+    std::vector<std::vector<NodeId>> communities, int num_clients, Rng& rng) {
+  // Split the largest communities until we have at least num_clients groups.
+  auto largest = [&communities]() {
+    size_t best = 0;
+    for (size_t i = 1; i < communities.size(); ++i) {
+      if (communities[i].size() > communities[best].size()) best = i;
+    }
+    return best;
+  };
+  while (static_cast<int>(communities.size()) < num_clients) {
+    const size_t big = largest();
+    FEDGTA_CHECK_GT(communities[big].size(), 1u)
+        << "cannot split further: fewer nodes than clients";
+    std::vector<NodeId>& src = communities[big];
+    const size_t half = src.size() / 2;
+    std::vector<NodeId> moved(src.begin() + static_cast<int64_t>(half),
+                              src.end());
+    src.resize(half);
+    communities.push_back(std::move(moved));
+  }
+
+  std::sort(communities.begin(), communities.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  (void)rng;
+
+  std::vector<std::vector<NodeId>> clients(static_cast<size_t>(num_clients));
+  for (auto& community : communities) {
+    auto lightest = std::min_element(
+        clients.begin(), clients.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    auto& bin = *lightest;
+    bin.insert(bin.end(), community.begin(), community.end());
+  }
+  for (const auto& client : clients) {
+    FEDGTA_CHECK(!client.empty()) << "empty client after packing";
+  }
+  return clients;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> FederatedSplit(const Graph& graph,
+                                                const SplitConfig& config,
+                                                Rng& rng) {
+  FEDGTA_CHECK_GE(config.num_clients, 1);
+  FEDGTA_CHECK_LE(config.num_clients, graph.num_nodes());
+
+  std::vector<int> assignment;
+  if (config.method == SplitMethod::kMetis) {
+    assignment = MetisPartition(graph, config.num_clients, rng);
+    std::vector<std::vector<NodeId>> clients(
+        static_cast<size_t>(config.num_clients));
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      clients[static_cast<size_t>(assignment[static_cast<size_t>(v)])]
+          .push_back(v);
+    }
+    for (const auto& client : clients) FEDGTA_CHECK(!client.empty());
+    return clients;
+  }
+
+  // Louvain: discover communities, then pack into clients.
+  assignment = LouvainCommunities(graph, rng);
+  const int num_comms =
+      1 + *std::max_element(assignment.begin(), assignment.end());
+  std::vector<std::vector<NodeId>> communities(
+      static_cast<size_t>(num_comms));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    communities[static_cast<size_t>(assignment[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  return PackCommunities(std::move(communities), config.num_clients, rng);
+}
+
+}  // namespace fedgta

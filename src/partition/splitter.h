@@ -1,0 +1,40 @@
+#ifndef FEDGTA_PARTITION_SPLITTER_H_
+#define FEDGTA_PARTITION_SPLITTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fedgta {
+
+/// Federated subgraph simulation methods used by the paper: community-based
+/// Louvain assignment and balanced METIS-style k-way partitioning.
+enum class SplitMethod {
+  kLouvain,
+  kMetis,
+};
+
+const char* SplitMethodName(SplitMethod method);
+Result<SplitMethod> ParseSplitMethod(const std::string& name);
+
+/// How a global graph is divided into client-held node sets.
+struct SplitConfig {
+  SplitMethod method = SplitMethod::kLouvain;
+  int num_clients = 10;
+};
+
+/// Assigns every node of `graph` to exactly one of `config.num_clients`
+/// clients. Louvain: communities are discovered and greedily packed into
+/// clients balancing node counts (communities larger than needed are split).
+/// Metis: direct k-way partition. Returns per-client global node id lists;
+/// every client is non-empty.
+std::vector<std::vector<NodeId>> FederatedSplit(const Graph& graph,
+                                                const SplitConfig& config,
+                                                Rng& rng);
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_PARTITION_SPLITTER_H_

@@ -1,0 +1,238 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/federated.h"
+#include "data/registry.h"
+#include "graph/metrics.h"
+
+namespace fedgta {
+namespace {
+
+TEST(StratifiedSplitTest, FractionsRespected) {
+  std::vector<int> labels;
+  for (int i = 0; i < 1000; ++i) labels.push_back(i % 4);
+  Rng rng(1);
+  std::vector<int32_t> train, val, test;
+  StratifiedSplit(labels, 4, 0.2, 0.4, rng, &train, &val, &test);
+  EXPECT_EQ(train.size() + val.size() + test.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(train.size()), 200.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(val.size()), 400.0, 8.0);
+}
+
+TEST(StratifiedSplitTest, DisjointAndSorted) {
+  std::vector<int> labels(300, 0);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 3);
+  Rng rng(2);
+  std::vector<int32_t> train, val, test;
+  StratifiedSplit(labels, 3, 0.3, 0.3, rng, &train, &val, &test);
+  std::set<int32_t> all;
+  for (const auto* v : {&train, &val, &test}) {
+    EXPECT_TRUE(std::is_sorted(v->begin(), v->end()));
+    all.insert(v->begin(), v->end());
+  }
+  EXPECT_EQ(all.size(), 300u);
+}
+
+TEST(StratifiedSplitTest, EveryClassInTrain) {
+  std::vector<int> labels{0, 0, 0, 0, 1, 2, 2};
+  Rng rng(3);
+  std::vector<int32_t> train, val, test;
+  StratifiedSplit(labels, 3, 0.1, 0.2, rng, &train, &val, &test);
+  std::set<int> classes;
+  for (int32_t i : train) classes.insert(labels[static_cast<size_t>(i)]);
+  EXPECT_EQ(classes.size(), 3u) << "each present class needs >=1 train node";
+}
+
+TEST(StratifiedSplitTest, StratificationBalancesClasses) {
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(0);
+  for (int i = 0; i < 900; ++i) labels.push_back(1);
+  Rng rng(4);
+  std::vector<int32_t> train, val, test;
+  StratifiedSplit(labels, 2, 0.5, 0.2, rng, &train, &val, &test);
+  int64_t c0 = 0;
+  for (int32_t i : train) {
+    if (labels[static_cast<size_t>(i)] == 0) ++c0;
+  }
+  EXPECT_NEAR(static_cast<double>(c0), 50.0, 2.0);
+}
+
+TEST(RegistryTest, TwelveDatasetsRegistered) {
+  const auto names = ListDatasets();
+  EXPECT_EQ(names.size(), 12u);
+  for (const char* expected :
+       {"cora", "citeseer", "pubmed", "amazon-photo", "amazon-computer",
+        "coauthor-cs", "coauthor-physics", "ogbn-arxiv", "ogbn-products",
+        "ogbn-papers100m", "flickr", "reddit"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(RegistryTest, UnknownDatasetIsError) {
+  EXPECT_FALSE(GetDatasetSpec("imagenet").ok());
+  EXPECT_EQ(GetDatasetSpec("imagenet").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, SpecsMatchPaperTable2Protocol) {
+  // Class counts must match the paper's Table 2 (except papers100M, scaled).
+  EXPECT_EQ(GetDatasetSpec("cora")->sbm.num_classes, 7);
+  EXPECT_EQ(GetDatasetSpec("citeseer")->sbm.num_classes, 6);
+  EXPECT_EQ(GetDatasetSpec("pubmed")->sbm.num_classes, 3);
+  EXPECT_EQ(GetDatasetSpec("amazon-photo")->sbm.num_classes, 8);
+  EXPECT_EQ(GetDatasetSpec("amazon-computer")->sbm.num_classes, 10);
+  EXPECT_EQ(GetDatasetSpec("coauthor-cs")->sbm.num_classes, 15);
+  EXPECT_EQ(GetDatasetSpec("coauthor-physics")->sbm.num_classes, 5);
+  EXPECT_EQ(GetDatasetSpec("ogbn-arxiv")->sbm.num_classes, 40);
+  EXPECT_EQ(GetDatasetSpec("ogbn-products")->sbm.num_classes, 47);
+  EXPECT_EQ(GetDatasetSpec("flickr")->sbm.num_classes, 7);
+  EXPECT_EQ(GetDatasetSpec("reddit")->sbm.num_classes, 41);
+  // Inductive protocol flags.
+  EXPECT_TRUE(GetDatasetSpec("flickr")->inductive);
+  EXPECT_TRUE(GetDatasetSpec("reddit")->inductive);
+  EXPECT_FALSE(GetDatasetSpec("cora")->inductive);
+  // Cora keeps its true node count.
+  EXPECT_EQ(GetDatasetSpec("cora")->sbm.num_nodes, 2708);
+}
+
+TEST(RegistryTest, MakeDatasetProducesConsistentShapes) {
+  const Dataset ds = MakeDatasetByName("citeseer", 7);
+  EXPECT_EQ(ds.name, "citeseer");
+  EXPECT_EQ(ds.graph.num_nodes(), 3327);
+  EXPECT_EQ(ds.features.rows(), 3327);
+  EXPECT_EQ(ds.labels.size(), 3327u);
+  EXPECT_EQ(ds.num_classes, 6);
+  EXPECT_FALSE(ds.train_idx.empty());
+  EXPECT_FALSE(ds.val_idx.empty());
+  EXPECT_FALSE(ds.test_idx.empty());
+  EXPECT_EQ(ds.train_idx.size() + ds.val_idx.size() + ds.test_idx.size(),
+            3327u);
+}
+
+TEST(RegistryTest, DeterministicPerSeed) {
+  const Dataset a = MakeDatasetByName("cora", 99);
+  const Dataset b = MakeDatasetByName("cora", 99);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.train_idx, b.train_idx);
+  EXPECT_TRUE(a.features.AllClose(b.features));
+  const Dataset c = MakeDatasetByName("cora", 100);
+  EXPECT_NE(a.train_idx, c.train_idx);
+}
+
+TEST(RegistryTest, LabelLocalityShrinksTrainSet) {
+  // cora uses labeled_region_fraction 0.75: train set should be smaller
+  // than the nominal 20% (moved nodes land in test).
+  const Dataset ds = MakeDatasetByName("cora", 5);
+  EXPECT_LT(static_cast<double>(ds.train_idx.size()), 0.2 * 2708.0);
+  EXPECT_GT(static_cast<double>(ds.train_idx.size()), 0.1 * 2708.0);
+}
+
+TEST(RegistryTest, HomophilyRegimeMatches) {
+  const Dataset cora = MakeDatasetByName("cora", 3);
+  EXPECT_GT(EdgeHomophily(cora.graph, cora.labels), 0.6);
+  const Dataset flickr = MakeDatasetByName("flickr", 3);
+  EXPECT_LT(EdgeHomophily(flickr.graph, flickr.labels), 0.55);
+}
+
+class FederatedBuildTest : public ::testing::TestWithParam<SplitMethod> {};
+
+TEST_P(FederatedBuildTest, ClientShardsConsistent) {
+  Dataset ds = MakeDatasetByName("cora", 11);
+  SplitConfig split;
+  split.method = GetParam();
+  split.num_clients = 10;
+  Rng rng(12);
+  const FederatedDataset fed = BuildFederatedDataset(std::move(ds), split, rng);
+  EXPECT_EQ(fed.num_clients(), 10);
+
+  int64_t total_nodes = 0;
+  int64_t total_train = 0, total_val = 0, total_test = 0;
+  for (const ClientData& client : fed.clients) {
+    EXPECT_GT(client.num_nodes(), 0);
+    EXPECT_EQ(client.features.rows(), client.num_nodes());
+    EXPECT_EQ(static_cast<int64_t>(client.labels.size()), client.num_nodes());
+    EXPECT_EQ(client.num_classes, fed.global.num_classes);
+    total_nodes += client.num_nodes();
+    total_train += static_cast<int64_t>(client.train_idx.size());
+    total_val += static_cast<int64_t>(client.val_idx.size());
+    total_test += static_cast<int64_t>(client.test_idx.size());
+    // Local labels and features must match the global node they map to.
+    for (int64_t i = 0; i < client.num_nodes(); ++i) {
+      const NodeId g = client.sub.global_ids[static_cast<size_t>(i)];
+      EXPECT_EQ(client.labels[static_cast<size_t>(i)],
+                fed.global.labels[static_cast<size_t>(g)]);
+      EXPECT_FLOAT_EQ(client.features(i, 0), fed.global.features(g, 0));
+    }
+  }
+  EXPECT_EQ(total_nodes, fed.global.graph.num_nodes());
+  EXPECT_EQ(total_train, static_cast<int64_t>(fed.global.train_idx.size()));
+  EXPECT_EQ(total_val, static_cast<int64_t>(fed.global.val_idx.size()));
+  EXPECT_EQ(total_test, static_cast<int64_t>(fed.global.test_idx.size()));
+  EXPECT_EQ(fed.total_test(), total_test);
+  EXPECT_EQ(fed.total_train(), total_train);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, FederatedBuildTest,
+                         ::testing::Values(SplitMethod::kLouvain,
+                                           SplitMethod::kMetis));
+
+TEST(FederatedBuildTest, TransductiveTrainGraphEqualsFullGraph) {
+  Dataset ds = MakeDatasetByName("cora", 13);
+  SplitConfig split;
+  split.num_clients = 5;
+  Rng rng(14);
+  const FederatedDataset fed = BuildFederatedDataset(std::move(ds), split, rng);
+  for (const ClientData& client : fed.clients) {
+    EXPECT_EQ(client.train_graph.num_edges(), client.sub.graph.num_edges());
+  }
+}
+
+TEST(FederatedBuildTest, InductiveTrainGraphHidesTestEdges) {
+  Dataset ds = MakeDatasetByName("flickr", 13);
+  SplitConfig split;
+  split.method = SplitMethod::kMetis;
+  split.num_clients = 5;
+  Rng rng(14);
+  const FederatedDataset fed = BuildFederatedDataset(std::move(ds), split, rng);
+  for (const ClientData& client : fed.clients) {
+    EXPECT_EQ(client.train_graph.num_nodes(), client.sub.graph.num_nodes());
+    EXPECT_LE(client.train_graph.num_edges(), client.sub.graph.num_edges());
+    // No training-view edge touches a test node.
+    std::set<int32_t> test_set(client.test_idx.begin(), client.test_idx.end());
+    for (const Edge& e : client.train_graph.UndirectedEdges()) {
+      EXPECT_EQ(test_set.count(e.u), 0u);
+      EXPECT_EQ(test_set.count(e.v), 0u);
+    }
+  }
+}
+
+TEST(FederatedBuildTest, OverlapReplicationCreatesSharedNodes) {
+  Dataset ds = MakeDatasetByName("cora", 17);
+  SplitConfig split;
+  split.num_clients = 4;
+  Rng rng(18);
+  FederatedOptions options;
+  options.overlap_fraction = 0.1;
+  const FederatedDataset fed =
+      BuildFederatedDataset(std::move(ds), split, rng, options);
+  int64_t total_overlap = 0;
+  for (const ClientData& client : fed.clients) {
+    total_overlap += static_cast<int64_t>(client.overlap_idx.size());
+    for (int32_t i : client.overlap_idx) {
+      // Overlap nodes carry no supervision.
+      EXPECT_EQ(std::count(client.train_idx.begin(), client.train_idx.end(), i), 0);
+      EXPECT_EQ(std::count(client.test_idx.begin(), client.test_idx.end(), i), 0);
+    }
+  }
+  EXPECT_GT(total_overlap, 0);
+  // Total nodes now exceed the global count (replicas).
+  int64_t total_nodes = 0;
+  for (const ClientData& client : fed.clients) total_nodes += client.num_nodes();
+  EXPECT_EQ(total_nodes, fed.global.graph.num_nodes() + total_overlap);
+}
+
+}  // namespace
+}  // namespace fedgta

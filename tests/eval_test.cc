@@ -1,0 +1,74 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/csv.h"
+#include "eval/experiment.h"
+
+namespace fedgta {
+namespace {
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::vector<RoundStats> curve(2);
+  curve[0].round = 1;
+  curve[0].test_accuracy = 0.5;
+  curve[0].upload_floats = 100;
+  curve[1].round = 2;
+  curve[1].test_accuracy = 0.75;
+  const std::string path = ::testing::TempDir() + "/fedgta_curve.csv";
+  FEDGTA_CHECK_OK(WriteCurvesCsv(path, {{"fedavg", curve}, {"fedgta", {}}}));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("label,round,test_acc"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("fedavg,1,0.5", 0), 0u);
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("fedavg,2,0.75", 0), 0u);
+  EXPECT_FALSE(std::getline(in, line)) << "empty curve adds no rows";
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnwritablePathIsError) {
+  const Status status =
+      WriteCurvesCsv("/nonexistent-dir/x.csv", {{"a", {}}});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ExperimentConfigTest, DefaultsAreRunnable) {
+  ExperimentConfig config;
+  config.model.type = ModelType::kSgc;
+  config.model.k = 2;
+  config.sim.rounds = 3;
+  config.sim.eval_every = 1;
+  config.repeats = 1;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 0.0);
+  EXPECT_EQ(result.curve.size(), 3u);
+  EXPECT_GT(result.mean_upload_mb, 0.0);
+  EXPECT_GT(result.mean_download_mb, 0.0);
+}
+
+TEST(ExperimentTest, SeedChangesResults) {
+  ExperimentConfig config;
+  config.model.type = ModelType::kSgc;
+  config.model.k = 2;
+  config.sim.rounds = 3;
+  config.repeats = 1;
+  config.seed = 1;
+  const double a = RunExperiment(config).test_accuracy.mean;
+  config.seed = 2;
+  const double b = RunExperiment(config).test_accuracy.mean;
+  config.seed = 1;
+  const double a_again = RunExperiment(config).test_accuracy.mean;
+  EXPECT_DOUBLE_EQ(a, a_again);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fedgta

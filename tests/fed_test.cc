@@ -1,0 +1,446 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/federated.h"
+#include "fed/feddc.h"
+#include "fed/fedgl.h"
+#include "fed/fedgta_strategy.h"
+#include "fed/fedprox.h"
+#include "fed/fedsage.h"
+#include "fed/gcfl_plus.h"
+#include "fed/moon.h"
+#include "fed/scaffold.h"
+#include "fed/simulation.h"
+#include "fed/strategy.h"
+#include "graph/generator.h"
+#include "linalg/ops.h"
+
+namespace fedgta {
+namespace {
+
+// Small synthetic federated dataset for strategy tests.
+FederatedDataset MakeTinyFederated(int num_clients = 4, uint64_t seed = 1,
+                                   bool inductive = false) {
+  SbmConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 6.0;
+  cfg.homophily = 0.85;
+  cfg.regions_per_class = 2;
+  Rng rng(seed);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Dataset ds;
+  ds.name = "tiny";
+  ds.graph = std::move(lg.graph);
+  ds.labels = std::move(lg.labels);
+  ds.num_classes = 4;
+  FeatureConfig fcfg;
+  fcfg.dim = 8;
+  fcfg.noise_scale = 1.5f;
+  ds.features = GenerateFeatures(ds.labels, 4, fcfg, rng);
+  ds.inductive = inductive;
+  StratifiedSplit(ds.labels, 4, 0.3, 0.2, rng, &ds.train_idx, &ds.val_idx,
+                  &ds.test_idx);
+  SplitConfig split;
+  split.method = SplitMethod::kLouvain;
+  split.num_clients = num_clients;
+  Rng srng(seed ^ 7);
+  return BuildFederatedDataset(std::move(ds), split, srng);
+}
+
+ModelConfig TinyModel() {
+  ModelConfig cfg;
+  cfg.type = ModelType::kSgc;
+  cfg.k = 2;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(ClientTest, ParamsRoundTrip) {
+  FederatedDataset fed = MakeTinyFederated();
+  Client client(&fed.clients[0], TinyModel(), OptimizerConfig{}, 3);
+  const std::vector<float> params = client.GetParams();
+  EXPECT_EQ(static_cast<int64_t>(params.size()), client.param_count());
+  std::vector<float> doubled = params;
+  for (float& v : doubled) v *= 2.0f;
+  client.SetParams(doubled);
+  EXPECT_EQ(client.GetParams(), doubled);
+}
+
+TEST(ClientTest, TrainingReducesLoss) {
+  FederatedDataset fed = MakeTinyFederated();
+  OptimizerConfig opt;
+  opt.lr = 0.05f;
+  Client client(&fed.clients[0], TinyModel(), opt, 3);
+  const double first = client.TrainLocal(1);
+  double last = first;
+  for (int i = 0; i < 20; ++i) last = client.TrainLocal(1);
+  EXPECT_LT(last, first);
+  EXPECT_GT(client.TestAccuracy(), 0.3);
+}
+
+TEST(ClientTest, GradHookObservesAndModifiesGrads) {
+  FederatedDataset fed = MakeTinyFederated();
+  Client client(&fed.clients[0], TinyModel(), OptimizerConfig{}, 3);
+  const std::vector<float> before = client.GetParams();
+  TrainHooks hooks;
+  int calls = 0;
+  hooks.grad_hook = [&calls](std::span<const float> params,
+                             std::span<float> grads) {
+    ++calls;
+    EXPECT_EQ(params.size(), grads.size());
+    // Zero out all gradients: weights must not change.
+    for (float& g : grads) g = 0.0f;
+  };
+  client.TrainLocal(3, hooks);
+  EXPECT_EQ(calls, 3);
+  const std::vector<float> after = client.GetParams();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-3f)
+        << "zeroed grads (weight decay aside) should freeze weights";
+  }
+}
+
+TEST(ClientTest, FedGtaMetricsWellFormed) {
+  FederatedDataset fed = MakeTinyFederated();
+  Client client(&fed.clients[1], TinyModel(), OptimizerConfig{}, 3);
+  FedGtaOptions options;
+  options.k = 3;
+  options.moment_order = 2;
+  const ClientMetrics metrics = client.ComputeFedGtaMetrics(options);
+  EXPECT_GT(metrics.confidence, 0.0);
+  EXPECT_EQ(metrics.moments.size(), 3u * 2u * 4u);
+}
+
+TEST(ClientTest, EmptyTrainSetIsNoop) {
+  FederatedDataset fed = MakeTinyFederated();
+  ClientData shard = fed.clients[0];
+  shard.train_idx.clear();
+  Client client(&shard, TinyModel(), OptimizerConfig{}, 3);
+  const std::vector<float> before = client.GetParams();
+  EXPECT_DOUBLE_EQ(client.TrainLocal(5), 0.0);
+  EXPECT_EQ(client.GetParams(), before);
+}
+
+TEST(MergeHooksTest, BothHooksRun) {
+  int a = 0, b = 0;
+  TrainHooks ha, hb;
+  ha.grad_hook = [&a](std::span<const float>, std::span<float>) { ++a; };
+  hb.grad_hook = [&b](std::span<const float>, std::span<float>) { ++b; };
+  ha.logits_hook = [](const Matrix&, Matrix*) { return 1.0; };
+  hb.logits_hook = [](const Matrix&, Matrix*) { return 2.0; };
+  TrainHooks merged = MergeHooks(ha, hb);
+  std::vector<float> p{1.0f}, g{1.0f};
+  merged.grad_hook(p, g);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  Matrix logits(1, 1);
+  EXPECT_DOUBLE_EQ(merged.logits_hook(logits, nullptr), 3.0);
+  TrainHooks one = MergeHooks(ha, TrainHooks{});
+  one.grad_hook(p, g);
+  EXPECT_EQ(a, 2);
+}
+
+TEST(StrategyTest, ListAndFactory) {
+  const auto names = ListStrategies();
+  EXPECT_EQ(names.size(), 8u);
+  StrategyOptions options;
+  for (const std::string& name : names) {
+    const auto strategy = MakeStrategy(name, options);
+    ASSERT_TRUE(strategy.ok()) << name;
+    EXPECT_EQ((*strategy)->name(), name);
+  }
+  EXPECT_FALSE(MakeStrategy("fedsgd", options).ok());
+}
+
+TEST(FedAvgTest, WeightedAverageBySampleCount) {
+  FedAvgStrategy strategy;
+  strategy.Initialize(2, {30, 10}, {0.0f, 0.0f});
+  std::vector<LocalResult> results(2);
+  results[0] = {0, {4.0f, 0.0f}, 30, 0.0, {}};
+  results[1] = {1, {0.0f, 8.0f}, 10, 0.0, {}};
+  strategy.Aggregate({0, 1}, results);
+  const auto params = strategy.ParamsFor(0);
+  EXPECT_NEAR(params[0], 3.0f, 1e-6f);  // 4 * 30/40
+  EXPECT_NEAR(params[1], 2.0f, 1e-6f);  // 8 * 10/40
+  // Both clients see the same global model.
+  EXPECT_EQ(strategy.ParamsFor(0).data(), strategy.ParamsFor(1).data());
+}
+
+TEST(LocalOnlyTest, KeepsPerClientParams) {
+  LocalOnlyStrategy strategy;
+  strategy.Initialize(2, {5, 5}, {1.0f});
+  std::vector<LocalResult> results(1);
+  results[0] = {1, {42.0f}, 5, 0.0, {}};
+  strategy.Aggregate({1}, results);
+  EXPECT_FLOAT_EQ(strategy.ParamsFor(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(strategy.ParamsFor(1)[0], 42.0f);
+}
+
+TEST(FedProxTest, ProximalTermPullsTowardGlobal) {
+  FederatedDataset fed = MakeTinyFederated();
+  OptimizerConfig opt;
+  opt.lr = 0.05f;
+  Client client_plain(&fed.clients[0], TinyModel(), opt, 3);
+  Client client_prox(&fed.clients[0], TinyModel(), opt, 3);
+
+  FedProxStrategy weak(0.0f);
+  FedProxStrategy strong(10.0f);
+  const std::vector<float> init = client_plain.GetParams();
+  weak.Initialize(fed.num_clients(), {10, 10, 10, 10}, init);
+  strong.Initialize(fed.num_clients(), {10, 10, 10, 10}, init);
+  client_prox.SetParams(init);
+
+  const LocalResult r_weak = weak.TrainClient(client_plain, 10, {});
+  const LocalResult r_strong = strong.TrainClient(client_prox, 10, {});
+  // Drift from the global anchor must be smaller under a strong prox term.
+  double drift_weak = 0.0, drift_strong = 0.0;
+  for (size_t i = 0; i < init.size(); ++i) {
+    drift_weak += std::fabs(r_weak.params[i] - init[i]);
+    drift_strong += std::fabs(r_strong.params[i] - init[i]);
+  }
+  EXPECT_LT(drift_strong, drift_weak);
+}
+
+TEST(ScaffoldTest, ControlVariatesUpdate) {
+  FederatedDataset fed = MakeTinyFederated();
+  OptimizerConfig opt;
+  opt.type = OptimizerType::kSgd;
+  opt.momentum = 0.0f;
+  opt.lr = 0.05f;
+  Client client(&fed.clients[0], TinyModel(), opt, 3);
+  ScaffoldStrategy strategy(opt.lr);
+  strategy.Initialize(fed.num_clients(), {10, 10, 10, 10}, client.GetParams());
+  const LocalResult r = strategy.TrainClient(client, 3, {});
+  EXPECT_EQ(r.params.size(), client.GetParams().size());
+  strategy.Aggregate({0}, {r});
+  // Second round must also run cleanly with updated control variates.
+  const LocalResult r2 = strategy.TrainClient(client, 3, {});
+  EXPECT_EQ(r2.client_id, 0);
+}
+
+TEST(MoonTest, RunsAndAggregates) {
+  FederatedDataset fed = MakeTinyFederated();
+  ModelConfig model;
+  model.type = ModelType::kGcn;  // has a hidden representation
+  model.hidden = 8;
+  model.dropout = 0.0f;
+  OptimizerConfig opt;
+  Client client(&fed.clients[0], model, opt, 3);
+  MoonStrategy strategy(1.0f, 0.5f);
+  strategy.Initialize(fed.num_clients(), {10, 10, 10, 10}, client.GetParams());
+  const LocalResult r = strategy.TrainClient(client, 2, {});
+  EXPECT_GT(r.loss, 0.0);
+  strategy.Aggregate({0}, {r});
+}
+
+TEST(FedDcTest, DriftAccumulates) {
+  FederatedDataset fed = MakeTinyFederated();
+  OptimizerConfig opt;
+  opt.lr = 0.1f;
+  Client client(&fed.clients[0], TinyModel(), opt, 3);
+  FedDcStrategy strategy(0.01f);
+  const std::vector<float> init = client.GetParams();
+  strategy.Initialize(fed.num_clients(), {10, 10, 10, 10}, init);
+  const LocalResult r = strategy.TrainClient(client, 5, {});
+  strategy.Aggregate({0}, {r});
+  // Global model moved away from init (drift-corrected average).
+  double moved = 0.0;
+  const auto now = strategy.ParamsFor(0);
+  for (size_t i = 0; i < init.size(); ++i) moved += std::fabs(now[i] - init[i]);
+  EXPECT_GT(moved, 0.0);
+}
+
+TEST(GcflPlusTest, SplitsDivergentClients) {
+  GcflPlusStrategy strategy(/*window=*/2, /*eps1=*/10.0f, /*eps2=*/0.0f);
+  // eps1 huge and eps2 tiny: the split criterion fires immediately.
+  strategy.Initialize(4, {1, 1, 1, 1}, {0.0f, 0.0f});
+  // Two groups with opposite update directions.
+  std::vector<LocalResult> results(4);
+  results[0] = {0, {1.0f, 0.0f}, 1, 0.0, {}};
+  results[1] = {1, {1.0f, 0.1f}, 1, 0.0, {}};
+  results[2] = {2, {-1.0f, 0.0f}, 1, 0.0, {}};
+  results[3] = {3, {-1.0f, -0.1f}, 1, 0.0, {}};
+  strategy.Aggregate({0, 1, 2, 3}, results);
+  EXPECT_EQ(strategy.num_clusters(), 2);
+  const auto& clusters = strategy.clusters();
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[2], clusters[3]);
+  EXPECT_NE(clusters[0], clusters[2]);
+  // Cluster models differ.
+  EXPECT_NE(strategy.ParamsFor(0)[0], strategy.ParamsFor(2)[0]);
+}
+
+TEST(GcflPlusTest, NoSplitWhenCriterionUnmet) {
+  GcflPlusStrategy strategy(/*window=*/2, /*eps1=*/1e-9f, /*eps2=*/1e9f);
+  strategy.Initialize(4, {1, 1, 1, 1}, {0.0f});
+  std::vector<LocalResult> results(4);
+  for (int i = 0; i < 4; ++i) {
+    results[static_cast<size_t>(i)] = {i, {static_cast<float>(i)}, 1, 0.0, {}};
+  }
+  strategy.Aggregate({0, 1, 2, 3}, results);
+  EXPECT_EQ(strategy.num_clusters(), 1);
+}
+
+TEST(FedGtaStrategyTest, UploadsMetricsAndPersonalizes) {
+  FederatedDataset fed = MakeTinyFederated();
+  std::vector<Client> clients;
+  for (const ClientData& shard : fed.clients) {
+    clients.emplace_back(&shard, TinyModel(), OptimizerConfig{}, 3);
+  }
+  FedGtaOptions options;
+  options.k = 2;
+  options.moment_order = 2;
+  options.epsilon = 0.9;  // strict: likely personalized sets
+  FedGtaStrategy strategy(options);
+  std::vector<int64_t> sizes;
+  for (Client& c : clients) sizes.push_back(c.num_train());
+  strategy.Initialize(fed.num_clients(), sizes, clients[0].GetParams());
+
+  std::vector<LocalResult> results;
+  std::vector<int> participants;
+  for (Client& c : clients) {
+    results.push_back(strategy.TrainClient(c, 2, {}));
+    participants.push_back(c.id());
+    EXPECT_GT(results.back().metrics.confidence, 0.0);
+    EXPECT_FALSE(results.back().metrics.moments.empty());
+  }
+  strategy.Aggregate(participants, results);
+  const auto& sets = strategy.last_aggregation_sets();
+  ASSERT_EQ(sets.size(), static_cast<size_t>(fed.num_clients()));
+  for (int i = 0; i < fed.num_clients(); ++i) {
+    ASSERT_FALSE(sets[static_cast<size_t>(i)].empty());
+    EXPECT_EQ(sets[static_cast<size_t>(i)].front(), i);
+  }
+}
+
+TEST(FedSageTest, AugmentAddsGeneratedNodes) {
+  FederatedDataset fed = MakeTinyFederated();
+  FedSageConfig config;
+  config.gen_epochs = 5;
+  config.gen_fed_rounds = 1;
+  Rng rng(11);
+  const std::vector<ClientData> mended =
+      FedSageAugment(fed.clients, config, rng);
+  ASSERT_EQ(mended.size(), fed.clients.size());
+  int64_t added = 0;
+  for (size_t c = 0; c < mended.size(); ++c) {
+    const ClientData& before = fed.clients[c];
+    const ClientData& after = mended[c];
+    EXPECT_GE(after.num_nodes(), before.num_nodes());
+    added += after.num_nodes() - before.num_nodes();
+    // Supervision masks unchanged.
+    EXPECT_EQ(after.train_idx, before.train_idx);
+    EXPECT_EQ(after.test_idx, before.test_idx);
+    // Generated nodes carry the -1 global id sentinel.
+    for (int64_t i = before.num_nodes(); i < after.num_nodes(); ++i) {
+      EXPECT_EQ(after.sub.global_ids[static_cast<size_t>(i)], -1);
+    }
+    // Shapes consistent.
+    EXPECT_EQ(after.features.rows(), after.num_nodes());
+    EXPECT_EQ(static_cast<int64_t>(after.labels.size()), after.num_nodes());
+    EXPECT_EQ(after.train_graph.num_nodes(), after.num_nodes());
+  }
+  EXPECT_GT(added, 0) << "the generator should mend at least some nodes";
+}
+
+TEST(FedGlTest, PseudoLabelsOnSharedNodes) {
+  // Build with overlap so FedGL has shared nodes.
+  SbmConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_classes = 3;
+  cfg.avg_degree = 6.0;
+  Rng rng(21);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Dataset ds;
+  ds.graph = std::move(lg.graph);
+  ds.labels = std::move(lg.labels);
+  ds.num_classes = 3;
+  FeatureConfig fcfg;
+  fcfg.dim = 6;
+  ds.features = GenerateFeatures(ds.labels, 3, fcfg, rng);
+  StratifiedSplit(ds.labels, 3, 0.3, 0.2, rng, &ds.train_idx, &ds.val_idx,
+                  &ds.test_idx);
+  SplitConfig split;
+  split.num_clients = 3;
+  FederatedOptions options;
+  options.overlap_fraction = 0.15;
+  Rng srng(22);
+  FederatedDataset fed =
+      BuildFederatedDataset(std::move(ds), split, srng, options);
+
+  FedGlCoordinator coordinator(&fed, FedGlConfig{});
+  EXPECT_GT(coordinator.num_shared_nodes(), 0);
+
+  std::vector<Client> clients;
+  for (const ClientData& shard : fed.clients) {
+    clients.emplace_back(&shard, TinyModel(), OptimizerConfig{}, 3);
+  }
+  coordinator.UpdatePseudoLabels(clients, {0, 1, 2});
+  // After the refresh, at least one client's hooks add pseudo loss.
+  double total_extra = 0.0;
+  for (Client& c : clients) {
+    TrainHooks hooks = coordinator.HooksFor(c.id());
+    ASSERT_TRUE(static_cast<bool>(hooks.logits_hook));
+    Matrix logits = c.Predict();
+    Matrix dlogits(logits.rows(), logits.cols());
+    total_extra += hooks.logits_hook(logits, &dlogits);
+  }
+  EXPECT_GT(total_extra, 0.0);
+}
+
+TEST(SimulationTest, RunsAndTracksCurve) {
+  FederatedDataset fed = MakeTinyFederated();
+  StrategyOptions sopt;
+  auto strategy = MakeStrategy("fedavg", sopt);
+  SimulationConfig sim;
+  sim.rounds = 5;
+  sim.local_epochs = 2;
+  sim.eval_every = 1;
+  Simulation simulation(&fed, TinyModel(), OptimizerConfig{},
+                        std::move(*strategy), sim);
+  const SimulationResult result = simulation.Run();
+  EXPECT_EQ(result.curve.size(), 5u);
+  EXPECT_GT(result.final_test_accuracy, 0.2);
+  EXPECT_GE(result.best_test_accuracy, 0.0);
+  EXPECT_GT(result.total_client_seconds, 0.0);
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GT(result.curve[i].round, result.curve[i - 1].round);
+    EXPECT_GE(result.curve[i].client_seconds, result.curve[i - 1].client_seconds);
+  }
+}
+
+TEST(SimulationTest, PartialParticipationSamplesSubset) {
+  FederatedDataset fed = MakeTinyFederated(6);
+  StrategyOptions sopt;
+  auto strategy = MakeStrategy("fedavg", sopt);
+  SimulationConfig sim;
+  sim.rounds = 3;
+  sim.participation = 0.34;  // 2 of 6 clients per round
+  Simulation simulation(&fed, TinyModel(), OptimizerConfig{},
+                        std::move(*strategy), sim);
+  const SimulationResult result = simulation.Run();
+  EXPECT_EQ(result.curve.size(), 3u);
+}
+
+TEST(SimulationTest, DeterministicPerSeed) {
+  SimulationConfig sim;
+  sim.rounds = 3;
+  sim.eval_every = 1;
+  sim.seed = 99;
+  StrategyOptions sopt;
+  double acc[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    FederatedDataset fed = MakeTinyFederated(4, /*seed=*/5);
+    auto strategy = MakeStrategy("fedgta", sopt);
+    Simulation simulation(&fed, TinyModel(), OptimizerConfig{},
+                          std::move(*strategy), sim);
+    acc[trial] = simulation.Run().final_test_accuracy;
+  }
+  EXPECT_DOUBLE_EQ(acc[0], acc[1]);
+}
+
+}  // namespace
+}  // namespace fedgta

@@ -1,0 +1,303 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "graph/metrics.h"
+#include "graph/normalized_adjacency.h"
+#include "graph/subgraph.h"
+
+namespace fedgta {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(GraphTest, BasicConstruction) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(2), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g = TriangleWithTail();
+  const auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(GraphTest, UndirectedEdgesEachOnce) {
+  Graph g = TriangleWithTail();
+  const auto edges = g.UndirectedEdges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(4), 0);
+}
+
+TEST(NormalizedAdjacencyTest, SymmetricRowsIncludeSelfLoop) {
+  Graph g = TriangleWithTail();
+  CsrMatrix adj = NormalizedAdjacency(g, 0.5f);
+  // Every row has degree+1 entries (self loop added).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(adj.RowNnz(v), g.Degree(v) + 1);
+  }
+  // Symmetric normalization: entry (i, j) = 1/sqrt(d̃_i d̃_j).
+  Matrix dense = adj.ToDense();
+  EXPECT_NEAR(dense(0, 1), 1.0f / 3.0f, 1e-6f);          // d̃=3, d̃=3
+  EXPECT_NEAR(dense(2, 3), 1.0f / std::sqrt(8.0f), 1e-6f);  // d̃=4, d̃=2
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      EXPECT_NEAR(dense(i, j), dense(j, i), 1e-6f);
+    }
+  }
+}
+
+TEST(NormalizedAdjacencyTest, RowStochasticWhenRZero) {
+  // r = 0: Ã = D̂^{-1} Â, rows sum to 1.
+  Graph g = TriangleWithTail();
+  CsrMatrix adj = NormalizedAdjacency(g, 0.0f);
+  const auto sums = adj.RowSums();
+  for (float s : sums) EXPECT_NEAR(s, 1.0f, 1e-5f);
+}
+
+TEST(NormalizedAdjacencyTest, IsolatedNodeGetsSelfLoopOnly) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  CsrMatrix adj = NormalizedAdjacency(g, 0.5f);
+  EXPECT_EQ(adj.RowNnz(2), 1);
+  EXPECT_NEAR(adj.ToDense()(2, 2), 1.0f, 1e-6f);
+}
+
+TEST(NormalizedAdjacencyTest, NoSelfLoopVariant) {
+  Graph g = TriangleWithTail();
+  CsrMatrix adj = NormalizedAdjacencyNoSelfLoops(g);
+  Matrix dense = adj.ToDense();
+  for (NodeId v = 0; v < 4; ++v) EXPECT_FLOAT_EQ(dense(v, v), 0.0f);
+  EXPECT_NEAR(dense(0, 1), 0.5f, 1e-6f);  // d=2, d=2
+}
+
+TEST(RowMeanAdjacencyTest, RowsAverageNeighbors) {
+  Graph g = TriangleWithTail();
+  CsrMatrix mean = RowMeanAdjacency(g);
+  const auto sums = mean.RowSums();
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(sums[static_cast<size_t>(v)], 1.0f, 1e-6f);
+  }
+  Matrix x(4, 1);
+  x(0, 0) = 3.0f;
+  x(1, 0) = 6.0f;
+  Matrix out = mean * x;
+  // Node 2 neighbors {0,1,3}: mean = (3+6+0)/3.
+  EXPECT_NEAR(out(2, 0), 3.0f, 1e-6f);
+}
+
+TEST(SelfLoopDegreesTest, DegreePlusOne) {
+  Graph g = TriangleWithTail();
+  const auto deg = SelfLoopDegrees(g);
+  EXPECT_FLOAT_EQ(deg[0], 3.0f);
+  EXPECT_FLOAT_EQ(deg[2], 4.0f);
+  EXPECT_FLOAT_EQ(deg[3], 2.0f);
+}
+
+TEST(SubgraphTest, InducesEdgesAndMaps) {
+  Graph g = TriangleWithTail();
+  Subgraph sub = InduceSubgraph(g, {2, 0, 1});
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 3);  // full triangle
+  EXPECT_EQ(sub.global_ids[0], 2);
+  // Local 0 == global 2; its tail neighbor 3 is excluded.
+  EXPECT_EQ(sub.graph.Degree(0), 2);
+}
+
+TEST(SubgraphTest, SingletonNode) {
+  Graph g = TriangleWithTail();
+  Subgraph sub = InduceSubgraph(g, {3});
+  EXPECT_EQ(sub.graph.num_nodes(), 1);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(MetricsTest, EdgeHomophily) {
+  Graph g = TriangleWithTail();
+  EXPECT_DOUBLE_EQ(EdgeHomophily(g, {0, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(EdgeHomophily(g, {0, 0, 0, 0}), 1.0);
+  Graph empty = Graph::FromEdges(2, {});
+  EXPECT_DOUBLE_EQ(EdgeHomophily(empty, {0, 1}), 0.0);
+}
+
+TEST(MetricsTest, LabelHistogram) {
+  const auto hist = LabelHistogram({0, 2, 2, 1, 2}, 4);
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 1);
+  EXPECT_EQ(hist[2], 3);
+  EXPECT_EQ(hist[3], 0);
+}
+
+TEST(MetricsTest, ConnectedComponents) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  int count = 0;
+  const auto comp = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+}
+
+TEST(MetricsTest, ModularityOfPerfectSplit) {
+  // Two disconnected triangles: modularity of the natural split = 0.5.
+  Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_NEAR(Modularity(g, {0, 0, 0, 1, 1, 1}), 0.5, 1e-9);
+  // All in one community: modularity 0.
+  EXPECT_NEAR(Modularity(g, {0, 0, 0, 0, 0, 0}), 0.0, 1e-9);
+}
+
+TEST(GeneratorTest, RespectsNodeAndClassCounts) {
+  SbmConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_classes = 5;
+  cfg.avg_degree = 6.0;
+  cfg.homophily = 0.9;
+  Rng rng(21);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  EXPECT_EQ(lg.graph.num_nodes(), 500);
+  EXPECT_EQ(lg.num_classes, 5);
+  EXPECT_EQ(lg.labels.size(), 500u);
+  EXPECT_EQ(lg.regions.size(), 500u);
+  const auto hist = LabelHistogram(lg.labels, 5);
+  for (int64_t h : hist) EXPECT_GT(h, 0);
+}
+
+TEST(GeneratorTest, HomophilyControlsEdgeHomophily) {
+  SbmConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 8.0;
+  Rng rng(33);
+  cfg.homophily = 0.9;
+  const double high =
+      EdgeHomophily(GeneratePlantedPartition(cfg, rng).graph,
+                    GeneratePlantedPartition(cfg, rng).labels);
+  // Regenerate consistently (graph+labels from the same draw).
+  Rng rng2(33);
+  LabeledGraph hi = GeneratePlantedPartition(cfg, rng2);
+  const double h_high = EdgeHomophily(hi.graph, hi.labels);
+  cfg.homophily = 0.2;
+  Rng rng3(33);
+  LabeledGraph lo = GeneratePlantedPartition(cfg, rng3);
+  const double h_low = EdgeHomophily(lo.graph, lo.labels);
+  EXPECT_GT(h_high, 0.75);
+  EXPECT_LT(h_low, 0.5);
+  EXPECT_GT(h_high, h_low);
+  (void)high;
+}
+
+TEST(GeneratorTest, AverageDegreeApproximatelyMatches) {
+  SbmConfig cfg;
+  cfg.num_nodes = 3000;
+  cfg.num_classes = 3;
+  cfg.avg_degree = 10.0;
+  Rng rng(5);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  const double avg_deg =
+      2.0 * static_cast<double>(lg.graph.num_edges()) / 3000.0;
+  // Dedup removes some sampled edges; allow slack.
+  EXPECT_GT(avg_deg, 7.0);
+  EXPECT_LE(avg_deg, 10.5);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  SbmConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_classes = 3;
+  Rng a(77);
+  Rng b(77);
+  LabeledGraph ga = GeneratePlantedPartition(cfg, a);
+  LabeledGraph gb = GeneratePlantedPartition(cfg, b);
+  EXPECT_EQ(ga.graph.num_edges(), gb.graph.num_edges());
+  EXPECT_EQ(ga.labels, gb.labels);
+}
+
+TEST(GeneratorTest, ClassImbalanceSkewsSizes) {
+  SbmConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.num_classes = 5;
+  cfg.class_imbalance = 1.0;
+  Rng rng(9);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  const auto hist = LabelHistogram(lg.labels, 5);
+  EXPECT_GT(hist[0], 2 * hist[4]);
+}
+
+TEST(GeneratorTest, RegionsPartitionClasses) {
+  SbmConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.num_classes = 3;
+  cfg.regions_per_class = 4;
+  Rng rng(15);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  EXPECT_EQ(lg.num_regions, 12);
+  for (int v = 0; v < 600; ++v) {
+    const int region = lg.regions[static_cast<size_t>(v)];
+    EXPECT_EQ(region / 4, lg.labels[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(FeatureTest, FeaturesClusterAroundClassCentroids) {
+  Rng rng(101);
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) labels.push_back(i % 2);
+  FeatureConfig cfg;
+  cfg.dim = 32;
+  cfg.center_scale = 5.0f;  // well separated
+  cfg.noise_scale = 0.5f;
+  Matrix features = GenerateFeatures(labels, 2, cfg, rng);
+  EXPECT_EQ(features.rows(), 200);
+  EXPECT_EQ(features.cols(), 32);
+  // Same-class nodes are closer than cross-class nodes on average.
+  auto dist2 = [&features](int64_t a, int64_t b) {
+    double d = 0.0;
+    for (int64_t j = 0; j < 32; ++j) {
+      const double diff = features(a, j) - features(b, j);
+      d += diff * diff;
+    }
+    return d;
+  };
+  double same = 0.0;
+  double cross = 0.0;
+  int n = 0;
+  for (int64_t i = 0; i + 3 < 200; i += 4, ++n) {
+    same += dist2(i, i + 2);    // same parity
+    cross += dist2(i, i + 1);   // different parity
+  }
+  EXPECT_LT(same / n, cross / n);
+}
+
+}  // namespace
+}  // namespace fedgta

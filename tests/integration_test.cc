@@ -1,0 +1,128 @@
+// End-to-end tests exercising the full pipeline: dataset synthesis ->
+// federated split -> strategy-managed training -> evaluation. These are the
+// behavioural claims of the paper at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace fedgta {
+namespace {
+
+ExperimentConfig FastConfig(const std::string& dataset,
+                            const std::string& strategy) {
+  ExperimentConfig config;
+  config.dataset = dataset;
+  config.strategy = strategy;
+  config.split.num_clients = 5;
+  config.model.type = ModelType::kSgc;
+  config.model.k = 2;
+  config.model.dropout = 0.0f;
+  config.sim.rounds = 8;
+  config.sim.local_epochs = 2;
+  config.sim.eval_every = 2;
+  config.repeats = 1;
+  config.seed = 7;
+  return config;
+}
+
+TEST(IntegrationTest, EveryStrategyCompletesOnCora) {
+  for (const std::string& strategy : ListStrategies()) {
+    ExperimentConfig config = FastConfig("cora", strategy);
+    const ExperimentResult result = RunExperiment(config);
+    EXPECT_GT(result.test_accuracy.mean, 25.0)
+        << strategy << " should beat random guessing (7 classes)";
+    EXPECT_LE(result.test_accuracy.mean, 100.0);
+    EXPECT_FALSE(result.curve.empty());
+  }
+}
+
+TEST(IntegrationTest, FedGtaBeatsFedAvgUnderLabelNonIid) {
+  // The paper's central claim (Tables 3-4) at miniature scale.
+  ExperimentConfig config = FastConfig("cora", "fedavg");
+  config.sim.rounds = 15;
+  config.repeats = 2;
+  const double fedavg = RunExperiment(config).test_accuracy.mean;
+  config.strategy = "fedgta";
+  const double fedgta = RunExperiment(config).test_accuracy.mean;
+  EXPECT_GT(fedgta, fedavg - 1.0)
+      << "FedGTA should not lose to FedAvg under the Non-iid split";
+}
+
+TEST(IntegrationTest, MetisSplitWorksEndToEnd) {
+  ExperimentConfig config = FastConfig("citeseer", "fedgta");
+  config.split.method = SplitMethod::kMetis;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 25.0);
+}
+
+TEST(IntegrationTest, InductiveDatasetEndToEnd) {
+  ExperimentConfig config = FastConfig("flickr", "fedgta");
+  config.split.method = SplitMethod::kMetis;
+  config.model.type = ModelType::kSign;
+  config.model.num_layers = 2;
+  config.model.hidden = 16;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 20.0);
+}
+
+TEST(IntegrationTest, CentralizedGlobalBaseline) {
+  ModelConfig model;
+  model.type = ModelType::kSgc;
+  model.k = 2;
+  model.dropout = 0.0f;
+  const MeanStd global =
+      RunCentralized("cora", model, OptimizerConfig{}, 30, 1, 7);
+  EXPECT_GT(global.mean, 50.0);
+}
+
+TEST(IntegrationTest, FedGlWrapperTrains) {
+  ExperimentConfig config = FastConfig("cora", "fedavg");
+  config.sim.fgl = FglModel::kFedGl;
+  config.federated_options.overlap_fraction = 0.1;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 25.0);
+}
+
+TEST(IntegrationTest, FedSageWrapperTrains) {
+  ExperimentConfig config = FastConfig("cora", "fedavg");
+  config.sim.fgl = FglModel::kFedSage;
+  config.sim.fedsage.gen_epochs = 5;
+  config.sim.fedsage.gen_fed_rounds = 1;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 25.0);
+  EXPECT_GT(result.mean_setup_seconds, 0.0);
+}
+
+TEST(IntegrationTest, AblationSwitchesChangeBehaviour) {
+  ExperimentConfig config = FastConfig("cora", "fedgta");
+  config.sim.rounds = 10;
+  const double full = RunExperiment(config).test_accuracy.mean;
+  config.strategy_options.fedgta.disable_moments = true;
+  const double no_moments = RunExperiment(config).test_accuracy.mean;
+  config.strategy_options.fedgta.disable_moments = false;
+  config.strategy_options.fedgta.disable_confidence = true;
+  const double no_confidence = RunExperiment(config).test_accuracy.mean;
+  // All three run; exact ordering is dataset-dependent at this tiny scale,
+  // but the switches must produce distinct training dynamics.
+  EXPECT_TRUE(full != no_moments || full != no_confidence);
+}
+
+TEST(IntegrationTest, ParticipationSamplingStillLearns) {
+  ExperimentConfig config = FastConfig("cora", "fedgta");
+  config.split.num_clients = 10;
+  config.sim.participation = 0.3;
+  config.sim.rounds = 25;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.test_accuracy.mean, 25.0);
+}
+
+TEST(IntegrationTest, RepeatsReportSpread) {
+  ExperimentConfig config = FastConfig("cora", "fedavg");
+  config.repeats = 2;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GE(result.test_accuracy.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace fedgta

@@ -1,0 +1,202 @@
+// Cross-module mathematical invariants: degenerate-graph equivalences,
+// modularity guarantees, and moment properties that tie the substrates
+// together.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/moments.h"
+#include "gnn/factory.h"
+#include "gnn/gcn.h"
+#include "graph/generator.h"
+#include "graph/metrics.h"
+#include "graph/normalized_adjacency.h"
+#include "nn/mlp.h"
+#include "partition/louvain.h"
+#include "partition/metis.h"
+
+namespace fedgta {
+namespace {
+
+TEST(DegenerateGraphTest, EdgelessNormalizedAdjacencyIsIdentity) {
+  const Graph g = Graph::FromEdges(5, {});
+  const Matrix dense = NormalizedAdjacency(g, 0.5f).ToDense();
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(dense(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(DegenerateGraphTest, GcnOnEdgelessGraphEqualsMlp) {
+  // With Â = I the GCN collapses to an MLP; verify by transplanting the
+  // GCN's weights into an MLP of the same architecture.
+  const Graph g = Graph::FromEdges(12, {});
+  Rng frng(1);
+  Matrix features(12, 6);
+  features.GaussianInit(frng, 1.0f);
+
+  GcnModel gcn(/*num_layers=*/2, /*hidden=*/8, /*dropout=*/0.0f, /*r=*/0.5f);
+  ModelInput input;
+  input.graph_full = &g;
+  input.graph_train = &g;
+  input.features = &features;
+  input.num_classes = 3;
+  Rng rng(2);
+  gcn.Prepare(input, rng);
+
+  MlpConfig cfg;
+  cfg.in_dim = 6;
+  cfg.hidden_dim = 8;
+  cfg.out_dim = 3;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  Rng mrng(3);
+  Mlp mlp(cfg, mrng);
+  UnflattenParams(FlattenParams(gcn.Params()), mlp.Params());
+
+  const Matrix gcn_out = gcn.Forward(false);
+  const Matrix mlp_out = mlp.Forward(features, false);
+  EXPECT_TRUE(gcn_out.AllClose(mlp_out, 1e-4f));
+}
+
+TEST(DegenerateGraphTest, SgcOnEdgelessGraphIsLinearOnRawFeatures) {
+  const Graph g = Graph::FromEdges(10, {});
+  Rng frng(4);
+  Matrix features(10, 4);
+  features.GaussianInit(frng, 1.0f);
+  ModelConfig cfg;
+  cfg.type = ModelType::kSgc;
+  cfg.k = 5;
+  cfg.dropout = 0.0f;
+  auto model = MakeModel(cfg);
+  ModelInput input;
+  input.graph_full = &g;
+  input.graph_train = &g;
+  input.features = &features;
+  input.num_classes = 2;
+  Rng rng(5);
+  model->Prepare(input, rng);
+  // Scaling the features scales the logits affinely (pure linear model on
+  // X^k = X when à = I).
+  const Matrix y1 = model->Forward(false);
+  Matrix zero(10, 4);
+  const Matrix* saved = input.features;
+  (void)saved;
+  // Affine check: f(2x) - f(0) == 2 (f(x) - f(0)) requires re-Prepare with
+  // scaled features; instead check rows with identical features map to
+  // identical logits.
+  Matrix features_dup = features;
+  for (int64_t j = 0; j < 4; ++j) features_dup(1, j) = features(0, j);
+  auto model2 = MakeModel(cfg);
+  ModelInput input2 = input;
+  input2.features = &features_dup;
+  Rng rng2(5);
+  model2->Prepare(input2, rng2);
+  const Matrix y2 = model2->Forward(false);
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(y2(0, j), y2(1, j), 1e-5f);
+  }
+  (void)y1;
+}
+
+TEST(ModularityTest, LouvainBeatsTrivialPartitions) {
+  SbmConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 8.0;
+  cfg.homophily = 0.85;
+  Rng rng(7);
+  const LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng lrng(8);
+  const std::vector<int> communities = LouvainCommunities(lg.graph, lrng);
+  const double q_louvain = Modularity(lg.graph, communities);
+  const std::vector<int> all_one(600, 0);
+  std::vector<int> singletons(600);
+  for (int i = 0; i < 600; ++i) singletons[static_cast<size_t>(i)] = i;
+  EXPECT_GT(q_louvain, Modularity(lg.graph, all_one));
+  EXPECT_GT(q_louvain, Modularity(lg.graph, singletons));
+  // And at least as good as the planted ground truth is a strong ask;
+  // Louvain should land within a modest factor of it.
+  EXPECT_GT(q_louvain, 0.8 * Modularity(lg.graph, lg.labels));
+}
+
+TEST(ModularityTest, MetisRefinementNeverProducesWorseCutThanInitialRandom) {
+  SbmConfig cfg;
+  cfg.num_nodes = 800;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 8.0;
+  Rng rng(9);
+  const LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng prng(10);
+  const std::vector<int> parts = MetisPartition(lg.graph, 8, prng);
+  // 30 random assignments: Metis should beat all of them.
+  Rng rrng(11);
+  const int64_t metis_cut = EdgeCut(lg.graph, parts);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> random_parts(800);
+    for (int& p : random_parts) p = static_cast<int>(rrng.UniformInt(0, 7));
+    EXPECT_LT(metis_cut, EdgeCut(lg.graph, random_parts));
+  }
+}
+
+TEST(MomentInvariantTest, EvenOrderMomentsNonNegative) {
+  Rng rng(12);
+  std::vector<Matrix> hops;
+  Matrix y(40, 5);
+  y.GaussianInit(rng, 1.0f);
+  RowSoftmaxInPlace(&y);
+  hops.push_back(y);
+  const auto moments = MixedMoments(hops, 4);
+  // Layout: order-major per hop: [o1 c..., o2 c..., o3 c..., o4 c...].
+  for (int order = 2; order <= 4; order += 2) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GE(moments[static_cast<size_t>((order - 1) * 5 + c)], 0.0f)
+          << "order " << order << " class " << c;
+    }
+  }
+}
+
+TEST(MomentInvariantTest, PermutingNodesLeavesMomentsUnchanged) {
+  Rng rng(13);
+  Matrix y(30, 4);
+  y.GaussianInit(rng, 1.0f);
+  RowSoftmaxInPlace(&y);
+  Matrix shuffled(30, 4);
+  std::vector<int> perm(30);
+  for (int i = 0; i < 30; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(perm);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      shuffled(i, j) = y(perm[static_cast<size_t>(i)], j);
+    }
+  }
+  const auto a = MixedMoments({y}, 3);
+  const auto b = MixedMoments({shuffled}, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5f) << "moments must be node-order invariant";
+  }
+}
+
+TEST(HomophilyCalibrationTest, GeneratorTracksTargetAcrossRange) {
+  // The backbone-compensated sampler should land within ~0.12 of the
+  // requested homophily across the usable range (same-class collisions of
+  // random edges put a floor near 1/classes).
+  for (double target : {0.5, 0.7, 0.9}) {
+    SbmConfig cfg;
+    cfg.num_nodes = 3000;
+    cfg.num_classes = 8;
+    cfg.avg_degree = 10.0;
+    cfg.homophily = target;
+    cfg.regions_per_class = 3;
+    Rng rng(static_cast<uint64_t>(target * 100));
+    const LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+    const double measured = EdgeHomophily(lg.graph, lg.labels);
+    EXPECT_NEAR(measured, target, 0.12) << "target " << target;
+  }
+}
+
+}  // namespace
+}  // namespace fedgta

@@ -1,0 +1,119 @@
+// Tests for optional minibatch local training (Client::SetBatchSize),
+// the fidelity knob documented in DESIGN.md §7.
+
+#include <gtest/gtest.h>
+
+#include "data/federated.h"
+#include "fed/scaffold.h"
+#include "fed/simulation.h"
+#include "graph/generator.h"
+
+namespace fedgta {
+namespace {
+
+FederatedDataset SmallFederated(uint64_t seed) {
+  SbmConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_classes = 3;
+  cfg.avg_degree = 6.0;
+  Rng rng(seed);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Dataset ds;
+  ds.graph = std::move(lg.graph);
+  ds.labels = std::move(lg.labels);
+  ds.num_classes = 3;
+  FeatureConfig fcfg;
+  fcfg.dim = 8;
+  ds.features = GenerateFeatures(ds.labels, 3, fcfg, rng);
+  StratifiedSplit(ds.labels, 3, 0.4, 0.2, rng, &ds.train_idx, &ds.val_idx,
+                  &ds.test_idx);
+  SplitConfig split;
+  split.num_clients = 3;
+  Rng srng(seed ^ 3);
+  return BuildFederatedDataset(std::move(ds), split, srng);
+}
+
+ModelConfig SmallModel() {
+  ModelConfig cfg;
+  cfg.type = ModelType::kSgc;
+  cfg.k = 2;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(MinibatchTest, ZeroBatchMatchesDefaultFullBatch) {
+  FederatedDataset fed = SmallFederated(1);
+  Client a(&fed.clients[0], SmallModel(), OptimizerConfig{}, 7);
+  Client b(&fed.clients[0], SmallModel(), OptimizerConfig{}, 7);
+  b.SetBatchSize(0);
+  a.TrainLocal(4);
+  b.TrainLocal(4);
+  EXPECT_EQ(a.GetParams(), b.GetParams());
+}
+
+TEST(MinibatchTest, OversizedBatchIsFullBatch) {
+  FederatedDataset fed = SmallFederated(2);
+  Client a(&fed.clients[0], SmallModel(), OptimizerConfig{}, 7);
+  Client b(&fed.clients[0], SmallModel(), OptimizerConfig{}, 7);
+  b.SetBatchSize(static_cast<int>(fed.clients[0].train_idx.size()) + 100);
+  a.TrainLocal(3);
+  b.TrainLocal(3);
+  EXPECT_EQ(a.GetParams(), b.GetParams());
+}
+
+TEST(MinibatchTest, SmallBatchChangesTrajectoryButStillLearns) {
+  FederatedDataset fed = SmallFederated(3);
+  OptimizerConfig opt;
+  opt.lr = 0.05f;
+  Client full(&fed.clients[0], SmallModel(), opt, 7);
+  Client mini(&fed.clients[0], SmallModel(), opt, 7);
+  mini.SetBatchSize(8);
+  for (int r = 0; r < 10; ++r) {
+    full.TrainLocal(2);
+    mini.TrainLocal(2);
+  }
+  EXPECT_NE(full.GetParams(), mini.GetParams())
+      << "sampled batches must perturb the trajectory";
+  EXPECT_GT(mini.TestAccuracy(), 0.4) << "minibatch SGD still learns";
+}
+
+TEST(MinibatchTest, DeterministicPerSeed) {
+  FederatedDataset fed = SmallFederated(4);
+  Client a(&fed.clients[1], SmallModel(), OptimizerConfig{}, 11);
+  Client b(&fed.clients[1], SmallModel(), OptimizerConfig{}, 11);
+  a.SetBatchSize(8);
+  b.SetBatchSize(8);
+  a.TrainLocal(5);
+  b.TrainLocal(5);
+  EXPECT_EQ(a.GetParams(), b.GetParams());
+}
+
+TEST(MinibatchTest, SimulationPlumbsBatchSize) {
+  FederatedDataset fed = SmallFederated(5);
+  SimulationConfig sim;
+  sim.rounds = 4;
+  sim.batch_size = 8;
+  StrategyOptions sopt;
+  Simulation simulation(&fed, SmallModel(), OptimizerConfig{},
+                        std::move(*MakeStrategy("fedavg", sopt)), sim);
+  for (Client& client : simulation.clients()) {
+    EXPECT_EQ(client.batch_size(), 8);
+  }
+  const SimulationResult result = simulation.Run();
+  EXPECT_GT(result.final_test_accuracy, 0.3);
+}
+
+TEST(MinibatchTest, ScaffoldRunsWithMinibatch) {
+  FederatedDataset fed = SmallFederated(6);
+  SimulationConfig sim;
+  sim.rounds = 4;
+  sim.batch_size = 8;
+  StrategyOptions sopt;
+  Simulation simulation(&fed, SmallModel(), OptimizerConfig{},
+                        std::move(*MakeStrategy("scaffold", sopt)), sim);
+  const SimulationResult result = simulation.Run();
+  EXPECT_GT(result.final_test_accuracy, 0.3);
+}
+
+}  // namespace
+}  // namespace fedgta

@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/metrics.h"
+#include "partition/louvain.h"
+#include "partition/metis.h"
+#include "partition/splitter.h"
+
+namespace fedgta {
+namespace {
+
+// Two well-separated communities joined by a single bridge edge.
+Graph TwoCliques(int size) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < size; ++i) {
+    for (NodeId j = i + 1; j < size; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({static_cast<NodeId>(size + i),
+                       static_cast<NodeId>(size + j)});
+    }
+  }
+  edges.push_back({0, static_cast<NodeId>(size)});
+  return Graph::FromEdges(static_cast<NodeId>(2 * size), edges);
+}
+
+TEST(LouvainTest, RecoversTwoCliques) {
+  Graph g = TwoCliques(8);
+  Rng rng(1);
+  const std::vector<int> comm = LouvainCommunities(g, rng);
+  // All of clique A share a community, all of clique B share another.
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(comm[0], comm[static_cast<size_t>(i)]);
+  for (int i = 9; i < 16; ++i) EXPECT_EQ(comm[8], comm[static_cast<size_t>(i)]);
+  EXPECT_NE(comm[0], comm[8]);
+}
+
+TEST(LouvainTest, CommunityIdsAreCompact) {
+  Graph g = TwoCliques(5);
+  Rng rng(2);
+  const std::vector<int> comm = LouvainCommunities(g, rng);
+  std::set<int> ids(comm.begin(), comm.end());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int>(ids.size()) - 1);
+}
+
+TEST(LouvainTest, EdgelessGraphIsSingletons) {
+  Graph g = Graph::FromEdges(4, {});
+  Rng rng(3);
+  const std::vector<int> comm = LouvainCommunities(g, rng);
+  std::set<int> ids(comm.begin(), comm.end());
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(LouvainTest, ImprovesModularityOnSbm) {
+  SbmConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_classes = 5;
+  cfg.avg_degree = 10.0;
+  cfg.homophily = 0.9;
+  Rng rng(5);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng lrng(6);
+  const std::vector<int> comm = LouvainCommunities(lg.graph, lrng);
+  const double q = Modularity(lg.graph, comm);
+  EXPECT_GT(q, 0.4) << "Louvain should find strong community structure";
+  // Louvain communities should be label-coherent under high homophily:
+  // majority label should dominate most communities.
+  const int num_comm = 1 + *std::max_element(comm.begin(), comm.end());
+  EXPECT_GE(num_comm, 5);
+}
+
+TEST(LouvainTest, DeterministicPerSeed) {
+  Graph g = TwoCliques(10);
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(LouvainCommunities(g, a), LouvainCommunities(g, b));
+}
+
+TEST(MetisTest, PartitionCountAndCoverage) {
+  SbmConfig cfg;
+  cfg.num_nodes = 800;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 8.0;
+  Rng rng(7);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng prng(8);
+  const std::vector<int> parts = MetisPartition(lg.graph, 6, prng);
+  ASSERT_EQ(parts.size(), 800u);
+  std::vector<int> count(6, 0);
+  for (int p : parts) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 6);
+    ++count[static_cast<size_t>(p)];
+  }
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(MetisTest, BalancedParts) {
+  SbmConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_classes = 5;
+  cfg.avg_degree = 10.0;
+  Rng rng(11);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng prng(12);
+  const std::vector<int> parts = MetisPartition(lg.graph, 5, prng);
+  std::vector<int> count(5, 0);
+  for (int p : parts) ++count[static_cast<size_t>(p)];
+  // Target 200 per part with 1.10 balance factor, give some slack for the
+  // coarse granularity of matching-based multilevel partitioning.
+  for (int c : count) {
+    EXPECT_GT(c, 100);
+    EXPECT_LT(c, 320);
+  }
+}
+
+TEST(MetisTest, CutBeatsRandomAssignment) {
+  SbmConfig cfg;
+  cfg.num_nodes = 1200;
+  cfg.num_classes = 6;
+  cfg.avg_degree = 10.0;
+  cfg.homophily = 0.85;
+  Rng rng(13);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  Rng prng(14);
+  const std::vector<int> parts = MetisPartition(lg.graph, 6, prng);
+  std::vector<int> random_parts(1200);
+  Rng rrng(15);
+  for (int& p : random_parts) p = static_cast<int>(rrng.UniformInt(0, 5));
+  EXPECT_LT(EdgeCut(lg.graph, parts), EdgeCut(lg.graph, random_parts) / 2)
+      << "multilevel partitioning should cut far fewer edges than random";
+}
+
+TEST(MetisTest, SinglePartTrivial) {
+  Graph g = TwoCliques(4);
+  Rng rng(1);
+  const std::vector<int> parts = MetisPartition(g, 1, rng);
+  for (int p : parts) EXPECT_EQ(p, 0);
+  EXPECT_EQ(EdgeCut(g, parts), 0);
+}
+
+TEST(MetisTest, KEqualsNodes) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  Rng rng(2);
+  const std::vector<int> parts = MetisPartition(g, 6, rng);
+  std::set<int> ids(parts.begin(), parts.end());
+  EXPECT_EQ(ids.size(), 6u);
+}
+
+TEST(EdgeCutTest, CountsCrossingEdges) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(EdgeCut(g, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(EdgeCut(g, {0, 1, 0, 1}), 3);
+  EXPECT_EQ(EdgeCut(g, {0, 0, 0, 0}), 0);
+}
+
+TEST(SplitMethodTest, NamesRoundTrip) {
+  EXPECT_STREQ(SplitMethodName(SplitMethod::kLouvain), "louvain");
+  EXPECT_STREQ(SplitMethodName(SplitMethod::kMetis), "metis");
+  EXPECT_EQ(*ParseSplitMethod("louvain"), SplitMethod::kLouvain);
+  EXPECT_EQ(*ParseSplitMethod("metis"), SplitMethod::kMetis);
+  EXPECT_FALSE(ParseSplitMethod("kmeans").ok());
+}
+
+class FederatedSplitTest : public ::testing::TestWithParam<SplitMethod> {};
+
+TEST_P(FederatedSplitTest, PartitionsAllNodesExactlyOnce) {
+  SbmConfig cfg;
+  cfg.num_nodes = 900;
+  cfg.num_classes = 6;
+  cfg.avg_degree = 8.0;
+  Rng rng(31);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  SplitConfig split;
+  split.method = GetParam();
+  split.num_clients = 7;
+  Rng srng(32);
+  const auto clients = FederatedSplit(lg.graph, split, srng);
+  ASSERT_EQ(clients.size(), 7u);
+  std::vector<int> seen(900, 0);
+  for (const auto& nodes : clients) {
+    EXPECT_FALSE(nodes.empty());
+    for (NodeId v : nodes) ++seen[static_cast<size_t>(v)];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_P(FederatedSplitTest, ClientsAreLabelSkewed) {
+  // The core premise of the paper (Fig. 1a): community-based splits yield
+  // label Non-iid clients.
+  SbmConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.num_classes = 8;
+  cfg.avg_degree = 10.0;
+  cfg.homophily = 0.9;
+  cfg.regions_per_class = 3;
+  Rng rng(41);
+  LabeledGraph lg = GeneratePlantedPartition(cfg, rng);
+  SplitConfig split;
+  split.method = GetParam();
+  split.num_clients = 8;
+  Rng srng(42);
+  const auto clients = FederatedSplit(lg.graph, split, srng);
+  // Average fraction of the majority class per client should far exceed
+  // the global fraction (~1/8).
+  double majority = 0.0;
+  for (const auto& nodes : clients) {
+    std::vector<int64_t> hist(8, 0);
+    for (NodeId v : nodes) ++hist[static_cast<size_t>(lg.labels[static_cast<size_t>(v)])];
+    majority += static_cast<double>(*std::max_element(hist.begin(), hist.end())) /
+                static_cast<double>(nodes.size());
+  }
+  majority /= static_cast<double>(clients.size());
+  EXPECT_GT(majority, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, FederatedSplitTest,
+                         ::testing::Values(SplitMethod::kLouvain,
+                                           SplitMethod::kMetis));
+
+TEST(FederatedSplitTest, MoreClientsThanCommunities) {
+  // Two cliques but 4 clients: communities must be split.
+  Graph g = TwoCliques(10);
+  SplitConfig split;
+  split.method = SplitMethod::kLouvain;
+  split.num_clients = 4;
+  Rng rng(51);
+  const auto clients = FederatedSplit(g, split, rng);
+  ASSERT_EQ(clients.size(), 4u);
+  for (const auto& nodes : clients) EXPECT_FALSE(nodes.empty());
+}
+
+}  // namespace
+}  // namespace fedgta
