@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_aggregation"
+  "../bench/bench_fig3_aggregation.pdb"
+  "CMakeFiles/bench_fig3_aggregation.dir/bench_fig3_aggregation.cc.o"
+  "CMakeFiles/bench_fig3_aggregation.dir/bench_fig3_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

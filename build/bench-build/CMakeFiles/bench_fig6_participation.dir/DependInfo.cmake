@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_participation.cc" "bench-build/CMakeFiles/bench_fig6_participation.dir/bench_fig6_participation.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig6_participation.dir/bench_fig6_participation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_participation"
+  "../bench/bench_fig6_participation.pdb"
+  "CMakeFiles/bench_fig6_participation.dir/bench_fig6_participation.cc.o"
+  "CMakeFiles/bench_fig6_participation.dir/bench_fig6_participation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

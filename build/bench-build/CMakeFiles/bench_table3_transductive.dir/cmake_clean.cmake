@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_transductive"
+  "../bench/bench_table3_transductive.pdb"
+  "CMakeFiles/bench_table3_transductive.dir/bench_table3_transductive.cc.o"
+  "CMakeFiles/bench_table3_transductive.dir/bench_table3_transductive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

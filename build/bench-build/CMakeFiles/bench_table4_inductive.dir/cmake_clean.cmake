@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_inductive"
+  "../bench/bench_table4_inductive.pdb"
+  "CMakeFiles/bench_table4_inductive.dir/bench_table4_inductive.cc.o"
+  "CMakeFiles/bench_table4_inductive.dir/bench_table4_inductive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_common.dir/common/logging.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/fedgta_common.dir/common/random.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/random.cc.o.d"
+  "CMakeFiles/fedgta_common.dir/common/status.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/status.cc.o.d"
+  "CMakeFiles/fedgta_common.dir/common/string_util.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/fedgta_common.dir/common/table.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/table.cc.o.d"
+  "CMakeFiles/fedgta_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/fedgta_common.dir/common/thread_pool.cc.o.d"
+  "libfedgta_common.a"
+  "libfedgta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

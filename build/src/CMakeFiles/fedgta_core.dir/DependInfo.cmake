@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fedgta_metrics.cc" "src/CMakeFiles/fedgta_core.dir/core/fedgta_metrics.cc.o" "gcc" "src/CMakeFiles/fedgta_core.dir/core/fedgta_metrics.cc.o.d"
+  "/root/repo/src/core/label_propagation.cc" "src/CMakeFiles/fedgta_core.dir/core/label_propagation.cc.o" "gcc" "src/CMakeFiles/fedgta_core.dir/core/label_propagation.cc.o.d"
+  "/root/repo/src/core/moments.cc" "src/CMakeFiles/fedgta_core.dir/core/moments.cc.o" "gcc" "src/CMakeFiles/fedgta_core.dir/core/moments.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/fedgta_core.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/fedgta_core.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/smoothing_confidence.cc" "src/CMakeFiles/fedgta_core.dir/core/smoothing_confidence.cc.o" "gcc" "src/CMakeFiles/fedgta_core.dir/core/smoothing_confidence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

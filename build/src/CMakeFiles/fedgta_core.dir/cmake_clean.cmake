@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_core.dir/core/fedgta_metrics.cc.o"
+  "CMakeFiles/fedgta_core.dir/core/fedgta_metrics.cc.o.d"
+  "CMakeFiles/fedgta_core.dir/core/label_propagation.cc.o"
+  "CMakeFiles/fedgta_core.dir/core/label_propagation.cc.o.d"
+  "CMakeFiles/fedgta_core.dir/core/moments.cc.o"
+  "CMakeFiles/fedgta_core.dir/core/moments.cc.o.d"
+  "CMakeFiles/fedgta_core.dir/core/similarity.cc.o"
+  "CMakeFiles/fedgta_core.dir/core/similarity.cc.o.d"
+  "CMakeFiles/fedgta_core.dir/core/smoothing_confidence.cc.o"
+  "CMakeFiles/fedgta_core.dir/core/smoothing_confidence.cc.o.d"
+  "libfedgta_core.a"
+  "libfedgta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedgta_core.a"
+)

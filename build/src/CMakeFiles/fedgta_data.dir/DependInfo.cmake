@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/fedgta_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/fedgta_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/federated.cc" "src/CMakeFiles/fedgta_data.dir/data/federated.cc.o" "gcc" "src/CMakeFiles/fedgta_data.dir/data/federated.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/CMakeFiles/fedgta_data.dir/data/registry.cc.o" "gcc" "src/CMakeFiles/fedgta_data.dir/data/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

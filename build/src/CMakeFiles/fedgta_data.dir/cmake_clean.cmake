@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_data.dir/data/dataset.cc.o"
+  "CMakeFiles/fedgta_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/fedgta_data.dir/data/federated.cc.o"
+  "CMakeFiles/fedgta_data.dir/data/federated.cc.o.d"
+  "CMakeFiles/fedgta_data.dir/data/registry.cc.o"
+  "CMakeFiles/fedgta_data.dir/data/registry.cc.o.d"
+  "libfedgta_data.a"
+  "libfedgta_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_eval.dir/eval/csv.cc.o"
+  "CMakeFiles/fedgta_eval.dir/eval/csv.cc.o.d"
+  "CMakeFiles/fedgta_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/fedgta_eval.dir/eval/experiment.cc.o.d"
+  "libfedgta_eval.a"
+  "libfedgta_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/client.cc" "src/CMakeFiles/fedgta_fed.dir/fed/client.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/client.cc.o.d"
+  "/root/repo/src/fed/feddc.cc" "src/CMakeFiles/fedgta_fed.dir/fed/feddc.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/feddc.cc.o.d"
+  "/root/repo/src/fed/fedgl.cc" "src/CMakeFiles/fedgta_fed.dir/fed/fedgl.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/fedgl.cc.o.d"
+  "/root/repo/src/fed/fedgta_strategy.cc" "src/CMakeFiles/fedgta_fed.dir/fed/fedgta_strategy.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/fedgta_strategy.cc.o.d"
+  "/root/repo/src/fed/fedprox.cc" "src/CMakeFiles/fedgta_fed.dir/fed/fedprox.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/fedprox.cc.o.d"
+  "/root/repo/src/fed/fedsage.cc" "src/CMakeFiles/fedgta_fed.dir/fed/fedsage.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/fedsage.cc.o.d"
+  "/root/repo/src/fed/gcfl_plus.cc" "src/CMakeFiles/fedgta_fed.dir/fed/gcfl_plus.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/gcfl_plus.cc.o.d"
+  "/root/repo/src/fed/moon.cc" "src/CMakeFiles/fedgta_fed.dir/fed/moon.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/moon.cc.o.d"
+  "/root/repo/src/fed/scaffold.cc" "src/CMakeFiles/fedgta_fed.dir/fed/scaffold.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/scaffold.cc.o.d"
+  "/root/repo/src/fed/simulation.cc" "src/CMakeFiles/fedgta_fed.dir/fed/simulation.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/simulation.cc.o.d"
+  "/root/repo/src/fed/strategy.cc" "src/CMakeFiles/fedgta_fed.dir/fed/strategy.cc.o" "gcc" "src/CMakeFiles/fedgta_fed.dir/fed/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_fed.dir/fed/client.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/client.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/feddc.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/feddc.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/fedgl.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/fedgl.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/fedgta_strategy.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/fedgta_strategy.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/fedprox.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/fedprox.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/fedsage.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/fedsage.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/gcfl_plus.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/gcfl_plus.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/moon.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/moon.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/scaffold.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/scaffold.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/simulation.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/simulation.cc.o.d"
+  "CMakeFiles/fedgta_fed.dir/fed/strategy.cc.o"
+  "CMakeFiles/fedgta_fed.dir/fed/strategy.cc.o.d"
+  "libfedgta_fed.a"
+  "libfedgta_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

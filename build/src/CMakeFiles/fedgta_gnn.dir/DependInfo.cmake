@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/factory.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/factory.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/factory.cc.o.d"
+  "/root/repo/src/gnn/gamlp.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gamlp.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gamlp.cc.o.d"
+  "/root/repo/src/gnn/gbp.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gbp.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gbp.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gcn.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/gcn.cc.o.d"
+  "/root/repo/src/gnn/model.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/model.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/model.cc.o.d"
+  "/root/repo/src/gnn/propagation.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/propagation.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/propagation.cc.o.d"
+  "/root/repo/src/gnn/s2gc.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/s2gc.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/s2gc.cc.o.d"
+  "/root/repo/src/gnn/sage.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sage.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sage.cc.o.d"
+  "/root/repo/src/gnn/sgc.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sgc.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sgc.cc.o.d"
+  "/root/repo/src/gnn/sign.cc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sign.cc.o" "gcc" "src/CMakeFiles/fedgta_gnn.dir/gnn/sign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_gnn.dir/gnn/factory.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/factory.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gamlp.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gamlp.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gbp.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gbp.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gcn.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/gcn.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/model.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/model.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/propagation.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/propagation.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/s2gc.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/s2gc.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sage.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sage.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sgc.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sgc.cc.o.d"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sign.cc.o"
+  "CMakeFiles/fedgta_gnn.dir/gnn/sign.cc.o.d"
+  "libfedgta_gnn.a"
+  "libfedgta_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/fedgta_graph.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/fedgta_graph.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/fedgta_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/fedgta_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/fedgta_graph.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/fedgta_graph.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/normalized_adjacency.cc" "src/CMakeFiles/fedgta_graph.dir/graph/normalized_adjacency.cc.o" "gcc" "src/CMakeFiles/fedgta_graph.dir/graph/normalized_adjacency.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/fedgta_graph.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/fedgta_graph.dir/graph/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

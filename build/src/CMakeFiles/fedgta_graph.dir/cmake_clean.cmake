@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_graph.dir/graph/generator.cc.o"
+  "CMakeFiles/fedgta_graph.dir/graph/generator.cc.o.d"
+  "CMakeFiles/fedgta_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/fedgta_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/fedgta_graph.dir/graph/metrics.cc.o"
+  "CMakeFiles/fedgta_graph.dir/graph/metrics.cc.o.d"
+  "CMakeFiles/fedgta_graph.dir/graph/normalized_adjacency.cc.o"
+  "CMakeFiles/fedgta_graph.dir/graph/normalized_adjacency.cc.o.d"
+  "CMakeFiles/fedgta_graph.dir/graph/subgraph.cc.o"
+  "CMakeFiles/fedgta_graph.dir/graph/subgraph.cc.o.d"
+  "libfedgta_graph.a"
+  "libfedgta_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_linalg.dir/linalg/csr.cc.o"
+  "CMakeFiles/fedgta_linalg.dir/linalg/csr.cc.o.d"
+  "CMakeFiles/fedgta_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/fedgta_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/fedgta_linalg.dir/linalg/ops.cc.o"
+  "CMakeFiles/fedgta_linalg.dir/linalg/ops.cc.o.d"
+  "libfedgta_linalg.a"
+  "libfedgta_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/fedgta_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/fedgta_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/fedgta_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/fedgta_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/fedgta_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/fedgta_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/fedgta_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/fedgta_nn.dir/nn/parameters.cc.o"
+  "CMakeFiles/fedgta_nn.dir/nn/parameters.cc.o.d"
+  "libfedgta_nn.a"
+  "libfedgta_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/louvain.cc" "src/CMakeFiles/fedgta_partition.dir/partition/louvain.cc.o" "gcc" "src/CMakeFiles/fedgta_partition.dir/partition/louvain.cc.o.d"
+  "/root/repo/src/partition/metis.cc" "src/CMakeFiles/fedgta_partition.dir/partition/metis.cc.o" "gcc" "src/CMakeFiles/fedgta_partition.dir/partition/metis.cc.o.d"
+  "/root/repo/src/partition/splitter.cc" "src/CMakeFiles/fedgta_partition.dir/partition/splitter.cc.o" "gcc" "src/CMakeFiles/fedgta_partition.dir/partition/splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedgta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedgta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgta_partition.dir/partition/louvain.cc.o"
+  "CMakeFiles/fedgta_partition.dir/partition/louvain.cc.o.d"
+  "CMakeFiles/fedgta_partition.dir/partition/metis.cc.o"
+  "CMakeFiles/fedgta_partition.dir/partition/metis.cc.o.d"
+  "CMakeFiles/fedgta_partition.dir/partition/splitter.cc.o"
+  "CMakeFiles/fedgta_partition.dir/partition/splitter.cc.o.d"
+  "libfedgta_partition.a"
+  "libfedgta_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgta_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
