@@ -7,13 +7,25 @@
 // (pairwise windowed-gradient similarity).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 
 namespace fedgta {
 namespace {
+
+// Cumulative seconds recorded for one instrumented phase; deltas around a
+// run give that run's exclusive-phase cost without any manual timing.
+double PhaseSeconds(const char* phase) {
+  const Histogram* h = GlobalMetrics().FindHistogram(
+      std::string("phase.") + phase + ".seconds");
+  return h != nullptr ? h->sum() : 0.0;
+}
 
 void Run() {
   const std::string dataset = bench::FullMode() ? "ogbn-arxiv" : "pubmed";
@@ -25,6 +37,15 @@ void Run() {
               dataset.c_str());
   TablePrinter table({"strategy", "clients", "client s/round",
                       "server s/round", "total s/round", "comm MB/round"});
+  // Per-phase decomposition of the same runs, pulled from the metrics
+  // registry (phase.*.seconds deltas) so the totals above are explained,
+  // not just reported.
+  const std::vector<const char*> phases = {
+      "local_train", "spmm",        "gemm",       "label_propagation",
+      "moments",     "similarity",  "aggregation"};
+  TablePrinter breakdown({"strategy", "clients", "train s/rnd", "spmm s/rnd",
+                          "gemm s/rnd", "lp s/rnd", "moments s/rnd",
+                          "sim s/rnd", "agg s/rnd"});
   for (const char* strategy :
        {"fedavg", "fedprox", "scaffold", "moon", "feddc", "gcfl+",
         "fedgta"}) {
@@ -34,6 +55,10 @@ void Run() {
       config.sim.rounds = bench::FullMode() ? 10 : 6;
       config.sim.eval_every = config.sim.rounds;  // timing run, skip evals
       config.repeats = 1;
+      std::vector<double> before(phases.size());
+      for (size_t p = 0; p < phases.size(); ++p) {
+        before[p] = PhaseSeconds(phases[p]);
+      }
       const ExperimentResult result = RunExperiment(config);
       const double rounds = static_cast<double>(config.sim.rounds);
       table.AddRow(
@@ -46,11 +71,33 @@ void Run() {
            StrFormat("%.2f", (result.mean_upload_mb +
                               result.mean_download_mb) /
                                  rounds)});
+      std::vector<std::string> row = {strategy, StrFormat("%d", n)};
+      for (size_t p = 0; p < phases.size(); ++p) {
+        row.push_back(
+            StrFormat("%.4f", (PhaseSeconds(phases[p]) - before[p]) / rounds));
+      }
+      breakdown.AddRow(row);
+      // Metrics-driven sanity: every run trains locally, and FedGTA must
+      // show measurable label-propagation + aggregation work — if these
+      // read zero the instrumentation (or the strategy wiring) broke.
+      FEDGTA_CHECK_GT(PhaseSeconds("local_train") - before[0], 0.0)
+          << strategy << " run recorded no local training time";
+      if (std::string(strategy) == "fedgta") {
+        FEDGTA_CHECK_GT(PhaseSeconds("label_propagation") - before[3], 0.0)
+            << "fedgta run recorded no label propagation time";
+        FEDGTA_CHECK_GT(PhaseSeconds("aggregation") - before[6], 0.0)
+            << "fedgta run recorded no aggregation time";
+      }
       std::fflush(stdout);
     }
     table.AddSeparator();
+    breakdown.AddSeparator();
   }
   table.Print();
+  std::printf(
+      "\n== Fig 5 (cont.): per-phase seconds per round, from the metrics "
+      "registry ==\n");
+  breakdown.Print();
 }
 
 }  // namespace

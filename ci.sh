@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: sanitizer build + full test suite.
+#
+#   ./ci.sh            # ASan+UBSan build in build-asan/, then ctest
+#   BUILD_DIR=foo ./ci.sh
+#
+# The sanitizer run is observability for memory bugs the way the metrics
+# registry is observability for latency: every tier-1 test executes under
+# AddressSanitizer and UndefinedBehaviorSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEDGTA_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+export ASAN_OPTIONS=detect_leaks=0   # intentional leaked singletons (logging, metrics)
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

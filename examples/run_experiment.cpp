@@ -14,6 +14,8 @@
 #include "common/string_util.h"
 #include "eval/csv.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -25,6 +27,8 @@ struct Flags {
   std::string strategy = "fedgta";
   std::string split = "louvain";
   std::string csv;
+  std::string metrics_json;
+  std::string trace_out;
   int clients = 10;
   int rounds = 50;
   int epochs = 3;
@@ -63,7 +67,16 @@ void PrintHelp() {
       "  --feature-moments     use the FedGTA+feat extension\n"
       "  --repeats=N           independent runs (default 1)\n"
       "  --seed=N              base RNG seed (default 42)\n"
-      "  --csv=PATH            write the first run's curve as CSV\n");
+      "  --csv=PATH            write the first run's curve as CSV\n"
+      "  --metrics_json=PATH   write the metrics-registry JSON dump\n"
+      "                        (per-phase timers: spmm, gemm, "
+      "label_propagation,\n"
+      "                        moments, aggregation, ...; per-round "
+      "client/server\n"
+      "                        seconds; communication counters)\n"
+      "  --trace_out=PATH      enable tracing and write a Chrome trace-event\n"
+      "                        JSON timeline (open in chrome://tracing or\n"
+      "                        ui.perfetto.dev)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -96,6 +109,10 @@ int main(int argc, char** argv) {
       flags.split = value;
     } else if (ParseFlag(argv[i], "csv", &value)) {
       flags.csv = value;
+    } else if (ParseFlag(argv[i], "metrics_json", &value)) {
+      flags.metrics_json = value;
+    } else if (ParseFlag(argv[i], "trace_out", &value)) {
+      flags.trace_out = value;
     } else if (ParseFlag(argv[i], "clients", &value)) {
       flags.clients = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "rounds", &value)) {
@@ -168,6 +185,7 @@ int main(int argc, char** argv) {
               flags.dataset.c_str(), flags.model.c_str(),
               flags.strategy.c_str(), flags.split.c_str(), flags.clients,
               flags.rounds, flags.epochs);
+  if (!flags.trace_out.empty()) EnableTracing();
   const ExperimentResult result = RunExperiment(config);
   std::printf(
       "test accuracy (best-val): %s%%\n"
@@ -189,6 +207,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("curve written to %s\n", flags.csv.c_str());
+  }
+
+  if (!flags.metrics_json.empty()) {
+    // Final snapshot covers all repeats; with --repeats=1 it equals the
+    // per-run SimulationResult::metrics_json hook.
+    const std::string dump = GlobalMetrics().ToJson();
+    std::FILE* f = std::fopen(flags.metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", flags.metrics_json.c_str());
+      return 1;
+    }
+    std::fputs(dump.c_str(), f);
+    std::fclose(f);
+    std::printf("metrics written to %s\n", flags.metrics_json.c_str());
+  }
+  if (!flags.trace_out.empty()) {
+    const Status status = WriteChromeTrace(flags.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                flags.trace_out.c_str());
   }
   return 0;
 }

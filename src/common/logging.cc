@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace fedgta {
@@ -11,10 +12,24 @@ namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
-// Serializes writes so concurrent log lines do not interleave.
+// Serializes sink invocations so concurrent log lines do not interleave.
 std::mutex& LogMutex() {
   static std::mutex* mutex = new std::mutex;
   return *mutex;
+}
+
+// Guarded by LogMutex(). Leaked for static-destruction safety.
+LogSink& CurrentSink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
+
+void DefaultSink(LogLevel level, std::string_view message) {
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+  // stderr is typically unbuffered, but when redirected to a file it may
+  // not be; errors must hit the disk before a potential abort.
+  if (level >= LogLevel::kError) std::fflush(stderr);
 }
 
 const char* LevelTag(LogLevel level) {
@@ -41,19 +56,40 @@ LogLevel MinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  CurrentSink() = std::move(sink);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[" << LevelTag(level) << " " << stamp << " "
+          << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::cerr << stream_.str() << std::endl;
-  (void)level_;
+  const LogSink& sink = CurrentSink();
+  if (sink) {
+    sink(level_, message);
+  } else {
+    DefaultSink(level_, message);
+  }
 }
 
 }  // namespace internal_logging

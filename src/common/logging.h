@@ -1,9 +1,11 @@
 #ifndef FEDGTA_COMMON_LOGGING_H_
 #define FEDGTA_COMMON_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fedgta {
 
@@ -19,6 +21,16 @@ enum class LogLevel : int {
 /// this level are cheaply discarded. Default: kInfo.
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
+
+/// Receives each formatted log record (without trailing newline). Called
+/// under the logging mutex, so sinks need no extra synchronization but must
+/// not log themselves.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the log sink; pass nullptr to restore the default, which writes
+/// to stderr and flushes on kError. Lets tests capture log output instead of
+/// scraping stderr.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 
@@ -47,15 +59,22 @@ struct LogVoidify {
   void operator&(LogMessage&) {}
 };
 
+// Map the macro's all-caps severity spellings onto the enumerators.
+inline constexpr LogLevel kLevelDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLevelINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLevelWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLevelERROR = LogLevel::kError;
+
 }  // namespace internal_logging
 }  // namespace fedgta
 
 /// Streaming log macro: FEDGTA_LOG(INFO) << "round " << r;
 #define FEDGTA_LOG(severity)                                              \
-  (::fedgta::LogLevel::k##severity < ::fedgta::MinLogLevel())             \
+  (::fedgta::internal_logging::kLevel##severity < ::fedgta::MinLogLevel()) \
       ? (void)0                                                           \
       : ::fedgta::internal_logging::LogVoidify() &                        \
             ::fedgta::internal_logging::LogMessage(                       \
-                ::fedgta::LogLevel::k##severity, __FILE__, __LINE__)
+                ::fedgta::internal_logging::kLevel##severity, __FILE__,   \
+                __LINE__)
 
 #endif  // FEDGTA_COMMON_LOGGING_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/normalized_adjacency.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 
@@ -36,6 +37,7 @@ CsrMatrix LabelPropagationOperator(const Graph& graph) {
 std::vector<Matrix> NonParamLabelPropagation(const CsrMatrix& adj,
                                              const Matrix& y0, float alpha,
                                              int k) {
+  FEDGTA_PHASE_SCOPE("label_propagation");
   FEDGTA_CHECK_GE(k, 1);
   FEDGTA_CHECK_GE(alpha, 0.0f);
   FEDGTA_CHECK_LE(alpha, 1.0f);

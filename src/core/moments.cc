@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 
 std::vector<float> MixedMoments(const std::vector<Matrix>& y_hops,
                                 int moment_order) {
+  FEDGTA_PHASE_SCOPE("moments");
   FEDGTA_CHECK(!y_hops.empty());
   FEDGTA_CHECK_GE(moment_order, 1);
   const int64_t n = y_hops.front().rows();

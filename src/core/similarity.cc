@@ -4,11 +4,13 @@
 
 #include "common/check.h"
 #include "linalg/ops.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 
 Matrix MomentSimilarityMatrix(const std::vector<std::vector<float>>& moments,
                               const std::vector<int>& participants) {
+  FEDGTA_PHASE_SCOPE("similarity");
   const int n = static_cast<int>(moments.size());
   Matrix sim(n, n);
   for (size_t a = 0; a < participants.size(); ++a) {

@@ -36,7 +36,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         static_cast<double>(run.total_upload_floats) * 4.0 / (1024.0 * 1024.0);
     result.mean_download_mb += static_cast<double>(run.total_download_floats) *
                                4.0 / (1024.0 * 1024.0);
-    if (rep == 0) result.curve = std::move(run.curve);
+    if (rep == 0) {
+      result.curve = std::move(run.curve);
+      result.metrics_json = std::move(run.metrics_json);
+    }
   }
   result.test_accuracy = ComputeMeanStd(best_accs);
   result.final_accuracy = ComputeMeanStd(final_accs);

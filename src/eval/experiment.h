@@ -41,6 +41,10 @@ struct ExperimentResult {
   double mean_download_mb = 0.0;
   /// Curve of the first repeat (rounds vs accuracy/time), for figures.
   std::vector<RoundStats> curve;
+  /// Metrics-registry JSON snapshot taken at the end of the first repeat
+  /// (SimulationResult::metrics_json): per-phase timers and per-round
+  /// client/server second deltas for machine-readable perf breakdowns.
+  std::string metrics_json;
 };
 
 /// Runs `config.repeats` federated simulations with distinct seeds (data

@@ -1,5 +1,7 @@
 #include "fed/client.h"
 
+#include "obs/phase.h"
+
 namespace fedgta {
 
 TrainHooks MergeHooks(TrainHooks a, TrainHooks b) {
@@ -74,6 +76,7 @@ void Client::SetBatchSize(int batch_size) {
 }
 
 double Client::TrainLocal(int epochs, const TrainHooks& hooks) {
+  FEDGTA_PHASE_SCOPE("local_train");
   if (data_->train_idx.empty()) return 0.0;
   optimizer_->Reset();
   const std::vector<ParamRef> params = model_->Params();
@@ -141,6 +144,7 @@ double Client::ValAccuracy() {
 }
 
 ClientMetrics Client::ComputeFedGtaMetrics(const FedGtaOptions& options) {
+  FEDGTA_PHASE_SCOPE("fedgta_metrics");
   return ComputeClientMetrics(data_->sub.graph, Predict(), options,
                               &data_->features);
 }

@@ -1,5 +1,7 @@
 #include "fed/fedgta_strategy.h"
 
+#include "obs/phase.h"
+
 namespace fedgta {
 
 void FedGtaStrategy::Initialize(int num_clients,
@@ -26,6 +28,7 @@ LocalResult FedGtaStrategy::TrainClient(Client& client, int epochs,
 
 void FedGtaStrategy::Aggregate(const std::vector<int>& participants,
                                const std::vector<LocalResult>& results) {
+  FEDGTA_PHASE_SCOPE("aggregation");
   if (results.empty()) return;
   // Scatter uploads into id-indexed tables for the core aggregation.
   std::vector<ClientMetrics> metrics(static_cast<size_t>(num_clients_));

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedgta {
 
@@ -77,8 +79,22 @@ SimulationResult Simulation::Run() {
   const int per_round = std::max(
       1, static_cast<int>(std::lround(config_.participation * n_clients)));
 
+  // Per-round deltas land in the registry so a metrics dump decomposes the
+  // run without post-processing the curve (see DESIGN.md "Observability").
+  MetricsRegistry& metrics = GlobalMetrics();
+  Histogram& round_client_seconds =
+      metrics.GetHistogram("round.client_seconds");
+  Histogram& round_server_seconds =
+      metrics.GetHistogram("round.server_seconds");
+  Histogram& client_train_seconds =
+      metrics.GetHistogram("client.train_seconds");
+  Counter& rounds_completed = metrics.GetCounter("rounds.completed");
+  Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
+  Counter& download_floats = metrics.GetCounter("comm.download_floats");
+
   double best_val = -1.0;
   for (int round = 1; round <= config_.rounds; ++round) {
+    FEDGTA_TRACE_SCOPE("round");
     // Participant sampling.
     std::vector<int> participants =
         per_round >= n_clients
@@ -99,8 +115,10 @@ SimulationResult Simulation::Run() {
       Client& client = clients_[static_cast<size_t>(id)];
       const TrainHooks extra =
           fedgl_ != nullptr ? fedgl_->HooksFor(id) : TrainHooks{};
+      WallTimer train_timer;
       LocalResult r =
           strategy_->TrainClient(client, config_.local_epochs, extra);
+      client_train_seconds.Record(train_timer.Seconds());
       loss_sum += r.loss;
       results.push_back(std::move(r));
     }
@@ -108,9 +126,12 @@ SimulationResult Simulation::Run() {
 
     // Server aggregation (+ FedGL pseudo-label refresh).
     WallTimer server_timer;
-    strategy_->Aggregate(participants, results);
-    if (fedgl_ != nullptr) {
-      fedgl_->UpdatePseudoLabels(clients_, participants);
+    {
+      FEDGTA_TRACE_SCOPE("server_step");
+      strategy_->Aggregate(participants, results);
+      if (fedgl_ != nullptr) {
+        fedgl_->UpdatePseudoLabels(clients_, participants);
+      }
     }
     const double server_seconds = server_timer.Seconds();
 
@@ -120,6 +141,12 @@ SimulationResult Simulation::Run() {
         strategy_->RoundCommunication(results);
     result.total_upload_floats += comm.upload_floats;
     result.total_download_floats += comm.download_floats;
+
+    round_client_seconds.Record(client_seconds);
+    round_server_seconds.Record(server_seconds);
+    rounds_completed.Increment();
+    upload_floats.Increment(comm.upload_floats);
+    download_floats.Increment(comm.download_floats);
 
     if (round % config_.eval_every == 0 || round == config_.rounds) {
       RoundStats stats;
@@ -138,6 +165,7 @@ SimulationResult Simulation::Run() {
       result.curve.push_back(stats);
     }
   }
+  result.metrics_json = metrics.ToJson();
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define FEDGTA_FED_SIMULATION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fed/client.h"
@@ -60,6 +61,11 @@ struct SimulationResult {
   int64_t total_download_floats = 0;
   /// Wall-clock seconds of the setup phase (incl. FedSage+ mending).
   double setup_seconds = 0.0;
+  /// JSON snapshot of the global metrics registry taken when Run()
+  /// returned: per-phase timers (phase.*.seconds), per-round deltas
+  /// (round.client_seconds / round.server_seconds), per-client training
+  /// times, and communication counters. See MetricsRegistry::ToJson().
+  std::string metrics_json;
 };
 
 /// Drives `rounds` of strategy-managed federated training over the clients

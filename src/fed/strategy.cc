@@ -7,6 +7,7 @@
 #include "fed/moon.h"
 #include "fed/scaffold.h"
 #include "linalg/ops.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 
@@ -66,6 +67,7 @@ void Strategy::WeightedAverage(const std::vector<LocalResult>& results,
 
 void FedAvgStrategy::Aggregate(const std::vector<int>& /*participants*/,
                                const std::vector<LocalResult>& results) {
+  FEDGTA_PHASE_SCOPE("aggregation");
   if (results.empty()) return;
   WeightedAverage(results, &global_params_);
 }

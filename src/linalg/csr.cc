@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 
@@ -99,6 +100,7 @@ CsrMatrix CsrMatrix::Transposed() const {
 }
 
 void CsrMatrix::Multiply(const Matrix& dense, Matrix* out) const {
+  FEDGTA_PHASE_SCOPE("spmm");
   FEDGTA_CHECK(out != nullptr);
   FEDGTA_CHECK_EQ(dense.rows(), cols_);
   const int64_t f = dense.cols();

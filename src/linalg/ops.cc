@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/phase.h"
 
 namespace fedgta {
 namespace {
@@ -51,6 +52,7 @@ void GemmRows(const StridedView& a, const StridedView& b, float alpha,
 
 void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
           Transpose trans_b, float alpha, float beta, Matrix* c) {
+  FEDGTA_PHASE_SCOPE("gemm");
   FEDGTA_CHECK(c != nullptr);
   const int64_t m = trans_a == Transpose::kNo ? a.rows() : a.cols();
   const int64_t ka = trans_a == Transpose::kNo ? a.cols() : a.rows();

@@ -1,0 +1,57 @@
+#ifndef FEDGTA_OBS_PHASE_H_
+#define FEDGTA_OBS_PHASE_H_
+
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedgta {
+namespace internal_obs {
+
+/// Cached references to the two metrics backing one instrumented phase.
+/// Constructed once per call site (via a function-local static) so the hot
+/// path pays no registry lookup.
+struct PhaseStats {
+  Counter& calls;
+  Histogram& seconds;
+
+  explicit PhaseStats(const char* phase)
+      : calls(GlobalMetrics().GetCounter(std::string("phase.") + phase +
+                                         ".calls")),
+        seconds(GlobalMetrics().GetHistogram(std::string("phase.") + phase +
+                                             ".seconds")) {}
+};
+
+/// RAII guard: times the enclosing scope into `phase.<name>.seconds` /
+/// `phase.<name>.calls` and emits a trace span when tracing is enabled.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseStats& stats, const char* name)
+      : stats_(stats), trace_(name) {}
+  ~PhaseScope() {
+    stats_.calls.Increment();
+    stats_.seconds.Record(timer_.Seconds());
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseStats& stats_;
+  TraceScope trace_;
+  WallTimer timer_;
+};
+
+}  // namespace internal_obs
+}  // namespace fedgta
+
+/// Instruments the enclosing scope as phase `name` (a string literal):
+/// always accumulates into the global metrics registry, and additionally
+/// emits a trace span when tracing is enabled. At most one per scope.
+#define FEDGTA_PHASE_SCOPE(name)                                        \
+  static ::fedgta::internal_obs::PhaseStats fedgta_phase_stats{name};   \
+  ::fedgta::internal_obs::PhaseScope fedgta_phase_scope(fedgta_phase_stats, \
+                                                        name)
+
+#endif  // FEDGTA_OBS_PHASE_H_

@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace fedgta {
+namespace internal_obs {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+// Per-thread ring buffer; oldest events are overwritten when full so a long
+// run keeps the tail of the timeline rather than aborting or reallocating.
+constexpr size_t kEventsPerThread = 1 << 15;
+
+struct ThreadBuffer {
+  int32_t tid = 0;
+  // Guards events/next/wrapped against the collector; writers are the owning
+  // thread only, so the lock is uncontended in steady state.
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  size_t next = 0;
+  bool wrapped = false;
+
+  void Push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.empty()) events.resize(kEventsPerThread);
+    events[next] = e;
+    next = (next + 1) % events.size();
+    if (next == 0) wrapped = true;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    next = 0;
+    wrapped = false;
+    events.clear();
+    events.shrink_to_fit();
+  }
+
+  void AppendTo(std::vector<TraceEvent>* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const size_t n = wrapped ? events.size() : next;
+    const size_t start = wrapped ? next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(events[(start + i) % events.size()]);
+    }
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int32_t next_tid = 0;
+};
+
+BufferRegistry& Registry() {
+  // Leaked: thread-local destructors may run after static destruction.
+  static BufferRegistry* registry = new BufferRegistry;
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void EmitTraceEvent(const char* name, int64_t ts_us, int64_t dur_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.tid = buffer.tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  buffer.Push(e);
+}
+
+}  // namespace internal_obs
+
+bool TracingEnabled() {
+  return internal_obs::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing() {
+  (void)internal_obs::TraceEpoch();  // pin the epoch before the first span
+  internal_obs::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  internal_obs::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  internal_obs::BufferRegistry& reg = internal_obs::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buffer : reg.buffers) buffer->Clear();
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> out;
+  internal_obs::BufferRegistry& reg = internal_obs::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buffer : reg.buffers) buffer->AppendTo(&out);
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open trace output: " + path);
+  }
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", f);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"cat\": \"fedgta\", \"ph\": \"X\", "
+                 "\"pid\": 1, \"tid\": %d, \"ts\": %lld, \"dur\": %lld}%s\n",
+                 e.name, e.tid, static_cast<long long>(e.ts_us),
+                 static_cast<long long>(e.dur_us),
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  if (std::fclose(f) != 0) {
+    return InternalError("error writing trace output: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace fedgta

@@ -1,0 +1,89 @@
+#ifndef FEDGTA_OBS_TRACE_H_
+#define FEDGTA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fedgta {
+
+/// One completed span. `name` must be a string literal (the macro below
+/// guarantees this); events store the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  int32_t tid = 0;       // dense per-thread id assigned on first emit
+  int64_t ts_us = 0;     // microseconds since process trace epoch
+  int64_t dur_us = 0;    // span duration in microseconds
+};
+
+/// Tracing is off by default; when off, FEDGTA_TRACE_SCOPE costs one relaxed
+/// atomic load. Enabling mid-run is safe; spans already in flight on other
+/// threads are simply not recorded.
+bool TracingEnabled();
+void EnableTracing();
+/// Disables collection; already-buffered events stay until ClearTrace().
+void DisableTracing();
+/// Drops all buffered events on every thread.
+void ClearTrace();
+
+/// Snapshot of all buffered events across threads, in arbitrary order.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Writes all buffered events as Chrome trace-event JSON ("X" complete
+/// events), loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
+Status WriteChromeTrace(const std::string& path);
+
+namespace internal_obs {
+
+/// Current time in microseconds since the process trace epoch.
+int64_t TraceNowMicros();
+/// Appends one event to the calling thread's ring buffer (oldest events are
+/// overwritten when the buffer is full).
+void EmitTraceEvent(const char* name, int64_t ts_us, int64_t dur_us);
+
+extern std::atomic<bool> g_tracing_enabled;
+
+/// RAII span: records [construction, destruction) under `name` when tracing
+/// is enabled at construction time.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (g_tracing_enabled.load(std::memory_order_relaxed)) {
+      name_ = name;
+      start_us_ = TraceNowMicros();
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) {
+      EmitTraceEvent(name_, start_us_, TraceNowMicros() - start_us_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace internal_obs
+}  // namespace fedgta
+
+// Traces the enclosing scope under `name` (a string literal). Compiles to
+// nothing when FEDGTA_DISABLE_TRACING is defined; otherwise costs one relaxed
+// atomic load while tracing is off.
+#define FEDGTA_OBS_CONCAT_INNER(a, b) a##b
+#define FEDGTA_OBS_CONCAT(a, b) FEDGTA_OBS_CONCAT_INNER(a, b)
+
+#ifdef FEDGTA_DISABLE_TRACING
+#define FEDGTA_TRACE_SCOPE(name)
+#else
+#define FEDGTA_TRACE_SCOPE(name)                  \
+  ::fedgta::internal_obs::TraceScope FEDGTA_OBS_CONCAT( \
+      fedgta_trace_scope_, __COUNTER__)(name)
+#endif
+
+#endif  // FEDGTA_OBS_TRACE_H_

@@ -1,9 +1,13 @@
 #include <atomic>
+#include <cctype>
 #include <set>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -255,6 +259,50 @@ TEST(WallTimerTest, MeasuresElapsed) {
   EXPECT_GE(timer.Millis(), 15.0);
   timer.Restart();
   EXPECT_LT(timer.Millis(), 15.0);
+}
+
+// Restores the default sink and min level even when a test fails mid-way.
+class LogSinkTest : public testing::Test {
+ protected:
+  ~LogSinkTest() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LogSinkTest, SinkCapturesRecordsWithTimestamp) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, std::string_view message) {
+    captured.emplace_back(level, std::string(message));
+  });
+  FEDGTA_LOG(WARNING) << "hello sink " << 42;
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  const std::string& message = captured[0].second;
+  EXPECT_NE(message.find("hello sink 42"), std::string::npos);
+  EXPECT_NE(message.find("common_test.cc"), std::string::npos);
+  // "[W HH:MM:SS.mmm file:line]" — check the timestamp shape.
+  ASSERT_GE(message.size(), 16u);
+  EXPECT_EQ(message.substr(0, 3), "[W ");
+  EXPECT_EQ(message[5], ':');
+  EXPECT_EQ(message[8], ':');
+  EXPECT_EQ(message[11], '.');
+  for (const size_t i : {3u, 4u, 6u, 7u, 9u, 10u, 12u, 13u, 14u}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(message[i])))
+        << message;
+  }
+}
+
+TEST_F(LogSinkTest, MinLevelFiltersBeforeSink) {
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel, std::string_view message) {
+    captured.emplace_back(message);
+  });
+  SetMinLogLevel(LogLevel::kError);
+  FEDGTA_LOG(INFO) << "dropped";
+  FEDGTA_LOG(ERROR) << "kept";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("kept"), std::string::npos);
 }
 
 }  // namespace
