@@ -1,11 +1,29 @@
 // Supporting microbenchmarks for the substrate kernels: dense GEMM, sparse
 // SpMM, label propagation, moments, Louvain, and METIS-style partitioning.
 // These back the Table 1 / §4.5 discussion with kernel-level numbers.
+//
+// Before the google-benchmark suite, main() runs a thread-scaling sweep
+// (1/2/4/8 pool threads) over GEMM, SpMM, and full federated rounds, and
+// writes the results to BENCH_parallel.json — the machine-readable artifact
+// behind the parallel round-executor speedup claims (see DESIGN.md
+// "Execution engine").
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/label_propagation.h"
 #include "core/moments.h"
+#include "data/federated.h"
+#include "data/registry.h"
+#include "fed/simulation.h"
 #include "graph/generator.h"
 #include "graph/normalized_adjacency.h"
 #include "linalg/ops.h"
@@ -116,7 +134,127 @@ BENCHMARK(BM_MetisPartition)
     ->Range(2000, 32000)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep: the same three workloads timed at 1/2/4/8 pool
+// threads. GEMM and SpMM scale through ParallelForChunked; rounds/sec
+// additionally exercises the round executor's per-client dispatch.
+
+double MedianSeconds(const std::function<void()>& fn, int reps) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct SweepPoint {
+  int threads = 0;
+  double gemm_ms = 0.0;
+  double spmm_ms = 0.0;
+  double rounds_per_sec = 0.0;
+};
+
+void RunThreadScalingSweep(const char* out_path) {
+  const bool full = std::getenv("FEDGTA_BENCH_MODE") != nullptr &&
+                    std::string(std::getenv("FEDGTA_BENCH_MODE")) == "full";
+  const int reps = full ? 7 : 3;
+
+  // GEMM workload: 384³ — large enough that all chunk sizes engage.
+  const int64_t gemm_n = 384;
+  Rng rng(11);
+  Matrix a(gemm_n, gemm_n), b(gemm_n, gemm_n), c(gemm_n, gemm_n);
+  a.GaussianInit(rng, 1.0f);
+  b.GaussianInit(rng, 1.0f);
+
+  // SpMM workload: 32k-node planted partition, 64 feature columns.
+  LabeledGraph lg = MakeGraph(32000, 12);
+  const CsrMatrix adj = NormalizedAdjacency(lg.graph);
+  Matrix x(32000, 64);
+  x.GaussianInit(rng, 1.0f);
+  Matrix spmm_out;
+
+  // Federated-round workload: 10-client FedAvg/SGC on a registry dataset;
+  // per-thread-count rounds/sec measures the executor end to end.
+  Dataset dataset = MakeDatasetByName("pubmed", /*seed=*/42);
+  SplitConfig split;
+  split.num_clients = 10;
+  Rng split_rng(42);
+  const FederatedDataset fed =
+      BuildFederatedDataset(std::move(dataset), split, split_rng);
+  ModelConfig model;
+  model.type = ModelType::kSgc;
+  model.hidden = 64;
+  model.k = 3;
+  SimulationConfig sim;
+  sim.rounds = full ? 8 : 4;
+  sim.local_epochs = 3;
+  sim.eval_every = sim.rounds;  // timing run: evaluate only once
+
+  std::vector<SweepPoint> points;
+  for (const int threads : {1, 2, 4, 8}) {
+    SetGlobalThreadPoolSize(threads);
+    SweepPoint p;
+    p.threads = threads;
+    p.gemm_ms = 1e3 * MedianSeconds(
+                          [&] {
+                            Gemm(a, Transpose::kNo, b, Transpose::kNo, 1.0f,
+                                 0.0f, &c);
+                          },
+                          reps);
+    p.spmm_ms = 1e3 * MedianSeconds([&] { adj.Multiply(x, &spmm_out); }, reps);
+    const double sim_seconds = MedianSeconds(
+        [&] {
+          auto strategy = MakeStrategy("fedavg", StrategyOptions{});
+          FEDGTA_CHECK(strategy.ok());
+          Simulation simulation(&fed, model, OptimizerConfig{},
+                                std::move(*strategy), sim);
+          const SimulationResult result = simulation.Run();
+          benchmark::DoNotOptimize(result.final_test_accuracy);
+        },
+        reps);
+    p.rounds_per_sec = static_cast<double>(sim.rounds) / sim_seconds;
+    points.push_back(p);
+    std::printf(
+        "threads=%d  gemm(%lldx%lld)=%.2fms  spmm(32k,64)=%.2fms  "
+        "rounds/sec=%.2f\n",
+        p.threads, static_cast<long long>(gemm_n),
+        static_cast<long long>(gemm_n), p.gemm_ms, p.spmm_ms,
+        p.rounds_per_sec);
+    std::fflush(stdout);
+  }
+  SetGlobalThreadPoolSize(0);  // back to FEDGTA_NUM_THREADS / hardware default
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s, skipping JSON dump\n", out_path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"gemm_ms\": %.4f, \"spmm_ms\": %.4f, "
+                 "\"rounds_per_sec\": %.4f}%s\n",
+                 p.threads, p.gemm_ms, p.spmm_ms, p.rounds_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("thread-scaling sweep written to %s\n\n", out_path);
+}
+
 }  // namespace
 }  // namespace fedgta
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("== thread-scaling sweep (shared pool: 1/2/4/8 threads) ==\n");
+  fedgta::RunThreadScalingSweep("BENCH_parallel.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

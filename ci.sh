@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# CI entry point: sanitizer build + full test suite.
+# CI entry point: sanitizer builds + test suites.
 #
-#   ./ci.sh            # ASan+UBSan build in build-asan/, then ctest
+#   ./ci.sh            # 1) ASan+UBSan build in build-asan/, full ctest
+#                      # 2) TSan build in build-tsan/, threading-focused tests
 #   BUILD_DIR=foo ./ci.sh
+#   SKIP_TSAN=1 ./ci.sh   # ASan stage only
 #
-# The sanitizer run is observability for memory bugs the way the metrics
-# registry is observability for latency: every tier-1 test executes under
-# AddressSanitizer and UndefinedBehaviorSanitizer.
+# The sanitizer runs are observability for memory and threading bugs the way
+# the metrics registry is observability for latency: every tier-1 test
+# executes under AddressSanitizer and UndefinedBehaviorSanitizer, and the
+# suites that exercise the parallel round executor (fed_test, linalg_test,
+# common_test, obs_test) additionally run under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_DIR=${BUILD_DIR:-build-asan}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
 cmake -B "$BUILD_DIR" -S . \
@@ -21,3 +26,19 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 export ASAN_OPTIONS=detect_leaks=0   # intentional leaked singletons (logging, metrics)
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B "$TSAN_BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFEDGTA_SANITIZE=thread
+  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
+    --target fed_test linalg_test common_test obs_test
+
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+  # Force a multi-threaded pool so the round executor actually runs
+  # clients concurrently under TSan, whatever the CI machine reports.
+  export FEDGTA_NUM_THREADS=4
+  for t in fed_test linalg_test common_test obs_test; do
+    "$TSAN_BUILD_DIR/tests/$t"
+  done
+fi

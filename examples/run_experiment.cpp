@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "eval/csv.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
@@ -39,6 +40,7 @@ struct Flags {
   double participation = 1.0;
   double epsilon = 0.3;
   uint64_t seed = 42;
+  int num_threads = 0;  // 0 = FEDGTA_NUM_THREADS env / hardware default
   bool adaptive_epsilon = false;
   bool feature_moments = false;
 };
@@ -67,6 +69,10 @@ void PrintHelp() {
       "  --feature-moments     use the FedGTA+feat extension\n"
       "  --repeats=N           independent runs (default 1)\n"
       "  --seed=N              base RNG seed (default 42)\n"
+      "  --num_threads=N       worker threads for the shared pool (client\n"
+      "                        dispatch + GEMM/SpMM); 0 = FEDGTA_NUM_THREADS\n"
+      "                        env var, else hardware concurrency. Results\n"
+      "                        are identical for any value (default 0)\n"
       "  --csv=PATH            write the first run's curve as CSV\n"
       "  --metrics_json=PATH   write the metrics-registry JSON dump\n"
       "                        (per-phase timers: spmm, gemm, "
@@ -133,11 +139,19 @@ int main(int argc, char** argv) {
       flags.epsilon = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "seed", &value)) {
       flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "num_threads", &value)) {
+      flags.num_threads = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       return 1;
     }
   }
+
+  if (flags.num_threads < 0) {
+    std::fprintf(stderr, "--num_threads must be >= 0\n");
+    return 1;
+  }
+  if (flags.num_threads > 0) SetGlobalThreadPoolSize(flags.num_threads);
 
   const Result<ModelType> model = ParseModelType(flags.model);
   if (!model.ok()) {

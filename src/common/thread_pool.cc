@@ -1,10 +1,50 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.h"
 
 namespace fedgta {
+namespace {
+
+// Set for the lifetime of every WorkerLoop; lets nested parallel sections
+// detect that they already run on pool capacity.
+thread_local bool tls_in_pool_worker = false;
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("FEDGTA_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+// Holder for the global pool. A shared_ptr (copied under the mutex) keeps a
+// pool alive across SetGlobalThreadPoolSize while a caller still holds a
+// reference; the mutex cost is one lock per parallel *section*, not per task.
+struct GlobalPoolHolder {
+  std::mutex mutex;
+  std::shared_ptr<ThreadPool> pool;
+};
+
+GlobalPoolHolder& Holder() {
+  // Leaked: worker threads may outlive static destruction order.
+  static GlobalPoolHolder* holder = new GlobalPoolHolder;
+  return *holder;
+}
+
+std::shared_ptr<ThreadPool> GlobalPool() {
+  GlobalPoolHolder& holder = Holder();
+  std::lock_guard<std::mutex> lock(holder.mutex);
+  if (holder.pool == nullptr) {
+    holder.pool = std::make_shared<ThreadPool>(DefaultThreadCount());
+  }
+  return holder.pool;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   FEDGTA_CHECK_GE(num_threads, 1);
@@ -23,6 +63,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::IsWorkerThread() { return tls_in_pool_worker; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -34,11 +76,31 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  FEDGTA_CHECK(!tls_in_pool_worker)
+      << "ThreadPool::Wait() from a worker thread would deadlock; use "
+         "TaskGroup (or ParallelFor, which runs inline in pool context)";
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -59,12 +121,56 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = [] {
-    unsigned hw = std::thread::hardware_concurrency();
-    return new ThreadPool(hw == 0 ? 4 : static_cast<int>(hw));
-  }();
-  return *pool;
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->pending;
+  }
+  // The wrapper holds the state by shared_ptr so a group destroyed after
+  // Wait() (the only legal order) never races with a late-running task.
+  pool_.Submit([state = state_, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (--state->pending == 0) state->done.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  // From a worker thread: help drain the pool instead of blocking, so the
+  // pool can never deadlock on capacity even if a caller dispatches nested
+  // groups from pool context.
+  if (ThreadPool::IsWorkerThread()) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        if (state_->pending == 0) return;
+      }
+      if (!pool_.RunOneTask()) std::this_thread::yield();
+    }
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+ThreadPool& GlobalThreadPool() { return *GlobalPool(); }
+
+int GlobalThreadPoolSize() { return GlobalPool()->num_threads(); }
+
+void SetGlobalThreadPoolSize(int num_threads) {
+  FEDGTA_CHECK_GE(num_threads, 0);
+  FEDGTA_CHECK(!ThreadPool::IsWorkerThread())
+      << "cannot resize the global pool from one of its workers";
+  const int target = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  std::shared_ptr<ThreadPool> old;
+  {
+    GlobalPoolHolder& holder = Holder();
+    std::lock_guard<std::mutex> lock(holder.mutex);
+    if (holder.pool != nullptr && holder.pool->num_threads() == target) return;
+    old = std::move(holder.pool);
+    holder.pool = std::make_shared<ThreadPool>(target);
+  }
+  // Joins the old workers outside the holder lock (drains queued tasks).
+  old.reset();
 }
 
 void ParallelForChunked(int64_t begin, int64_t end,
@@ -72,18 +178,29 @@ void ParallelForChunked(int64_t begin, int64_t end,
                         int64_t min_chunk) {
   const int64_t range = end - begin;
   if (range <= 0) return;
-  ThreadPool& pool = GlobalThreadPool();
-  const int64_t max_chunks = pool.num_threads() * 4;
+  // Nested parallel section (already on pool capacity): run inline. Also
+  // skip dispatch overhead when the pool cannot actually parallelize.
+  if (ThreadPool::IsWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+  const std::shared_ptr<ThreadPool> pool = GlobalPool();
+  if (pool->num_threads() <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t max_chunks = pool->num_threads() * 4;
   int64_t chunk = std::max<int64_t>(min_chunk, (range + max_chunks - 1) / max_chunks);
   if (range <= chunk) {
     fn(begin, end);
     return;
   }
+  TaskGroup group(*pool);
   for (int64_t lo = begin; lo < end; lo += chunk) {
     const int64_t hi = std::min(end, lo + chunk);
-    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+    group.Submit([&fn, lo, hi] { fn(lo, hi); });
   }
-  pool.Wait();
+  group.Wait();
 }
 
 void ParallelFor(int64_t begin, int64_t end,

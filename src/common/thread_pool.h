@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -12,8 +13,14 @@
 namespace fedgta {
 
 /// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until
-/// all submitted tasks have finished. Used by ParallelFor; most code should
-/// prefer ParallelFor over using the pool directly.
+/// all submitted tasks have finished. Used by ParallelFor and the federated
+/// round executor; most code should prefer ParallelFor / TaskGroup over
+/// using the pool directly.
+///
+/// Nested-parallelism contract: a worker thread must never block on work
+/// scheduled on its own pool (that deadlocks once every worker waits).
+/// IsWorkerThread() lets callers detect pool context; ParallelFor and
+/// TaskGroup::Wait use it to run inline / help execute instead of blocking.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -26,10 +33,19 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed. Must not be called
+  /// from a worker thread (use TaskGroup, which helps instead of blocking).
   void Wait();
 
+  /// Pops and runs one queued task on the calling thread. Returns false if
+  /// the queue was empty. Lets blocked callers help drain the pool.
+  bool RunOneTask();
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Kernels
+  /// (GEMM/SpMM) use this to run inline instead of re-entering the pool.
+  static bool IsWorkerThread();
 
  private:
   void WorkerLoop();
@@ -43,18 +59,61 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
-/// Returns the process-wide shared pool (hardware_concurrency workers).
+/// A completion scope for a batch of tasks on one pool. Unlike
+/// ThreadPool::Wait, Wait() here blocks only on tasks submitted through
+/// *this* group, so concurrent groups (e.g. two threads issuing ParallelFor
+/// at once) don't serialize on each other. Safe to use from a worker thread:
+/// Wait() then helps execute queued tasks instead of blocking.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted via this group has completed.
+  void Wait();
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t pending = 0;
+  };
+
+  ThreadPool& pool_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+/// Returns the process-wide shared pool. The worker count is, in order:
+/// the last SetGlobalThreadPoolSize() value, else the FEDGTA_NUM_THREADS
+/// environment variable, else hardware_concurrency.
 ThreadPool& GlobalThreadPool();
 
+/// Current worker count of the global pool (creates it if needed).
+int GlobalThreadPoolSize();
+
+/// Replaces the global pool with one of `num_threads` workers (0 = reset to
+/// the environment/hardware default). Must not be called while parallel work
+/// is in flight; intended for CLI flags (--num_threads) and bench sweeps
+/// between runs. Safe to call before first use.
+void SetGlobalThreadPoolSize(int num_threads);
+
 /// Runs fn(i) for i in [begin, end) across the global pool, blocking until
-/// complete. Falls back to a serial loop for small ranges. `fn` must be safe
-/// to invoke concurrently for distinct i.
+/// complete. Falls back to a serial loop for small ranges, single-worker
+/// pools, and when invoked from a pool worker thread (nested parallel
+/// sections run inline rather than deadlocking on their own pool). `fn`
+/// must be safe to invoke concurrently for distinct i.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& fn,
                  int64_t grain = 1024);
 
 /// Runs fn(chunk_begin, chunk_end) over disjoint chunks of [begin, end).
-/// Lower overhead than per-index dispatch for tight loops.
+/// Lower overhead than per-index dispatch for tight loops. Same nested /
+/// single-worker inline semantics as ParallelFor.
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
                         int64_t min_chunk = 256);

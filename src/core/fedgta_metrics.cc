@@ -11,48 +11,89 @@
 
 namespace fedgta {
 
+namespace {
+
+void NormalizeL2(std::vector<float>& v) {
+  const double norm = L2Norm(v);
+  if (norm > 0.0) {
+    for (float& x : v) x = static_cast<float>(x / norm);
+  }
+}
+
+// The L2-normalized FedGTA+feat moment block (paper §5): moments of the
+// k-step propagated node features, first d dimensions.
+std::vector<float> PropagatedFeatureMoments(const CsrMatrix& op,
+                                            const Matrix& features,
+                                            const FedGtaOptions& options) {
+  const int64_t d =
+      std::min<int64_t>(options.feature_moment_dims, features.cols());
+  Matrix truncated(features.rows(), d);
+  for (int64_t i = 0; i < features.rows(); ++i) {
+    const auto src = features.Row(i);
+    std::copy(src.begin(), src.begin() + d, truncated.Row(i).begin());
+  }
+  const std::vector<Matrix> feature_hops =
+      NonParamLabelPropagation(op, truncated, options.alpha, options.k);
+  std::vector<float> feature_moments =
+      MixedMoments(feature_hops, options.moment_order);
+  NormalizeL2(feature_moments);
+  return feature_moments;
+}
+
+}  // namespace
+
 ClientMetrics ComputeClientMetrics(const Graph& graph, const Matrix& logits,
                                    const FedGtaOptions& options,
-                                   const Matrix* features) {
+                                   const Matrix* features,
+                                   ClientMetricsCache* cache) {
   FEDGTA_CHECK_EQ(static_cast<int64_t>(graph.num_nodes()), logits.rows());
+  const bool want_feature_moments =
+      options.use_feature_moments && features != nullptr;
+  if (want_feature_moments) {
+    FEDGTA_CHECK_EQ(features->rows(), logits.rows());
+  }
+
+  // (Re)fill the round-invariant cache when absent or built under different
+  // option fields. With no caller-provided cache, `local` plays the role for
+  // this one call.
+  ClientMetricsCache local;
+  ClientMetricsCache* c = cache != nullptr ? cache : &local;
+  const bool stale = !c->ready || c->alpha != options.alpha ||
+                     c->k != options.k ||
+                     c->moment_order != options.moment_order ||
+                     c->use_feature_moments != want_feature_moments ||
+                     c->feature_moment_dims != options.feature_moment_dims;
+  if (stale) {
+    c->op = LabelPropagationOperator(graph);
+    c->degrees = SelfLoopDegrees(graph);
+    c->feature_moments =
+        want_feature_moments
+            ? PropagatedFeatureMoments(c->op, *features, options)
+            : std::vector<float>();
+    c->alpha = options.alpha;
+    c->k = options.k;
+    c->moment_order = options.moment_order;
+    c->use_feature_moments = want_feature_moments;
+    c->feature_moment_dims = options.feature_moment_dims;
+    c->ready = true;
+  }
+
   Matrix y0 = logits;
   RowSoftmaxInPlace(&y0);
-
-  const CsrMatrix op = LabelPropagationOperator(graph);
   const std::vector<Matrix> hops =
-      NonParamLabelPropagation(op, y0, options.alpha, options.k);
+      NonParamLabelPropagation(c->op, y0, options.alpha, options.k);
 
   ClientMetrics metrics;
-  metrics.confidence =
-      SmoothingConfidence(hops.back(), SelfLoopDegrees(graph));
+  metrics.confidence = SmoothingConfidence(hops.back(), c->degrees);
   metrics.moments = MixedMoments(hops, options.moment_order);
 
-  // FedGTA+feat extension (paper §5): also characterize the subgraph by
-  // moments of its k-step propagated node features (first d dimensions),
-  // L2-normalized so the two blocks contribute comparably to the cosine.
-  if (options.use_feature_moments && features != nullptr) {
-    FEDGTA_CHECK_EQ(features->rows(), logits.rows());
-    const int64_t d =
-        std::min<int64_t>(options.feature_moment_dims, features->cols());
-    Matrix truncated(features->rows(), d);
-    for (int64_t i = 0; i < features->rows(); ++i) {
-      const auto src = features->Row(i);
-      std::copy(src.begin(), src.begin() + d, truncated.Row(i).begin());
-    }
-    const std::vector<Matrix> feature_hops =
-        NonParamLabelPropagation(op, truncated, options.alpha, options.k);
-    std::vector<float> feature_moments =
-        MixedMoments(feature_hops, options.moment_order);
-    const auto normalize = [](std::vector<float>& v) {
-      const double norm = L2Norm(v);
-      if (norm > 0.0) {
-        for (float& x : v) x = static_cast<float>(x / norm);
-      }
-    };
-    normalize(metrics.moments);
-    normalize(feature_moments);
-    metrics.moments.insert(metrics.moments.end(), feature_moments.begin(),
-                           feature_moments.end());
+  // FedGTA+feat extension (paper §5): append the cached propagated-feature
+  // block, L2-normalizing both blocks so they contribute comparably to the
+  // cosine.
+  if (want_feature_moments) {
+    NormalizeL2(metrics.moments);
+    metrics.moments.insert(metrics.moments.end(), c->feature_moments.begin(),
+                           c->feature_moments.end());
   }
   return metrics;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "linalg/csr.h"
 #include "linalg/matrix.h"
 
 namespace fedgta {
@@ -52,14 +53,42 @@ struct ClientMetrics {
   std::vector<float> moments;
 };
 
+/// Round-invariant precomputations of ComputeClientMetrics for one fixed
+/// (graph, features) pair: the Eq. (3) propagation operator, the self-loop
+/// degrees of Eq. (4), and — under FedGTA+feat — the propagated-feature
+/// moment block, which depends only on the (static) node features. One
+/// cache per client; it is filled on first use and reused while the option
+/// fields it was built under stay unchanged (any change rebuilds it). Not
+/// shared between threads: each client owns its cache, and the round
+/// executor runs at most one task per client at a time.
+struct ClientMetricsCache {
+  bool ready = false;
+  /// Option fields the cached values were built under.
+  float alpha = 0.0f;
+  int k = 0;
+  int moment_order = 0;
+  bool use_feature_moments = false;
+  int feature_moment_dims = 0;
+  /// LabelPropagationOperator(graph).
+  CsrMatrix op;
+  /// SelfLoopDegrees(graph).
+  std::vector<float> degrees;
+  /// L2-normalized FedGTA+feat moment block (empty unless enabled).
+  std::vector<float> feature_moments;
+};
+
 /// Client-side metric computation (Algorithm 1, lines 5-10): runs Eq. (3)
 /// label propagation on the softmaxed `logits` over `graph`, then computes
 /// Eq. (4) confidence and Eq. (5) moments. When
 /// `options.use_feature_moments` is set and `features` is non-null, the
-/// FedGTA+feat extension appends moments of the propagated features.
+/// FedGTA+feat extension appends moments of the propagated features. A
+/// non-null `cache` skips the round-invariant work (operator build, degree
+/// scan, feature propagation) after the first call; `graph` and `features`
+/// must be the same objects the cache was built from.
 ClientMetrics ComputeClientMetrics(const Graph& graph, const Matrix& logits,
                                    const FedGtaOptions& options,
-                                   const Matrix* features = nullptr);
+                                   const Matrix* features = nullptr,
+                                   ClientMetricsCache* cache = nullptr);
 
 /// Server-side personalized aggregation (Algorithm 2 / Eq. 6-7). For each
 /// participant i, averages participants' `params` restricted to its

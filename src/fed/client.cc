@@ -146,7 +146,7 @@ double Client::ValAccuracy() {
 ClientMetrics Client::ComputeFedGtaMetrics(const FedGtaOptions& options) {
   FEDGTA_PHASE_SCOPE("fedgta_metrics");
   return ComputeClientMetrics(data_->sub.graph, Predict(), options,
-                              &data_->features);
+                              &data_->features, &metrics_cache_);
 }
 
 Matrix Client::HiddenWithParams(std::span<const float> params) {

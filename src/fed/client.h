@@ -83,7 +83,9 @@ class Client {
   double ValAccuracy();
 
   /// Client-side FedGTA metric computation (Algorithm 1 lines 5-10) using
-  /// the current weights over the full local graph.
+  /// the current weights over the full local graph. Round-invariant pieces
+  /// (propagation operator, degrees, FedGTA+feat feature moments) are
+  /// cached across rounds in `metrics_cache_`.
   ClientMetrics ComputeFedGtaMetrics(const FedGtaOptions& options);
 
   /// Runs a forward pass with `params` and returns a copy of the hidden
@@ -97,6 +99,7 @@ class Client {
   OptimizerConfig opt_config_;
   int batch_size_ = 0;
   Rng batch_rng_{0x6a7c};
+  ClientMetricsCache metrics_cache_;
 };
 
 }  // namespace fedgta

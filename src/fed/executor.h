@@ -1,0 +1,59 @@
+#ifndef FEDGTA_FED_EXECUTOR_H_
+#define FEDGTA_FED_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "fed/client.h"
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+/// Parallel client-execution engine for federated rounds.
+///
+/// Real FGL deployments run participants concurrently; the simulation's
+/// round loop does the same by dispatching one task per participant onto the
+/// shared thread pool. Inside a client task the linear-algebra kernels run
+/// inline (see ParallelFor's nested semantics), so the round is parallel
+/// *across* clients rather than *within* one — the right trade once the
+/// participant count approaches the core count.
+///
+/// Determinism guarantee: results are written into index-aligned slots and
+/// every reduction over them happens afterwards in participant order, so a
+/// run with N pool workers is bit-identical to the serial (1-worker) run.
+/// The engine relies on the Strategy thread-safety contract (see
+/// Strategy::TrainClient and DESIGN.md "Execution engine"): concurrent
+/// TrainClient calls for distinct clients may only touch per-client state
+/// slots plus round-constant shared state.
+class RoundExecutor {
+ public:
+  /// Outcome of one participant's local work, index-aligned with the
+  /// participant list passed to TrainRound.
+  struct ClientExecution {
+    LocalResult result;
+    /// Wall seconds of this client's TrainClient call (its own span; under
+    /// parallel execution these overlap, so they do not sum to round time).
+    double seconds = 0.0;
+  };
+
+  /// Runs fn(i) for each i in [0, n) with one pool task per index, blocking
+  /// until all complete. Runs serially inline when n <= 1, when the global
+  /// pool has a single worker, or when already called from a pool worker.
+  /// `fn` must be safe to invoke concurrently for distinct i.
+  static void ForEachClient(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Executes one round of local training: for every participants[i],
+  /// strategy.TrainClient(clients[participants[i]], epochs, hooks[i]).
+  /// `hooks` must be index-aligned with `participants` (or empty for no
+  /// extra hooks). Per-client wall times land in the `client.train_seconds`
+  /// histogram and per-client `client_train` trace spans are emitted on the
+  /// executing worker's buffer.
+  static std::vector<ClientExecution> TrainRound(
+      Strategy& strategy, std::vector<Client>& clients,
+      const std::vector<int>& participants, int epochs,
+      const std::vector<TrainHooks>& hooks);
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_EXECUTOR_H_

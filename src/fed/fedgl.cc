@@ -1,5 +1,6 @@
 #include "fed/fedgl.h"
 
+#include "fed/executor.h"
 #include "linalg/ops.h"
 
 namespace fedgta {
@@ -53,11 +54,16 @@ void FedGlCoordinator::UpdatePseudoLabels(std::vector<Client>& clients,
                                   false);
   for (int p : participants) participating[static_cast<size_t>(p)] = true;
 
+  // Inference per participant is independent (each writes its own slot), so
+  // dispatch onto the pool; the accumulation below stays serial and ordered.
   std::vector<Matrix> predictions(clients.size());
-  for (int p : participants) {
-    predictions[static_cast<size_t>(p)] = clients[static_cast<size_t>(p)].Predict();
-    RowSoftmaxInPlace(&predictions[static_cast<size_t>(p)]);
-  }
+  RoundExecutor::ForEachClient(
+      static_cast<int64_t>(participants.size()),
+      [&clients, &predictions, &participants](int64_t i) {
+        const size_t p = static_cast<size_t>(participants[static_cast<size_t>(i)]);
+        predictions[p] = clients[p].Predict();
+        RowSoftmaxInPlace(&predictions[p]);
+      });
   for (const auto& [g, list] : holders_) {
     auto& [sum, count] = acc[g];
     for (const auto& [client_id, row] : list) {

@@ -11,6 +11,7 @@ void ScaffoldStrategy::Initialize(int num_clients,
   server_control_.assign(init_params.size(), 0.0f);
   client_control_.assign(static_cast<size_t>(num_clients),
                          std::vector<float>(init_params.size(), 0.0f));
+  round_control_delta_.assign(static_cast<size_t>(num_clients), {});
 }
 
 LocalResult ScaffoldStrategy::TrainClient(Client& client, int epochs,
@@ -43,7 +44,8 @@ LocalResult ScaffoldStrategy::TrainClient(Client& client, int epochs,
     delta[j] = c_new[j] - c_i[j];
     c_i[j] = c_new[j];
   }
-  round_control_delta_.push_back(std::move(delta));
+  // Own client-id slot only: safe under concurrent TrainClient calls.
+  round_control_delta_[static_cast<size_t>(id)] = std::move(delta);
   return result;
 }
 
@@ -59,21 +61,22 @@ Strategy::CommunicationStats ScaffoldStrategy::RoundCommunication(
 
 void ScaffoldStrategy::Aggregate(const std::vector<int>& /*participants*/,
                                  const std::vector<LocalResult>& results) {
-  if (results.empty()) {
-    round_control_delta_.clear();
-    return;
-  }
+  if (results.empty()) return;
   // x <- x + (1/|S|) Σ (y_i - x): with unit server lr this equals averaging
   // participant weights; the paper setup weights by data size.
   WeightedAverage(results, &global_params_);
-  // c <- c + (|S|/N) * mean of control deltas.
+  // c <- c + (|S|/N) * mean of control deltas, accumulated in result order
+  // so the float summation matches the serial round exactly.
   const float scale = static_cast<float>(results.size()) /
                       static_cast<float>(num_clients_) /
-                      static_cast<float>(round_control_delta_.size());
-  for (const std::vector<float>& delta : round_control_delta_) {
+                      static_cast<float>(results.size());
+  for (const LocalResult& r : results) {
+    std::vector<float>& delta =
+        round_control_delta_[static_cast<size_t>(r.client_id)];
+    if (delta.empty()) continue;
     Axpy(scale, delta, server_control_);
+    delta.clear();
   }
-  round_control_delta_.clear();
 }
 
 }  // namespace fedgta

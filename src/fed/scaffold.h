@@ -29,7 +29,11 @@ class ScaffoldStrategy : public Strategy {
   float lr_;
   std::vector<float> server_control_;
   std::vector<std::vector<float>> client_control_;
-  // Per-round deltas of participating clients' control variates.
+  // Per-round deltas of participating clients' control variates, indexed by
+  // client id (empty slot = did not participate this round). Slot-indexed so
+  // concurrent TrainClient calls write disjoint entries and Aggregate reads
+  // them in deterministic participant order (see the Strategy thread-safety
+  // contract).
   std::vector<std::vector<float>> round_control_delta_;
 };
 

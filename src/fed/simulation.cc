@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "fed/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,21 +51,39 @@ Simulation::Simulation(const FederatedDataset* data,
 }
 
 void Simulation::Evaluate(double* test_accuracy, double* val_accuracy) {
+  // Per-client accuracies are computed concurrently into index-aligned
+  // slots; the weighted accumulation below runs in client order so the
+  // result is bit-identical to a serial evaluation.
+  std::vector<double> test_acc(clients_.size(), 0.0);
+  std::vector<double> val_acc(clients_.size(), 0.0);
+  RoundExecutor::ForEachClient(
+      static_cast<int64_t>(clients_.size()), [this, &test_acc,
+                                              &val_acc](int64_t i) {
+        Client& client = clients_[static_cast<size_t>(i)];
+        client.SetParams(strategy_->ParamsFor(client.id()));
+        if (!client.data().test_idx.empty()) {
+          test_acc[static_cast<size_t>(i)] = client.TestAccuracy();
+        }
+        if (!client.data().val_idx.empty()) {
+          val_acc[static_cast<size_t>(i)] = client.ValAccuracy();
+        }
+      });
+
   double test_correct = 0.0;
   double val_correct = 0.0;
   int64_t test_total = 0;
   int64_t val_total = 0;
-  for (Client& client : clients_) {
-    client.SetParams(strategy_->ParamsFor(client.id()));
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const Client& client = clients_[i];
     const int64_t n_test =
         static_cast<int64_t>(client.data().test_idx.size());
     const int64_t n_val = static_cast<int64_t>(client.data().val_idx.size());
     if (n_test > 0) {
-      test_correct += client.TestAccuracy() * static_cast<double>(n_test);
+      test_correct += test_acc[i] * static_cast<double>(n_test);
       test_total += n_test;
     }
     if (n_val > 0) {
-      val_correct += client.ValAccuracy() * static_cast<double>(n_val);
+      val_correct += val_acc[i] * static_cast<double>(n_val);
       val_total += n_val;
     }
   }
@@ -86,8 +106,6 @@ SimulationResult Simulation::Run() {
       metrics.GetHistogram("round.client_seconds");
   Histogram& round_server_seconds =
       metrics.GetHistogram("round.server_seconds");
-  Histogram& client_train_seconds =
-      metrics.GetHistogram("client.train_seconds");
   Counter& rounds_completed = metrics.GetCounter("rounds.completed");
   Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
   Counter& download_floats = metrics.GetCounter("comm.download_floats");
@@ -106,23 +124,28 @@ SimulationResult Simulation::Run() {
             : rng.SampleWithoutReplacement(n_clients, per_round);
     std::sort(participants.begin(), participants.end());
 
-    // Local training.
-    WallTimer client_timer;
-    std::vector<LocalResult> results;
-    results.reserve(participants.size());
-    double loss_sum = 0.0;
-    for (int id : participants) {
-      Client& client = clients_[static_cast<size_t>(id)];
-      const TrainHooks extra =
-          fedgl_ != nullptr ? fedgl_->HooksFor(id) : TrainHooks{};
-      WallTimer train_timer;
-      LocalResult r =
-          strategy_->TrainClient(client, config_.local_epochs, extra);
-      client_train_seconds.Record(train_timer.Seconds());
-      loss_sum += r.loss;
-      results.push_back(std::move(r));
+    // Local training: all participants dispatched concurrently onto the
+    // shared pool (RoundExecutor), reduced in participant order so the
+    // round is bit-identical to a serial execution. Hooks are materialized
+    // up front — coordinators (FedGL) need not be re-entrant.
+    std::vector<TrainHooks> hooks;
+    if (fedgl_ != nullptr) {
+      hooks.reserve(participants.size());
+      for (int id : participants) hooks.push_back(fedgl_->HooksFor(id));
     }
+    WallTimer client_timer;
+    std::vector<RoundExecutor::ClientExecution> executions =
+        RoundExecutor::TrainRound(*strategy_, clients_, participants,
+                                  config_.local_epochs, hooks);
     const double client_seconds = client_timer.Seconds();
+
+    std::vector<LocalResult> results;
+    results.reserve(executions.size());
+    double loss_sum = 0.0;
+    for (RoundExecutor::ClientExecution& exec : executions) {
+      loss_sum += exec.result.loss;
+      results.push_back(std::move(exec.result));
+    }
 
     // Server aggregation (+ FedGL pseudo-label refresh).
     WallTimer server_timer;

@@ -47,6 +47,16 @@ struct StrategyOptions {
 /// starts a round from, how local training is modified, and how uploads are
 /// aggregated. Personalized strategies (FedGTA, GCFL+, local-only) serve
 /// different weights per client; the rest serve one global model.
+///
+/// Thread-safety contract (see DESIGN.md "Execution engine"): the round
+/// executor invokes TrainClient concurrently for distinct clients, so
+/// TrainClient implementations may only (a) mutate the Client they were
+/// handed and state slots indexed by that client's id (Scaffold control
+/// variates, MOON snapshots, FedDC drift), and (b) read shared state that
+/// is constant for the duration of the round (global_params_, server
+/// control variates, FedGL pseudo-label targets). ParamsFor must be a
+/// const read. Initialize and Aggregate are always called exclusively
+/// (never concurrent with TrainClient) and may mutate anything.
 class Strategy {
  public:
   virtual ~Strategy() = default;

@@ -21,9 +21,10 @@ void GamlpModel::Prepare(const ModelInput& input, Rng& rng) {
                input.features != nullptr);
   const CsrMatrix adj_full = NormalizedAdjacency(*input.graph_full, r_);
   hops_full_ = PropagateHops(adj_full, *input.features, k_);
-  if (input.graph_train == input.graph_full) {
-    hops_train_ = hops_full_;
-  } else {
+  // Train-view hops are materialized only for inductive shards; the
+  // transductive case reuses hops_full_ (see TrainHops) instead of holding
+  // a second (k+1)-matrix copy per client.
+  if (input.graph_train != input.graph_full) {
     const CsrMatrix adj_train = NormalizedAdjacency(*input.graph_train, r_);
     hops_train_ = PropagateHops(adj_train, *input.features, k_);
   }
@@ -43,7 +44,7 @@ void GamlpModel::Prepare(const ModelInput& input, Rng& rng) {
 Matrix GamlpModel::Forward(bool training) {
   FEDGTA_CHECK(mlp_ != nullptr) << "Forward before Prepare";
   last_training_ = training;
-  const std::vector<Matrix>& hops = training ? hops_train_ : hops_full_;
+  const std::vector<Matrix>& hops = training ? TrainHops() : hops_full_;
 
   // Softmax over the gate scores.
   last_attention_.assign(static_cast<size_t>(k_) + 1, 0.0f);
@@ -70,7 +71,7 @@ void GamlpModel::Backward(const Matrix& dlogits, const Matrix* dhidden) {
   FEDGTA_CHECK(!last_attention_.empty()) << "Backward before Forward";
   Matrix dcombined = mlp_->Backward(dlogits, dhidden);
 
-  const std::vector<Matrix>& hops = last_training_ ? hops_train_ : hops_full_;
+  const std::vector<Matrix>& hops = last_training_ ? TrainHops() : hops_full_;
   // g_l = <dcombined, X^(l)>; gate gradient through the softmax.
   std::vector<double> g(static_cast<size_t>(k_) + 1, 0.0);
   for (int l = 0; l <= k_; ++l) {

@@ -34,6 +34,12 @@ class GamlpModel : public GnnModel {
   float dropout_;
   float r_;
 
+  const std::vector<Matrix>& TrainHops() const {
+    return hops_train_.empty() ? hops_full_ : hops_train_;
+  }
+
+  // Train-view hops; empty when the train view coincides with the full view
+  // (transductive shards), in which case TrainHops() serves hops_full_.
   std::vector<Matrix> hops_train_;
   std::vector<Matrix> hops_full_;
   Matrix gate_scores_;  // 1 x (k+1)

@@ -21,9 +21,10 @@ void DecoupledGnn::Prepare(const ModelInput& input, Rng& rng) {
 
   const CsrMatrix adj_full = NormalizedAdjacency(*input.graph_full, r_);
   features_full_ = CombineHops(PropagateHops(adj_full, *input.features, k_));
-  if (input.graph_train == input.graph_full) {
-    features_train_ = features_full_;
-  } else {
+  // Transductive shards share one propagated matrix for both views; a
+  // separate train-view precompute exists only when the graphs differ
+  // (inductive data). Saves one O(n·d·k)-sized copy per client.
+  if (input.graph_train != input.graph_full) {
     const CsrMatrix adj_train = NormalizedAdjacency(*input.graph_train, r_);
     features_train_ =
         CombineHops(PropagateHops(adj_train, *input.features, k_));
@@ -41,7 +42,10 @@ void DecoupledGnn::Prepare(const ModelInput& input, Rng& rng) {
 Matrix DecoupledGnn::Forward(bool training) {
   FEDGTA_CHECK(mlp_ != nullptr) << "Forward before Prepare";
   last_training_ = training;
-  return mlp_->Forward(training ? features_train_ : features_full_, training);
+  const Matrix& features = training && !features_train_.empty()
+                               ? features_train_
+                               : features_full_;
+  return mlp_->Forward(features, training);
 }
 
 void DecoupledGnn::Backward(const Matrix& dlogits, const Matrix* dhidden) {

@@ -82,6 +82,9 @@ class DecoupledGnn : public GnnModel {
   float r_;  // propagation kernel coefficient (Eq. 1)
 
  private:
+  // Train-view precompute; left empty when the train view coincides with
+  // the full view (transductive shards), in which case Forward falls back
+  // to features_full_.
   Matrix features_train_;
   Matrix features_full_;
   std::unique_ptr<Mlp> mlp_;

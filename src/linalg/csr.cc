@@ -105,6 +105,10 @@ void CsrMatrix::Multiply(const Matrix& dense, Matrix* out) const {
   FEDGTA_CHECK_EQ(dense.rows(), cols_);
   const int64_t f = dense.cols();
   out->Resize(rows_, f);
+  // Row-disjoint chunks: output is chunking-invariant, and when the SpMM is
+  // itself inside a pool task (per-client training under the round
+  // executor) ParallelForChunked degrades to an inline loop instead of
+  // re-entering the pool.
   ParallelForChunked(
       0, rows_,
       [this, &dense, out, f](int64_t lo, int64_t hi) {

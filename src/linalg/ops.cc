@@ -74,6 +74,10 @@ void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
     GemmRows(av, bv, alpha, beta, ka, c, 0, m);
     return;
   }
+  // Each chunk writes disjoint output rows and GemmRows is row-independent,
+  // so the result is identical for any chunking — including the inline
+  // single-chunk execution ParallelForChunked falls back to when this GEMM
+  // already runs on a pool worker (a client task of the round executor).
   ParallelForChunked(
       0, m,
       [&](int64_t lo, int64_t hi) { GemmRows(av, bv, alpha, beta, ka, c, lo, hi); },

@@ -184,6 +184,106 @@ TEST(ParallelForTest, EmptyRangeIsNoop) {
   ParallelFor(10, 5, [](int64_t) { FAIL() << "must not run"; });
 }
 
+// Regression: a ParallelFor issued from inside a pool task must run inline.
+// Before the nested-parallelism fix, the inner call re-entered the shared
+// pool and blocked on ThreadPool::Wait — with every worker inside the outer
+// loop, no worker remained to drain the inner tasks and this test deadlocked.
+TEST(ParallelForTest, NestedCallsRunInlineInsteadOfDeadlocking) {
+  constexpr int64_t kOuter = 64;
+  constexpr int64_t kInner = 32;
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, kOuter,
+      [&total](int64_t) {
+        // Saturates the pool: each outer body issues its own parallel
+        // section while every worker is already busy with an outer index.
+        ParallelFor(
+            0, kInner, [&total](int64_t) { total.fetch_add(1); },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ParallelForTest, WorkerContextDetectedInsideTasks) {
+  EXPECT_FALSE(ThreadPool::IsWorkerThread());
+  std::atomic<int> worker_hits{0};
+  ParallelFor(
+      0, 16,
+      [&worker_hits](int64_t) {
+        if (ThreadPool::IsWorkerThread()) worker_hits.fetch_add(1);
+      },
+      /*grain=*/1);
+  EXPECT_FALSE(ThreadPool::IsWorkerThread());
+  if (GlobalThreadPoolSize() > 1) {
+    EXPECT_GT(worker_hits.load(), 0);
+  }
+}
+
+TEST(TaskGroupTest, WaitScopesToOwnTasksOnly) {
+  ThreadPool pool(4);
+  std::atomic<bool> slow_done{false};
+  TaskGroup slow(pool);
+  slow.Submit([&slow_done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    slow_done.store(true);
+  });
+
+  // A sibling group on the same pool completes without waiting for `slow`.
+  std::atomic<int> fast_count{0};
+  {
+    TaskGroup fast(pool);
+    for (int i = 0; i < 8; ++i) {
+      fast.Submit([&fast_count] { fast_count.fetch_add(1); });
+    }
+    fast.Wait();
+  }
+  EXPECT_EQ(fast_count.load(), 8);
+  slow.Wait();
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(TaskGroupTest, ConcurrentGroupsFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kThreads = 8;
+  constexpr int kTasksPer = 50;
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &total] {
+      TaskGroup group(pool);
+      for (int i = 0; i < kTasksPer; ++i) {
+        group.Submit([&total] { total.fetch_add(1); });
+      }
+      group.Wait();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total.load(), kThreads * kTasksPer);
+}
+
+// Restores the default pool size even if an assertion fails mid-test.
+class GlobalPoolSizeTest : public testing::Test {
+ protected:
+  ~GlobalPoolSizeTest() override { SetGlobalThreadPoolSize(0); }
+};
+
+TEST_F(GlobalPoolSizeTest, ResizeTakesEffectAndResets) {
+  SetGlobalThreadPoolSize(3);
+  EXPECT_EQ(GlobalThreadPoolSize(), 3);
+  // The resized pool must actually execute work.
+  std::atomic<int> count{0};
+  ParallelFor(
+      0, 100, [&count](int64_t) { count.fetch_add(1); }, /*grain=*/1);
+  EXPECT_EQ(count.load(), 100);
+
+  SetGlobalThreadPoolSize(1);
+  EXPECT_EQ(GlobalThreadPoolSize(), 1);
+  SetGlobalThreadPoolSize(0);
+  EXPECT_GE(GlobalThreadPoolSize(), 1);
+}
+
 TEST(ParallelForChunkedTest, ChunksPartitionRange) {
   std::mutex mu;
   std::vector<std::pair<int64_t, int64_t>> chunks;

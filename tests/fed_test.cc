@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "data/federated.h"
 #include "fed/feddc.h"
 #include "fed/fedgl.h"
@@ -16,6 +17,7 @@
 #include "fed/strategy.h"
 #include "graph/generator.h"
 #include "linalg/ops.h"
+#include "obs/metrics.h"
 
 namespace fedgta {
 namespace {
@@ -440,6 +442,102 @@ TEST(SimulationTest, DeterministicPerSeed) {
     acc[trial] = simulation.Run().final_test_accuracy;
   }
   EXPECT_DOUBLE_EQ(acc[0], acc[1]);
+}
+
+// Runs one simulation with `pool_size` workers and returns its full
+// evaluation curve. Dropout, minibatching, and partial participation are all
+// on so every per-client RNG stream is exercised under concurrency.
+std::vector<RoundStats> RunCurveWithPoolSize(const std::string& strategy_name,
+                                             int pool_size) {
+  SetGlobalThreadPoolSize(pool_size);
+  FederatedDataset fed = MakeTinyFederated(/*num_clients=*/6, /*seed=*/5);
+  ModelConfig model = TinyModel();
+  model.dropout = 0.3f;
+  SimulationConfig sim;
+  sim.rounds = 4;
+  sim.local_epochs = 2;
+  sim.batch_size = 16;
+  sim.participation = 0.7;
+  sim.eval_every = 1;
+  sim.seed = 99;
+  StrategyOptions sopt;
+  auto strategy = MakeStrategy(strategy_name, sopt);
+  EXPECT_TRUE(strategy.ok());
+  Simulation simulation(&fed, model, OptimizerConfig{}, std::move(*strategy),
+                        sim);
+  return simulation.Run().curve;
+}
+
+// The round executor's determinism guarantee (DESIGN.md "Execution
+// engine"): a run with a 4-worker pool is bit-identical to the 1-worker
+// serial run, per round, for losses and accuracies alike.
+class ParallelDeterminismTest
+    : public testing::TestWithParam<const char*> {
+ protected:
+  ~ParallelDeterminismTest() override { SetGlobalThreadPoolSize(0); }
+};
+
+TEST_P(ParallelDeterminismTest, ParallelRunMatchesSerialBitExactly) {
+  const std::vector<RoundStats> serial = RunCurveWithPoolSize(GetParam(), 1);
+  const std::vector<RoundStats> parallel =
+      RunCurveWithPoolSize(GetParam(), 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_FALSE(serial.empty());
+  for (size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].round, parallel[r].round);
+    EXPECT_DOUBLE_EQ(serial[r].train_loss, parallel[r].train_loss)
+        << GetParam() << " round " << serial[r].round;
+    EXPECT_DOUBLE_EQ(serial[r].val_accuracy, parallel[r].val_accuracy)
+        << GetParam() << " round " << serial[r].round;
+    EXPECT_DOUBLE_EQ(serial[r].test_accuracy, parallel[r].test_accuracy)
+        << GetParam() << " round " << serial[r].round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ParallelDeterminismTest,
+                         testing::Values("fedavg", "fedgta", "scaffold"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// The ClientMetricsCache must not change what a client uploads: repeated
+// metric computations (as happen across rounds) return identical moments
+// and confidence, including under the FedGTA+feat extension whose feature
+// block is the cached part.
+TEST(ClientTest, FedGtaMetricsStableAcrossRepeatedCalls) {
+  FederatedDataset fed = MakeTinyFederated();
+  Client client(&fed.clients[0], TinyModel(), OptimizerConfig{}, 3);
+  FedGtaOptions options;
+  options.use_feature_moments = true;
+  options.feature_moment_dims = 4;
+  Counter& lp_calls =
+      GlobalMetrics().GetCounter("phase.label_propagation.calls");
+  const int64_t before_first = lp_calls.value();
+  const ClientMetrics first = client.ComputeFedGtaMetrics(options);
+  // First call propagates both soft labels and features (2 LP runs); later
+  // calls reuse the cached feature block (1 LP run).
+  EXPECT_EQ(lp_calls.value() - before_first, 2);
+  client.TrainLocal(1);  // weights change; cached operator/features must not
+  const int64_t before_again = lp_calls.value();
+  const ClientMetrics again = client.ComputeFedGtaMetrics(options);
+  EXPECT_EQ(lp_calls.value() - before_again, 1);
+  EXPECT_EQ(first.moments.size(), again.moments.size());
+
+  // A fresh client at the same weights reproduces the cached-path output.
+  Client fresh(&fed.clients[0], TinyModel(), OptimizerConfig{}, 3);
+  fresh.SetParams(client.GetParams());
+  const ClientMetrics recomputed = fresh.ComputeFedGtaMetrics(options);
+  ASSERT_EQ(again.moments.size(), recomputed.moments.size());
+  EXPECT_DOUBLE_EQ(again.confidence, recomputed.confidence);
+  for (size_t i = 0; i < again.moments.size(); ++i) {
+    EXPECT_FLOAT_EQ(again.moments[i], recomputed.moments[i]) << "dim " << i;
+  }
+  // Changing a cached-key option (k) rebuilds rather than serving stale data.
+  FedGtaOptions deeper = options;
+  deeper.k = options.k + 2;
+  const ClientMetrics rebuilt = fresh.ComputeFedGtaMetrics(deeper);
+  EXPECT_NE(rebuilt.moments.size(), 0u);
+  EXPECT_NE(rebuilt.moments, recomputed.moments);
 }
 
 }  // namespace
