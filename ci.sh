@@ -4,7 +4,9 @@
 #   ./ci.sh            # 1) ASan+UBSan build in build-asan/, full ctest
 #                      # 2) TSan build in build-tsan/, threading-focused tests
 #   BUILD_DIR=foo ./ci.sh
-#   SKIP_TSAN=1 ./ci.sh   # ASan stage only
+#   SKIP_TSAN=1 ./ci.sh      # ASan stage only
+#   CTEST_LABEL=fast ./ci.sh # restrict the ctest stage to one label
+#                            # (fast | slow | death, see tests/CMakeLists.txt)
 #
 # The sanitizer runs are observability for memory and threading bugs the way
 # the metrics registry is observability for latency: every tier-1 test
@@ -25,7 +27,11 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 
 export ASAN_OPTIONS=detect_leaks=0   # intentional leaked singletons (logging, metrics)
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+CTEST_ARGS=(--output-on-failure -j"$JOBS")
+if [[ -n "${CTEST_LABEL:-}" ]]; then
+  CTEST_ARGS+=(-L "$CTEST_LABEL")
+fi
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . \

@@ -11,8 +11,10 @@
 #include <cstring>
 #include <string>
 
+#include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "fed/simulation.h"
 #include "eval/csv.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
@@ -30,6 +32,14 @@ struct Flags {
   std::string csv;
   std::string metrics_json;
   std::string trace_out;
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  bool resume = false;
+  int halt_after_round = 0;
+  double fail_dropout = 0.0;
+  double fail_straggler = 0.0;
+  double fail_crash = 0.0;
+  uint64_t fail_seed = 0xFA11;
   int clients = 10;
   int rounds = 50;
   int epochs = 3;
@@ -82,7 +92,25 @@ void PrintHelp() {
       "                        seconds; communication counters)\n"
       "  --trace_out=PATH      enable tracing and write a Chrome trace-event\n"
       "                        JSON timeline (open in chrome://tracing or\n"
-      "                        ui.perfetto.dev)\n");
+      "                        ui.perfetto.dev)\n"
+      "  --checkpoint_dir=DIR  write <DIR>/checkpoint.ckpt atomically every\n"
+      "                        --checkpoint_every rounds (with --repeats>1,\n"
+      "                        per-repeat subdirectories rep0, rep1, ...)\n"
+      "  --checkpoint_every=N  checkpoint cadence in rounds; <=0 = every\n"
+      "                        round (default 0)\n"
+      "  --resume              resume from an existing checkpoint in\n"
+      "                        --checkpoint_dir; the resumed run is\n"
+      "                        bit-identical to an uninterrupted one\n"
+      "  --halt_after_round=N  stop after N rounds (checkpointing first);\n"
+      "                        emulates a mid-run kill for resume testing\n"
+      "  --fail_dropout=F      per-(round,client) dropout probability:\n"
+      "                        sampled but never reports (default 0)\n"
+      "  --fail_straggler=F    straggler probability: trains fully but the\n"
+      "                        result arrives too late and is discarded\n"
+      "  --fail_crash=F        crash probability: dies mid-round after\n"
+      "                        ceil(epochs/2) local epochs, result discarded\n"
+      "  --fail_seed=N         failure-injection seed, independent of --seed\n"
+      "                        (default 0xFA11)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -105,6 +133,22 @@ int main(int argc, char** argv) {
       flags.adaptive_epsilon = true;
     } else if (std::strcmp(argv[i], "--feature-moments") == 0) {
       flags.feature_moments = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      flags.resume = true;
+    } else if (ParseFlag(argv[i], "checkpoint_dir", &value)) {
+      flags.checkpoint_dir = value;
+    } else if (ParseFlag(argv[i], "checkpoint_every", &value)) {
+      flags.checkpoint_every = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "halt_after_round", &value)) {
+      flags.halt_after_round = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "fail_dropout", &value)) {
+      flags.fail_dropout = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fail_straggler", &value)) {
+      flags.fail_straggler = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fail_crash", &value)) {
+      flags.fail_crash = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fail_seed", &value)) {
+      flags.fail_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "dataset", &value)) {
       flags.dataset = value;
     } else if (ParseFlag(argv[i], "model", &value)) {
@@ -152,6 +196,29 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (flags.num_threads > 0) SetGlobalThreadPoolSize(flags.num_threads);
+  if (flags.fail_dropout < 0.0 || flags.fail_straggler < 0.0 ||
+      flags.fail_crash < 0.0 ||
+      flags.fail_dropout + flags.fail_straggler + flags.fail_crash > 1.0) {
+    std::fprintf(stderr,
+                 "failure rates must be >= 0 and sum to at most 1\n");
+    return 1;
+  }
+  if (flags.resume && flags.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint_dir\n");
+    return 1;
+  }
+  if (flags.resume) {
+    // Fail up front on an unreadable or corrupted checkpoint (bad magic,
+    // version, truncation, CRC) rather than after dataset setup. A missing
+    // file is fine — the run starts fresh and writes one.
+    const std::string ckpt = Simulation::CheckpointPath(flags.checkpoint_dir);
+    Result<serialize::Reader> probe = serialize::Reader::FromFile(ckpt);
+    if (!probe.ok() && probe.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "cannot resume: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+  }
 
   const Result<ModelType> model = ParseModelType(flags.model);
   if (!model.ok()) {
@@ -182,6 +249,14 @@ int main(int argc, char** argv) {
   config.sim.batch_size = flags.batch;
   config.sim.participation = flags.participation;
   config.sim.eval_every = std::max(1, flags.rounds / 20);
+  config.sim.checkpoint_dir = flags.checkpoint_dir;
+  config.sim.checkpoint_every = flags.checkpoint_every;
+  config.sim.resume = flags.resume;
+  config.sim.halt_after_round = flags.halt_after_round;
+  config.sim.failure.dropout_rate = flags.fail_dropout;
+  config.sim.failure.straggler_rate = flags.fail_straggler;
+  config.sim.failure.crash_rate = flags.fail_crash;
+  config.sim.failure.seed = flags.fail_seed;
   config.repeats = flags.repeats;
   config.seed = flags.seed;
   config.strategy_options.fedgta.epsilon = flags.epsilon;
@@ -212,6 +287,15 @@ int main(int argc, char** argv) {
           .c_str(),
       result.mean_client_seconds, result.mean_server_seconds,
       result.mean_upload_mb, result.mean_download_mb);
+  if (flags.fail_dropout + flags.fail_straggler + flags.fail_crash > 0.0 &&
+      !result.curve.empty()) {
+    const RoundStats& last = result.curve.back();
+    std::printf("injected failures (first repeat): %lld dropped | %lld "
+                "stragglers | %lld crashed\n",
+                static_cast<long long>(last.dropped_clients),
+                static_cast<long long>(last.straggler_clients),
+                static_cast<long long>(last.crashed_clients));
+  }
 
   if (!flags.csv.empty()) {
     const Status status =

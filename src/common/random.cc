@@ -1,8 +1,26 @@
 #include "common/random.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace fedgta {
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::mt19937_64 engine;
+  std::istringstream is(state);
+  is >> engine;
+  if (is.fail()) {
+    return InvalidArgumentError("malformed mt19937_64 state string");
+  }
+  engine_ = engine;
+  return OkStatus();
+}
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
   FEDGTA_CHECK(!weights.empty());

@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace fedgta {
 
@@ -60,6 +62,13 @@ class Rng {
   Rng Fork(uint64_t salt) {
     return Rng(engine_() ^ (salt * 0x9e3779b97f4a7c15ULL));
   }
+
+  /// Serializes the full engine state (std::mt19937_64 textual form) so a
+  /// checkpointed stream resumes exactly where it left off.
+  std::string SaveState() const;
+  /// Restores a state produced by SaveState. Malformed input is an error
+  /// Status and leaves the engine untouched.
+  Status LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,201 @@
+#include "common/serialize.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace fedgta {
+namespace serialize {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Header preceding the payload on disk (see serialize.h for the layout).
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t payload_size;
+  uint32_t crc;
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::AppendRaw(const void* p, size_t n) {
+  if (n != 0) buf_.append(static_cast<const char*>(p), n);
+}
+
+void Writer::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  AppendRaw(s.data(), s.size());
+}
+
+void Writer::WriteFloatVec(std::span<const float> v) {
+  WriteU64(v.size());
+  AppendRaw(v.data(), v.size() * sizeof(float));
+}
+
+void Writer::WriteDoubleVec(std::span<const double> v) {
+  WriteU64(v.size());
+  AppendRaw(v.data(), v.size() * sizeof(double));
+}
+
+void Writer::WriteI32Vec(std::span<const int32_t> v) {
+  WriteU64(v.size());
+  AppendRaw(v.data(), v.size() * sizeof(int32_t));
+}
+
+void Writer::WriteI64Vec(std::span<const int64_t> v) {
+  WriteU64(v.size());
+  AppendRaw(v.data(), v.size() * sizeof(int64_t));
+}
+
+Status Writer::WriteToFile(const std::string& path) const {
+  FileHeader header;
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.payload_size = buf_.size();
+  header.crc = Crc32(buf_.data(), buf_.size());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("cannot open for writing: " + tmp);
+  }
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && !buf_.empty()) {
+    ok = std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return InternalError("short write: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return InternalError("rename " + tmp + " -> " + path + ": " +
+                         ec.message());
+  }
+  return OkStatus();
+}
+
+Result<Reader> Reader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open: " + path);
+  }
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return OutOfRangeError("truncated header: " + path);
+  }
+  if (header.magic != kMagic) {
+    std::fclose(f);
+    return InvalidArgumentError("bad magic (not a FGTA file): " + path);
+  }
+  if (header.version != kVersion) {
+    std::fclose(f);
+    return InvalidArgumentError(
+        "unsupported format version " + std::to_string(header.version) +
+        " (expected " + std::to_string(kVersion) + "): " + path);
+  }
+  std::string payload(header.payload_size, '\0');
+  const size_t got =
+      payload.empty() ? 0 : std::fread(payload.data(), 1, payload.size(), f);
+  // Anything after the declared payload means the size field lies.
+  const bool trailing = std::fgetc(f) != EOF;
+  std::fclose(f);
+  if (got != payload.size() || trailing) {
+    return OutOfRangeError("truncated or oversized payload: " + path);
+  }
+  if (Crc32(payload.data(), payload.size()) != header.crc) {
+    return InvalidArgumentError("CRC mismatch (corrupted payload): " + path);
+  }
+  return Reader(std::move(payload));
+}
+
+Status Reader::TakeRaw(void* out, size_t n, const char* what) {
+  if (buf_.size() - pos_ < n) {
+    return OutOfRangeError(std::string("truncated payload reading ") + what);
+  }
+  if (n != 0) std::memcpy(out, buf_.data() + pos_, n);
+  pos_ += n;
+  return OkStatus();
+}
+
+Status Reader::ReadLength(uint64_t elem_size, uint64_t* out) {
+  FEDGTA_RETURN_IF_ERROR(TakeRaw(out, sizeof(*out), "length"));
+  if (*out > (buf_.size() - pos_) / elem_size) {
+    return OutOfRangeError("length prefix exceeds remaining payload");
+  }
+  return OkStatus();
+}
+
+Status Reader::ReadBool(bool* out) {
+  uint32_t v = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadU32(&v));
+  if (v > 1u) return InvalidArgumentError("bool field not 0/1");
+  *out = v != 0;
+  return OkStatus();
+}
+
+Status Reader::ReadString(std::string* out) {
+  uint64_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadLength(1, &n));
+  out->assign(buf_.data() + pos_, n);
+  pos_ += n;
+  return OkStatus();
+}
+
+Status Reader::ReadFloatVec(std::vector<float>* out) {
+  uint64_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadLength(sizeof(float), &n));
+  out->resize(n);
+  return TakeRaw(out->data(), n * sizeof(float), "float vec");
+}
+
+Status Reader::ReadDoubleVec(std::vector<double>* out) {
+  uint64_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadLength(sizeof(double), &n));
+  out->resize(n);
+  return TakeRaw(out->data(), n * sizeof(double), "double vec");
+}
+
+Status Reader::ReadI32Vec(std::vector<int32_t>* out) {
+  uint64_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadLength(sizeof(int32_t), &n));
+  out->resize(n);
+  return TakeRaw(out->data(), n * sizeof(int32_t), "i32 vec");
+}
+
+Status Reader::ReadI64Vec(std::vector<int64_t>* out) {
+  uint64_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(ReadLength(sizeof(int64_t), &n));
+  out->resize(n);
+  return TakeRaw(out->data(), n * sizeof(int64_t), "i64 vec");
+}
+
+}  // namespace serialize
+}  // namespace fedgta

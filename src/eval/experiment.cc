@@ -23,6 +23,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
     SimulationConfig sim = config.sim;
     sim.seed = seed;
+    // Each repeat checkpoints (and resumes) independently.
+    if (!sim.checkpoint_dir.empty() && config.repeats > 1) {
+      sim.checkpoint_dir += "/rep" + std::to_string(rep);
+    }
     Simulation simulation(&fed, config.model, config.optimizer,
                           std::move(*strategy), sim);
     SimulationResult run = simulation.Run();

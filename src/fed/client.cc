@@ -149,6 +149,45 @@ ClientMetrics Client::ComputeFedGtaMetrics(const FedGtaOptions& options) {
                               &data_->features, &metrics_cache_);
 }
 
+void Client::SaveState(serialize::Writer* writer) {
+  FEDGTA_CHECK(writer != nullptr);
+  writer->WriteI32(id());
+  SaveParams(model_->Params(), writer);
+  optimizer_->SaveState(writer);
+  writer->WriteString(batch_rng_.SaveState());
+  Rng* dropout_rng = model_->MutableDropoutRng();
+  writer->WriteBool(dropout_rng != nullptr);
+  if (dropout_rng != nullptr) writer->WriteString(dropout_rng->SaveState());
+}
+
+Status Client::LoadState(serialize::Reader* reader) {
+  FEDGTA_CHECK(reader != nullptr);
+  int32_t saved_id = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI32(&saved_id));
+  if (saved_id != id()) {
+    return FailedPreconditionError(
+        "checkpoint client id " + std::to_string(saved_id) +
+        " does not match client " + std::to_string(id()));
+  }
+  FEDGTA_RETURN_IF_ERROR(LoadParams(reader, model_->Params()));
+  FEDGTA_RETURN_IF_ERROR(optimizer_->LoadState(reader));
+  std::string rng_state;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadString(&rng_state));
+  FEDGTA_RETURN_IF_ERROR(batch_rng_.LoadState(rng_state));
+  bool has_dropout_rng = false;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadBool(&has_dropout_rng));
+  Rng* dropout_rng = model_->MutableDropoutRng();
+  if (has_dropout_rng != (dropout_rng != nullptr)) {
+    return FailedPreconditionError(
+        "checkpoint dropout-RNG presence does not match the model");
+  }
+  if (has_dropout_rng) {
+    FEDGTA_RETURN_IF_ERROR(reader->ReadString(&rng_state));
+    FEDGTA_RETURN_IF_ERROR(dropout_rng->LoadState(rng_state));
+  }
+  return OkStatus();
+}
+
 Matrix Client::HiddenWithParams(std::span<const float> params) {
   const std::vector<float> saved = GetParams();
   SetParams(params);

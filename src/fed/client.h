@@ -92,6 +92,14 @@ class Client {
   /// representation; restores the current weights afterwards. Used by MOON.
   Matrix HiddenWithParams(std::span<const float> params);
 
+  /// Checkpoint hooks: everything a client carries across rounds — model
+  /// weights, optimizer buffers, and the minibatch/dropout RNG streams.
+  /// The shard itself is rebuilt from the dataset, never serialized.
+  /// LoadState shape-checks against the live model and returns an error
+  /// Status on any mismatch.
+  void SaveState(serialize::Writer* writer);
+  Status LoadState(serialize::Reader* reader);
+
  private:
   const ClientData* data_;
   std::unique_ptr<GnnModel> model_;

@@ -22,7 +22,8 @@ void RoundExecutor::ForEachClient(int64_t n,
 std::vector<RoundExecutor::ClientExecution> RoundExecutor::TrainRound(
     Strategy& strategy, std::vector<Client>& clients,
     const std::vector<int>& participants, int epochs,
-    const std::vector<TrainHooks>& hooks) {
+    const std::vector<TrainHooks>& hooks, const FailurePlan* failures,
+    int round) {
   FEDGTA_CHECK(hooks.empty() || hooks.size() == participants.size());
   std::vector<ClientExecution> executions(participants.size());
 
@@ -37,12 +38,25 @@ std::vector<RoundExecutor::ClientExecution> RoundExecutor::TrainRound(
         FEDGTA_TRACE_SCOPE("client_train");
         Client& client =
             clients[static_cast<size_t>(participants[static_cast<size_t>(i)])];
+        ClientExecution& exec = executions[static_cast<size_t>(i)];
+        if (failures != nullptr) {
+          exec.fate = failures->FateOf(round, client.id());
+        }
+        if (exec.fate == ClientFate::kDropout) {
+          // Sampled but never reports: no download, no local work.
+          exec.result.client_id = client.id();
+          return;
+        }
+        // A crash kills the client partway through its local epochs; the
+        // work up to that point still advances its RNG streams, exactly as
+        // a real partial run would.
+        const int effective_epochs =
+            exec.fate == ClientFate::kCrash ? (epochs + 1) / 2 : epochs;
         const TrainHooks& extra =
             hooks.empty() ? no_hooks : hooks[static_cast<size_t>(i)];
         WallTimer timer;
-        executions[static_cast<size_t>(i)].result =
-            strategy.TrainClient(client, epochs, extra);
-        executions[static_cast<size_t>(i)].seconds = timer.Seconds();
+        exec.result = strategy.TrainClient(client, effective_epochs, extra);
+        exec.seconds = timer.Seconds();
       });
 
   // Ordered reduction into the metrics registry: recording in participant

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fed/client.h"
+#include "fed/failure.h"
 #include "fed/strategy.h"
 
 namespace fedgta {
@@ -34,6 +35,11 @@ class RoundExecutor {
     /// Wall seconds of this client's TrainClient call (its own span; under
     /// parallel execution these overlap, so they do not sum to round time).
     double seconds = 0.0;
+    /// Injected failure outcome (kHealthy when no FailurePlan is active).
+    /// For kDropout no work ran and `result` holds only the client id; for
+    /// kStraggler/kCrash the work (full / truncated) ran but the server
+    /// must discard `result`.
+    ClientFate fate = ClientFate::kHealthy;
   };
 
   /// Runs fn(i) for each i in [0, n) with one pool task per index, blocking
@@ -48,10 +54,17 @@ class RoundExecutor {
   /// extra hooks). Per-client wall times land in the `client.train_seconds`
   /// histogram and per-client `client_train` trace spans are emitted on the
   /// executing worker's buffer.
+  ///
+  /// When `failures` is non-null, each participant's fate for `round` is
+  /// consulted before dispatch: dropouts do no work, crashed clients train
+  /// only ceil(epochs/2) local epochs, stragglers train fully. Discarding
+  /// failed results (and renormalizing aggregation weights over the
+  /// survivors) is the caller's job — the executor only records fates.
   static std::vector<ClientExecution> TrainRound(
       Strategy& strategy, std::vector<Client>& clients,
       const std::vector<int>& participants, int epochs,
-      const std::vector<TrainHooks>& hooks);
+      const std::vector<TrainHooks>& hooks,
+      const FailurePlan* failures = nullptr, int round = 0);
 };
 
 }  // namespace fedgta

@@ -1,0 +1,63 @@
+#include "fed/failure.h"
+
+#include "common/check.h"
+
+namespace fedgta {
+namespace {
+
+// SplitMix64: full-avalanche mix, so consecutive (round, client) pairs give
+// statistically independent draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double MixToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view ClientFateName(ClientFate fate) {
+  switch (fate) {
+    case ClientFate::kHealthy:
+      return "healthy";
+    case ClientFate::kDropout:
+      return "dropout";
+    case ClientFate::kStraggler:
+      return "straggler";
+    case ClientFate::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+FailurePlan::FailurePlan(const FailureConfig& config) : config_(config) {
+  FEDGTA_CHECK_GE(config.dropout_rate, 0.0);
+  FEDGTA_CHECK_GE(config.straggler_rate, 0.0);
+  FEDGTA_CHECK_GE(config.crash_rate, 0.0);
+  FEDGTA_CHECK_LE(config.dropout_rate + config.straggler_rate +
+                      config.crash_rate,
+                  1.0)
+      << "failure rates must sum to at most 1";
+}
+
+ClientFate FailurePlan::FateOf(int round, int client_id) const {
+  const uint64_t key =
+      Mix64(config_.seed ^ Mix64(static_cast<uint64_t>(round) * 0x10001ULL +
+                                 static_cast<uint64_t>(client_id)));
+  const double u = MixToUnit(key);
+  if (u < config_.dropout_rate) return ClientFate::kDropout;
+  if (u < config_.dropout_rate + config_.straggler_rate) {
+    return ClientFate::kStraggler;
+  }
+  if (u < config_.dropout_rate + config_.straggler_rate + config_.crash_rate) {
+    return ClientFate::kCrash;
+  }
+  return ClientFate::kHealthy;
+}
+
+}  // namespace fedgta

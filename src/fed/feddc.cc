@@ -54,4 +54,20 @@ void FedDcStrategy::Aggregate(const std::vector<int>& /*participants*/,
   WeightedAverage(corrected, &global_params_);
 }
 
+void FedDcStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  SaveFloatVecs(drift_, writer);
+}
+
+Status FedDcStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<std::vector<float>> drift;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &drift));
+  if (drift.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("drift table size mismatch");
+  }
+  drift_ = std::move(drift);
+  return OkStatus();
+}
+
 }  // namespace fedgta

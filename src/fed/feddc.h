@@ -21,6 +21,8 @@ class FedDcStrategy : public Strategy {
                           const TrainHooks& extra_hooks) override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   float alpha_;

@@ -43,6 +43,42 @@ TrainHooks FedGlCoordinator::HooksFor(int client_id) {
   return hooks;
 }
 
+void FedGlCoordinator::SaveState(serialize::Writer* writer) const {
+  FEDGTA_CHECK(writer != nullptr);
+  writer->WriteU32(static_cast<uint32_t>(targets_.size()));
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    SaveMatrix(targets_[i], writer);
+    writer->WriteI32Vec(target_rows_[i]);
+  }
+}
+
+Status FedGlCoordinator::LoadState(serialize::Reader* reader) {
+  FEDGTA_CHECK(reader != nullptr);
+  uint32_t count = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&count));
+  if (count != targets_.size()) {
+    return FailedPreconditionError("pseudo-label table size mismatch");
+  }
+  std::vector<Matrix> targets(count);
+  std::vector<std::vector<int32_t>> rows(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FEDGTA_RETURN_IF_ERROR(LoadMatrix(reader, &targets[i]));
+    if (targets[i].rows() != targets_[i].rows() ||
+        targets[i].cols() != targets_[i].cols()) {
+      return FailedPreconditionError("pseudo-label target shape mismatch");
+    }
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI32Vec(&rows[i]));
+    for (int32_t r : rows[i]) {
+      if (r < 0 || r >= static_cast<int32_t>(targets[i].rows())) {
+        return FailedPreconditionError("pseudo-label row out of range");
+      }
+    }
+  }
+  targets_ = std::move(targets);
+  target_rows_ = std::move(rows);
+  return OkStatus();
+}
+
 void FedGlCoordinator::UpdatePseudoLabels(std::vector<Client>& clients,
                                           const std::vector<int>& participants) {
   if (holders_.empty()) return;

@@ -38,6 +38,12 @@ class FedGlCoordinator {
   /// Number of globally shared nodes (held by >= 2 clients).
   int64_t num_shared_nodes() const { return static_cast<int64_t>(holders_.size()); }
 
+  /// Checkpoint hooks: pseudo-label targets and the rows they apply to
+  /// (the only state that evolves across rounds; holders_ is rebuilt
+  /// deterministically from the dataset).
+  void SaveState(serialize::Writer* writer) const;
+  Status LoadState(serialize::Reader* reader);
+
  private:
   const FederatedDataset* data_;
   FedGlConfig config_;

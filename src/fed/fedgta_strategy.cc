@@ -43,4 +43,36 @@ void FedGtaStrategy::Aggregate(const std::vector<int>& participants,
                   &personal_, &last_sets_);
 }
 
+void FedGtaStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  SaveFloatVecs(personal_, writer);
+  writer->WriteDoubleVec(last_confidences_);
+  writer->WriteU32(static_cast<uint32_t>(last_sets_.size()));
+  for (const std::vector<int>& set : last_sets_) writer->WriteI32Vec(set);
+}
+
+Status FedGtaStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<std::vector<float>> personal;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &personal));
+  if (personal.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("personalized model table size mismatch");
+  }
+  std::vector<double> confidences;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadDoubleVec(&confidences));
+  if (confidences.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("confidence table size mismatch");
+  }
+  uint32_t num_sets = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&num_sets));
+  std::vector<std::vector<int>> sets(num_sets);
+  for (std::vector<int>& set : sets) {
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI32Vec(&set));
+  }
+  personal_ = std::move(personal);
+  last_confidences_ = std::move(confidences);
+  last_sets_ = std::move(sets);
+  return OkStatus();
+}
+
 }  // namespace fedgta

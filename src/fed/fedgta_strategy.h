@@ -22,6 +22,11 @@ class FedGtaStrategy : public Strategy {
                           const TrainHooks& extra_hooks) override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  /// Saves/restores the personalized model table plus the last round's
+  /// confidence (H) uploads and aggregation sets, so a resumed server
+  /// serves exactly the weights the killed one would have.
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
   /// Aggregation sets of the last round (for Fig. 3 inspection).
   const std::vector<std::vector<int>>& last_aggregation_sets() const {

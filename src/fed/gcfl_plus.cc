@@ -114,4 +114,51 @@ void GcflPlusStrategy::Aggregate(const std::vector<int>& /*participants*/,
   }
 }
 
+void GcflPlusStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  writer->WriteI32Vec(cluster_of_);
+  SaveFloatVecs(cluster_models_, writer);
+  writer->WriteU32(static_cast<uint32_t>(update_history_.size()));
+  for (const std::deque<std::vector<float>>& window : update_history_) {
+    writer->WriteU32(static_cast<uint32_t>(window.size()));
+    for (const std::vector<float>& update : window) {
+      writer->WriteFloatVec(update);
+    }
+  }
+}
+
+Status GcflPlusStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<int32_t> cluster_of;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI32Vec(&cluster_of));
+  std::vector<std::vector<float>> cluster_models;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &cluster_models));
+  uint32_t num_histories = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&num_histories));
+  if (cluster_of.size() != static_cast<size_t>(num_clients_) ||
+      num_histories != static_cast<uint32_t>(num_clients_) ||
+      cluster_models.empty()) {
+    return FailedPreconditionError("cluster state shape mismatch");
+  }
+  for (int32_t c : cluster_of) {
+    if (c < 0 || c >= static_cast<int32_t>(cluster_models.size())) {
+      return FailedPreconditionError("cluster assignment out of range");
+    }
+  }
+  std::vector<std::deque<std::vector<float>>> histories(num_histories);
+  for (std::deque<std::vector<float>>& window : histories) {
+    uint32_t window_size = 0;
+    FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&window_size));
+    for (uint32_t i = 0; i < window_size; ++i) {
+      std::vector<float> update;
+      FEDGTA_RETURN_IF_ERROR(reader->ReadFloatVec(&update));
+      window.push_back(std::move(update));
+    }
+  }
+  cluster_of_ = std::move(cluster_of);
+  cluster_models_ = std::move(cluster_models);
+  update_history_ = std::move(histories);
+  return OkStatus();
+}
+
 }  // namespace fedgta

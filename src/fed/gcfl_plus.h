@@ -30,6 +30,10 @@ class GcflPlusStrategy : public Strategy {
   std::span<const float> ParamsFor(int client_id) const override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  /// Serializes cluster assignments, cluster models, and the per-client
+  /// gradient-sequence windows the split criterion runs on.
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
   /// Current cluster assignment (for tests/inspection).
   const std::vector<int>& clusters() const { return cluster_of_; }

@@ -78,4 +78,20 @@ void MoonStrategy::Aggregate(const std::vector<int>& /*participants*/,
   WeightedAverage(results, &global_params_);
 }
 
+void MoonStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  SaveFloatVecs(previous_local_, writer);
+}
+
+Status MoonStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<std::vector<float>> previous;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &previous));
+  if (previous.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("previous-local table size mismatch");
+  }
+  previous_local_ = std::move(previous);
+  return OkStatus();
+}
+
 }  // namespace fedgta

@@ -22,6 +22,8 @@ class MoonStrategy : public Strategy {
                           const TrainHooks& extra_hooks) override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   float mu_;

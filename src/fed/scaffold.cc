@@ -79,4 +79,28 @@ void ScaffoldStrategy::Aggregate(const std::vector<int>& /*participants*/,
   }
 }
 
+void ScaffoldStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  writer->WriteFloatVec(server_control_);
+  SaveFloatVecs(client_control_, writer);
+}
+
+Status ScaffoldStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<float> server_control;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadFloatVec(&server_control));
+  std::vector<std::vector<float>> client_control;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &client_control));
+  if (server_control.size() != global_params_.size() ||
+      client_control.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("control-variate shape mismatch");
+  }
+  server_control_ = std::move(server_control);
+  client_control_ = std::move(client_control);
+  // Round deltas are transient (cleared by Aggregate); checkpoints are
+  // taken between rounds, so a resumed round starts with empty slots.
+  round_control_delta_.assign(static_cast<size_t>(num_clients_), {});
+  return OkStatus();
+}
+
 }  // namespace fedgta

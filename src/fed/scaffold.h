@@ -24,6 +24,10 @@ class ScaffoldStrategy : public Strategy {
   /// client control-variate delta up (one extra weight-sized vector each).
   CommunicationStats RoundCommunication(
       const std::vector<LocalResult>& results) const override;
+  /// Control variates are exactly the state a naive resume corrupts: both
+  /// the server's c and every client's c_i are serialized.
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   float lr_;

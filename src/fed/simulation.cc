@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
+#include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "fed/executor.h"
@@ -10,6 +12,70 @@
 #include "obs/trace.h"
 
 namespace fedgta {
+namespace {
+
+// Partial-run snapshot: the accuracy curve plus every cumulative total that
+// Run() would have accumulated so far. setup_seconds and metrics_json are
+// per-process and deliberately not persisted.
+void SavePartialResult(const SimulationResult& r, serialize::Writer* w) {
+  w->WriteU32(static_cast<uint32_t>(r.curve.size()));
+  for (const RoundStats& s : r.curve) {
+    w->WriteI32(s.round);
+    w->WriteDouble(s.test_accuracy);
+    w->WriteDouble(s.val_accuracy);
+    w->WriteDouble(s.train_loss);
+    w->WriteDouble(s.client_seconds);
+    w->WriteDouble(s.server_seconds);
+    w->WriteI64(s.upload_floats);
+    w->WriteI64(s.download_floats);
+    w->WriteI64(s.dropped_clients);
+    w->WriteI64(s.straggler_clients);
+    w->WriteI64(s.crashed_clients);
+  }
+  w->WriteDouble(r.best_test_accuracy);
+  w->WriteDouble(r.final_test_accuracy);
+  w->WriteDouble(r.total_client_seconds);
+  w->WriteDouble(r.total_server_seconds);
+  w->WriteI64(r.total_upload_floats);
+  w->WriteI64(r.total_download_floats);
+  w->WriteI64(r.total_dropped_clients);
+  w->WriteI64(r.total_straggler_clients);
+  w->WriteI64(r.total_crashed_clients);
+}
+
+Status LoadPartialResult(serialize::Reader* reader, SimulationResult* r) {
+  uint32_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&n));
+  r->curve.clear();
+  r->curve.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RoundStats s;
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI32(&s.round));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&s.test_accuracy));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&s.val_accuracy));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&s.train_loss));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&s.client_seconds));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&s.server_seconds));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&s.upload_floats));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&s.download_floats));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&s.dropped_clients));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&s.straggler_clients));
+    FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&s.crashed_clients));
+    r->curve.push_back(s);
+  }
+  FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&r->best_test_accuracy));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&r->final_test_accuracy));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&r->total_client_seconds));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadDouble(&r->total_server_seconds));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&r->total_upload_floats));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&r->total_download_floats));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&r->total_dropped_clients));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&r->total_straggler_clients));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&r->total_crashed_clients));
+  return OkStatus();
+}
+
+}  // namespace
 
 Simulation::Simulation(const FederatedDataset* data,
                        const ModelConfig& model_config,
@@ -91,10 +157,112 @@ void Simulation::Evaluate(double* test_accuracy, double* val_accuracy) {
   *val_accuracy = val_total > 0 ? val_correct / static_cast<double>(val_total) : 0.0;
 }
 
+std::string Simulation::CheckpointPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "checkpoint.ckpt").string();
+}
+
+Status Simulation::SaveCheckpoint(const std::string& path, int completed_rounds,
+                                  const Rng& sampling_rng, double best_val,
+                                  const SimulationResult& partial) {
+  serialize::Writer writer;
+  writer.WriteU64(config_.seed);
+  writer.WriteU32(static_cast<uint32_t>(completed_rounds));
+  writer.WriteString(sampling_rng.SaveState());
+  writer.WriteDouble(best_val);
+  SavePartialResult(partial, &writer);
+  strategy_->SaveState(&writer);
+  writer.WriteU32(static_cast<uint32_t>(clients_.size()));
+  for (Client& client : clients_) client.SaveState(&writer);
+  writer.WriteBool(fedgl_ != nullptr);
+  if (fedgl_ != nullptr) fedgl_->SaveState(&writer);
+  return writer.WriteToFile(path);
+}
+
+Status Simulation::LoadCheckpoint(const std::string& path) {
+  Result<serialize::Reader> reader_or = serialize::Reader::FromFile(path);
+  FEDGTA_RETURN_IF_ERROR(reader_or.status());
+  serialize::Reader& reader = *reader_or;
+
+  uint64_t seed = 0;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadU64(&seed));
+  if (seed != config_.seed) {
+    return FailedPreconditionError(
+        "checkpoint was written by a run with a different seed");
+  }
+  uint32_t completed = 0;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadU32(&completed));
+  if (completed > static_cast<uint32_t>(config_.rounds)) {
+    return FailedPreconditionError(
+        "checkpoint round exceeds the configured round count");
+  }
+  std::string rng_state;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadString(&rng_state));
+  {
+    // Validate the stream before committing anything.
+    Rng probe(0);
+    FEDGTA_RETURN_IF_ERROR(probe.LoadState(rng_state));
+  }
+  double best_val = -1.0;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadDouble(&best_val));
+  SimulationResult partial;
+  FEDGTA_RETURN_IF_ERROR(LoadPartialResult(&reader, &partial));
+  FEDGTA_RETURN_IF_ERROR(strategy_->LoadState(&reader));
+  uint32_t n_clients = 0;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadU32(&n_clients));
+  if (n_clients != clients_.size()) {
+    return FailedPreconditionError("checkpoint client count mismatch");
+  }
+  for (Client& client : clients_) {
+    FEDGTA_RETURN_IF_ERROR(client.LoadState(&reader));
+  }
+  bool has_fedgl = false;
+  FEDGTA_RETURN_IF_ERROR(reader.ReadBool(&has_fedgl));
+  if (has_fedgl != (fedgl_ != nullptr)) {
+    return FailedPreconditionError("checkpoint FedGL configuration mismatch");
+  }
+  if (fedgl_ != nullptr) {
+    FEDGTA_RETURN_IF_ERROR(fedgl_->LoadState(&reader));
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes in checkpoint payload");
+  }
+
+  resumed_ = true;
+  start_round_ = static_cast<int>(completed);
+  sampling_rng_state_ = std::move(rng_state);
+  resume_best_val_ = best_val;
+  resume_partial_ = std::move(partial);
+  return OkStatus();
+}
+
 SimulationResult Simulation::Run() {
   SimulationResult result;
-  result.setup_seconds = setup_seconds_;
   Rng rng(config_.seed ^ 0x517u);
+  int start_round = 0;
+  double best_val = -1.0;
+
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  const std::string ckpt_path =
+      checkpointing ? CheckpointPath(config_.checkpoint_dir) : std::string();
+  if (config_.resume && checkpointing &&
+      std::filesystem::exists(ckpt_path)) {
+    const Status loaded = LoadCheckpoint(ckpt_path);
+    FEDGTA_CHECK(loaded.ok()) << "resume from " << ckpt_path
+                              << " failed: " << loaded;
+  }
+  if (resumed_) {
+    result = resume_partial_;
+    start_round = start_round_;
+    best_val = resume_best_val_;
+    result.resumed_from_round = start_round_;
+    FEDGTA_CHECK(rng.LoadState(sampling_rng_state_).ok());
+  }
+  result.setup_seconds = setup_seconds_;
+
+  const FailurePlan* failures = nullptr;
+  FailurePlan plan(config_.failure);
+  if (config_.failure.enabled()) failures = &plan;
+
   const int n_clients = static_cast<int>(clients_.size());
   const int per_round = std::max(
       1, static_cast<int>(std::lround(config_.participation * n_clients)));
@@ -109,9 +277,11 @@ SimulationResult Simulation::Run() {
   Counter& rounds_completed = metrics.GetCounter("rounds.completed");
   Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
   Counter& download_floats = metrics.GetCounter("comm.download_floats");
+  Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
+  Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
+  Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
 
-  double best_val = -1.0;
-  for (int round = 1; round <= config_.rounds; ++round) {
+  for (int round = start_round + 1; round <= config_.rounds; ++round) {
     FEDGTA_TRACE_SCOPE("round");
     // Participant sampling.
     std::vector<int> participants =
@@ -136,24 +306,52 @@ SimulationResult Simulation::Run() {
     WallTimer client_timer;
     std::vector<RoundExecutor::ClientExecution> executions =
         RoundExecutor::TrainRound(*strategy_, clients_, participants,
-                                  config_.local_epochs, hooks);
+                                  config_.local_epochs, hooks, failures,
+                                  round);
     const double client_seconds = client_timer.Seconds();
 
+    // Failed participants never report: their results are discarded and the
+    // server aggregates over the survivors only, which renormalizes the
+    // FedGTA Eq. (7) weights (and every other strategy's data-size weights)
+    // within each aggregation set over the clients that actually reported.
+    std::vector<int> survivors;
     std::vector<LocalResult> results;
+    survivors.reserve(executions.size());
     results.reserve(executions.size());
+    int64_t dropped = 0;
+    int64_t stragglers = 0;
+    int64_t crashed = 0;
     double loss_sum = 0.0;
-    for (RoundExecutor::ClientExecution& exec : executions) {
-      loss_sum += exec.result.loss;
-      results.push_back(std::move(exec.result));
+    for (size_t i = 0; i < executions.size(); ++i) {
+      RoundExecutor::ClientExecution& exec = executions[i];
+      switch (exec.fate) {
+        case ClientFate::kHealthy:
+          survivors.push_back(participants[i]);
+          loss_sum += exec.result.loss;
+          results.push_back(std::move(exec.result));
+          break;
+        case ClientFate::kDropout:
+          ++dropped;
+          break;
+        case ClientFate::kStraggler:
+          ++stragglers;
+          break;
+        case ClientFate::kCrash:
+          ++crashed;
+          break;
+      }
     }
 
-    // Server aggregation (+ FedGL pseudo-label refresh).
+    // Server aggregation (+ FedGL pseudo-label refresh) over survivors; a
+    // round where every participant failed leaves the server state as-is.
     WallTimer server_timer;
     {
       FEDGTA_TRACE_SCOPE("server_step");
-      strategy_->Aggregate(participants, results);
-      if (fedgl_ != nullptr) {
-        fedgl_->UpdatePseudoLabels(clients_, participants);
+      if (!survivors.empty()) {
+        strategy_->Aggregate(survivors, results);
+        if (fedgl_ != nullptr) {
+          fedgl_->UpdatePseudoLabels(clients_, survivors);
+        }
       }
     }
     const double server_seconds = server_timer.Seconds();
@@ -164,21 +362,32 @@ SimulationResult Simulation::Run() {
         strategy_->RoundCommunication(results);
     result.total_upload_floats += comm.upload_floats;
     result.total_download_floats += comm.download_floats;
+    result.total_dropped_clients += dropped;
+    result.total_straggler_clients += stragglers;
+    result.total_crashed_clients += crashed;
 
     round_client_seconds.Record(client_seconds);
     round_server_seconds.Record(server_seconds);
     rounds_completed.Increment();
     upload_floats.Increment(comm.upload_floats);
     download_floats.Increment(comm.download_floats);
+    if (dropped > 0) dropped_counter.Increment(dropped);
+    if (stragglers > 0) straggler_counter.Increment(stragglers);
+    if (crashed > 0) crashed_counter.Increment(crashed);
 
     if (round % config_.eval_every == 0 || round == config_.rounds) {
       RoundStats stats;
       stats.round = round;
-      stats.train_loss = loss_sum / static_cast<double>(participants.size());
+      stats.train_loss = survivors.empty()
+                             ? 0.0
+                             : loss_sum / static_cast<double>(survivors.size());
       stats.client_seconds = result.total_client_seconds;
       stats.server_seconds = result.total_server_seconds;
       stats.upload_floats = result.total_upload_floats;
       stats.download_floats = result.total_download_floats;
+      stats.dropped_clients = result.total_dropped_clients;
+      stats.straggler_clients = result.total_straggler_clients;
+      stats.crashed_clients = result.total_crashed_clients;
       Evaluate(&stats.test_accuracy, &stats.val_accuracy);
       if (stats.val_accuracy > best_val) {
         best_val = stats.val_accuracy;
@@ -187,6 +396,20 @@ SimulationResult Simulation::Run() {
       result.final_test_accuracy = stats.test_accuracy;
       result.curve.push_back(stats);
     }
+
+    const int every = std::max(1, config_.checkpoint_every);
+    const bool halting =
+        config_.halt_after_round > 0 && round >= config_.halt_after_round;
+    if (checkpointing &&
+        (round % every == 0 || round == config_.rounds || halting)) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.checkpoint_dir, ec);
+      const Status saved =
+          SaveCheckpoint(ckpt_path, round, rng, best_val, result);
+      FEDGTA_CHECK(saved.ok()) << "checkpoint write to " << ckpt_path
+                               << " failed: " << saved;
+    }
+    if (halting) break;
   }
   result.metrics_json = metrics.ToJson();
   return result;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fed/client.h"
+#include "fed/failure.h"
 #include "fed/fedgl.h"
 #include "fed/fedsage.h"
 #include "fed/strategy.h"
@@ -32,6 +33,22 @@ struct SimulationConfig {
   FglModel fgl = FglModel::kNone;
   FedGlConfig fedgl;
   FedSageConfig fedsage;
+  /// Deterministic client failure injection (fed/failure.h). Disabled while
+  /// all rates are zero.
+  FailureConfig failure;
+  /// When non-empty, a checkpoint is written to
+  /// `<checkpoint_dir>/checkpoint.ckpt` (atomically) every
+  /// `checkpoint_every` rounds and after the final round; `checkpoint_every`
+  /// <= 0 means every round.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  /// Resume from an existing checkpoint in `checkpoint_dir` (fresh start if
+  /// none exists). A resumed run is bit-identical to an uninterrupted one.
+  bool resume = false;
+  /// Stop after this many rounds have completed (checkpointing first when a
+  /// checkpoint_dir is set); 0 runs to `rounds`. Used by tests to emulate a
+  /// kill at a round boundary without killing the process.
+  int halt_after_round = 0;
 };
 
 /// Per-evaluated-round statistics.
@@ -46,6 +63,10 @@ struct RoundStats {
   /// Cumulative simulated communication volume (floats up / down).
   int64_t upload_floats = 0;
   int64_t download_floats = 0;
+  /// Cumulative injected client failures (zero without a FailureConfig).
+  int64_t dropped_clients = 0;
+  int64_t straggler_clients = 0;
+  int64_t crashed_clients = 0;
 };
 
 /// Outcome of a full federated run.
@@ -61,6 +82,12 @@ struct SimulationResult {
   int64_t total_download_floats = 0;
   /// Wall-clock seconds of the setup phase (incl. FedSage+ mending).
   double setup_seconds = 0.0;
+  /// Total injected client failures across all rounds.
+  int64_t total_dropped_clients = 0;
+  int64_t total_straggler_clients = 0;
+  int64_t total_crashed_clients = 0;
+  /// Round this run resumed from (0 = fresh start).
+  int resumed_from_round = 0;
   /// JSON snapshot of the global metrics registry taken when Run()
   /// returned: per-phase timers (phase.*.seconds), per-round deltas
   /// (round.client_seconds / round.server_seconds), per-client training
@@ -86,10 +113,28 @@ class Simulation {
   Strategy& strategy() { return *strategy_; }
   std::vector<Client>& clients() { return clients_; }
 
+  /// Checkpoint file inside `dir`.
+  static std::string CheckpointPath(const std::string& dir);
+
+  /// Restores round counter, sampling RNG, strategy state, client state,
+  /// partial curve/totals, and FedGL targets from `path`. A missing,
+  /// truncated, foreign, or corrupted file surfaces as an error Status —
+  /// never an abort. Must be called on a freshly constructed Simulation
+  /// built with the same dataset / strategy / config as the writer; any
+  /// mismatch (seed, strategy name, client count, tensor shapes) is a
+  /// FailedPrecondition. Public so tests can assert corruption handling;
+  /// Run() calls it itself when `config.resume` is set.
+  Status LoadCheckpoint(const std::string& path);
+
  private:
   /// Weighted test/val accuracy across clients with each client's served
   /// parameters.
   void Evaluate(double* test_accuracy, double* val_accuracy);
+
+  /// Atomically writes the full simulation state after `completed_rounds`.
+  Status SaveCheckpoint(const std::string& path, int completed_rounds,
+                        const Rng& sampling_rng, double best_val,
+                        const SimulationResult& partial);
 
   const FederatedDataset* data_;
   SimulationConfig config_;
@@ -98,6 +143,13 @@ class Simulation {
   std::vector<Client> clients_;
   std::unique_ptr<FedGlCoordinator> fedgl_;
   double setup_seconds_ = 0.0;
+
+  // Resume state staged by LoadCheckpoint and consumed by Run().
+  bool resumed_ = false;
+  int start_round_ = 0;
+  std::string sampling_rng_state_;
+  double resume_best_val_ = -1.0;
+  SimulationResult resume_partial_;
 };
 
 }  // namespace fedgta

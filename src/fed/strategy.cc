@@ -65,6 +65,66 @@ void Strategy::WeightedAverage(const std::vector<LocalResult>& results,
   }
 }
 
+void Strategy::SaveState(serialize::Writer* writer) const {
+  FEDGTA_CHECK(writer != nullptr);
+  writer->WriteString(name());
+  writer->WriteU32(static_cast<uint32_t>(num_clients_));
+  writer->WriteI64Vec(train_sizes_);
+  writer->WriteFloatVec(global_params_);
+}
+
+Status Strategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_CHECK(reader != nullptr);
+  std::string saved_name;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadString(&saved_name));
+  if (saved_name != name()) {
+    return FailedPreconditionError("checkpoint strategy '" + saved_name +
+                                   "' does not match live strategy '" +
+                                   std::string(name()) + "'");
+  }
+  uint32_t saved_clients = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&saved_clients));
+  if (saved_clients != static_cast<uint32_t>(num_clients_)) {
+    return FailedPreconditionError(
+        "checkpoint has " + std::to_string(saved_clients) +
+        " clients, federation has " + std::to_string(num_clients_));
+  }
+  std::vector<int64_t> saved_sizes;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64Vec(&saved_sizes));
+  if (saved_sizes != train_sizes_) {
+    return FailedPreconditionError(
+        "checkpoint train-set sizes do not match the federation");
+  }
+  std::vector<float> saved_params;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadFloatVec(&saved_params));
+  if (saved_params.size() != global_params_.size()) {
+    return FailedPreconditionError(
+        "checkpoint parameter count " + std::to_string(saved_params.size()) +
+        " does not match model parameter count " +
+        std::to_string(global_params_.size()));
+  }
+  global_params_ = std::move(saved_params);
+  return OkStatus();
+}
+
+void Strategy::SaveFloatVecs(const std::vector<std::vector<float>>& vecs,
+                             serialize::Writer* writer) {
+  writer->WriteU32(static_cast<uint32_t>(vecs.size()));
+  for (const std::vector<float>& v : vecs) writer->WriteFloatVec(v);
+}
+
+Status Strategy::LoadFloatVecs(serialize::Reader* reader,
+                               std::vector<std::vector<float>>* vecs) {
+  uint32_t count = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&count));
+  std::vector<std::vector<float>> loaded(count);
+  for (std::vector<float>& v : loaded) {
+    FEDGTA_RETURN_IF_ERROR(reader->ReadFloatVec(&v));
+  }
+  *vecs = std::move(loaded);
+  return OkStatus();
+}
+
 void FedAvgStrategy::Aggregate(const std::vector<int>& /*participants*/,
                                const std::vector<LocalResult>& results) {
   FEDGTA_PHASE_SCOPE("aggregation");
@@ -89,6 +149,22 @@ void LocalOnlyStrategy::Aggregate(const std::vector<int>& /*participants*/,
   for (const LocalResult& r : results) {
     personal_[static_cast<size_t>(r.client_id)] = r.params;
   }
+}
+
+void LocalOnlyStrategy::SaveState(serialize::Writer* writer) const {
+  Strategy::SaveState(writer);
+  SaveFloatVecs(personal_, writer);
+}
+
+Status LocalOnlyStrategy::LoadState(serialize::Reader* reader) {
+  FEDGTA_RETURN_IF_ERROR(Strategy::LoadState(reader));
+  std::vector<std::vector<float>> personal;
+  FEDGTA_RETURN_IF_ERROR(LoadFloatVecs(reader, &personal));
+  if (personal.size() != static_cast<size_t>(num_clients_)) {
+    return FailedPreconditionError("per-client model table size mismatch");
+  }
+  personal_ = std::move(personal);
+  return OkStatus();
 }
 
 std::vector<std::string> ListStrategies() {

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/serialize.h"
 #include "core/fedgta_metrics.h"
 #include "fed/client.h"
 
@@ -92,7 +93,26 @@ class Strategy {
   virtual CommunicationStats RoundCommunication(
       const std::vector<LocalResult>& results) const;
 
+  /// Checkpoint contract (see DESIGN.md "Fault tolerance"): SaveState
+  /// serializes every field the strategy carries across rounds — for
+  /// personalized strategies that includes all per-client server state
+  /// (FedGTA's personalized models and H/M uploads, Scaffold's control
+  /// variates, MOON snapshots, FedDC drift, GCFL+ clusters). LoadState is
+  /// called on a freshly Initialize()d instance of the same strategy over
+  /// the same federation; it validates the stream against the live shape
+  /// (strategy name, client count, parameter count) and returns an error
+  /// Status on mismatch — it must never abort or partially apply.
+  /// Overrides call the base implementation first, mirroring the write
+  /// order of SaveState.
+  virtual void SaveState(serialize::Writer* writer) const;
+  virtual Status LoadState(serialize::Reader* reader);
+
  protected:
+  /// Shared encoding for per-client weight tables (count + each vector).
+  static void SaveFloatVecs(const std::vector<std::vector<float>>& vecs,
+                            serialize::Writer* writer);
+  static Status LoadFloatVecs(serialize::Reader* reader,
+                              std::vector<std::vector<float>>* vecs);
   /// FedAvg-style weighted average of `results` into `out`.
   static void WeightedAverage(const std::vector<LocalResult>& results,
                               std::vector<float>* out);
@@ -120,6 +140,8 @@ class LocalOnlyStrategy : public Strategy {
   std::span<const float> ParamsFor(int client_id) const override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   std::vector<std::vector<float>> personal_;

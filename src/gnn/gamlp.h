@@ -23,6 +23,9 @@ class GamlpModel : public GnnModel {
   void ZeroGrad() override;
   const Matrix& Hidden() const override { return mlp_->Hidden(); }
   std::string_view name() const override { return "gamlp"; }
+  Rng* MutableDropoutRng() override {
+    return mlp_ ? mlp_->mutable_dropout_rng() : nullptr;
+  }
 
   /// Current softmax-normalized hop attention (for inspection/tests).
   std::vector<float> HopAttention() const;

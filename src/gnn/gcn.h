@@ -22,6 +22,7 @@ class GcnModel : public GnnModel {
   void ZeroGrad() override;
   const Matrix& Hidden() const override { return hidden_; }
   std::string_view name() const override { return "gcn"; }
+  Rng* MutableDropoutRng() override { return &dropout_rng_; }
 
  private:
   int num_layers_;

@@ -54,6 +54,11 @@ class GnnModel {
   virtual const Matrix& Hidden() const = 0;
 
   virtual std::string_view name() const = 0;
+
+  /// The model's dropout RNG stream, or nullptr for models without one.
+  /// This is the only stochastic state a model carries across Forward
+  /// calls; checkpointing saves/restores it for bit-identical resume.
+  virtual Rng* MutableDropoutRng() { return nullptr; }
 };
 
 /// Base for decoupled scalable GNNs (SGC / SIGN / S²GC / GBP): propagation
@@ -70,6 +75,9 @@ class DecoupledGnn : public GnnModel {
   std::vector<ParamRef> Params() override;
   void ZeroGrad() override;
   const Matrix& Hidden() const final { return mlp_->Hidden(); }
+  Rng* MutableDropoutRng() final {
+    return mlp_ ? mlp_->mutable_dropout_rng() : nullptr;
+  }
 
  protected:
   /// Combines hop features [X^(0) .. X^(k)] into the MLP input.

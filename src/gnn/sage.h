@@ -20,6 +20,7 @@ class SageModel : public GnnModel {
   void ZeroGrad() override;
   const Matrix& Hidden() const override { return hidden_; }
   std::string_view name() const override { return "sage"; }
+  Rng* MutableDropoutRng() override { return &dropout_rng_; }
 
  private:
   int num_layers_;

@@ -43,6 +43,10 @@ class Mlp {
 
   const MlpConfig& config() const { return config_; }
 
+  /// Dropout stream; checkpointing captures it so a resumed run draws the
+  /// same masks as the uninterrupted one.
+  Rng* mutable_dropout_rng() { return &dropout_rng_; }
+
  private:
   MlpConfig config_;
   std::vector<Linear> layers_;

@@ -61,6 +61,71 @@ void AdamOptimizer::Step(const std::vector<ParamRef>& params) {
   }
 }
 
+namespace {
+
+// Shared matrix-list encoding for optimizer buffers.
+void SaveMatrixList(const std::vector<Matrix>& list,
+                    serialize::Writer* writer) {
+  writer->WriteU32(static_cast<uint32_t>(list.size()));
+  for (const Matrix& m : list) SaveMatrix(m, writer);
+}
+
+// Loads a buffer list, shape-checking against the live buffers when the
+// optimizer has already materialized them (state is keyed by position, so a
+// shape change means the checkpoint came from a different architecture).
+Status LoadMatrixList(serialize::Reader* reader, std::vector<Matrix>* list) {
+  uint32_t count = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&count));
+  std::vector<Matrix> loaded(count);
+  for (Matrix& m : loaded) FEDGTA_RETURN_IF_ERROR(LoadMatrix(reader, &m));
+  if (!list->empty()) {
+    if (loaded.size() != list->size()) {
+      return FailedPreconditionError(
+          "optimizer buffer count mismatch (different architecture?)");
+    }
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      if (loaded[i].rows() != (*list)[i].rows() ||
+          loaded[i].cols() != (*list)[i].cols()) {
+        return FailedPreconditionError(
+            "optimizer buffer shape mismatch (different architecture?)");
+      }
+    }
+  }
+  *list = std::move(loaded);
+  return OkStatus();
+}
+
+}  // namespace
+
+void SgdOptimizer::SaveState(serialize::Writer* writer) const {
+  SaveMatrixList(velocity_, writer);
+}
+
+Status SgdOptimizer::LoadState(serialize::Reader* reader) {
+  return LoadMatrixList(reader, &velocity_);
+}
+
+void AdamOptimizer::SaveState(serialize::Writer* writer) const {
+  SaveMatrixList(m_, writer);
+  SaveMatrixList(v_, writer);
+  writer->WriteI64(t_);
+}
+
+Status AdamOptimizer::LoadState(serialize::Reader* reader) {
+  std::vector<Matrix> m, v;
+  FEDGTA_RETURN_IF_ERROR(LoadMatrixList(reader, &m));
+  FEDGTA_RETURN_IF_ERROR(LoadMatrixList(reader, &v));
+  int64_t t = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&t));
+  if (m.size() != v.size() || t < 0) {
+    return FailedPreconditionError("inconsistent Adam state in checkpoint");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
+  return OkStatus();
+}
+
 std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config) {
   switch (config.type) {
     case OptimizerType::kSgd:

@@ -35,6 +35,12 @@ class Optimizer {
   /// Clears internal state (momentum/moment buffers).
   virtual void Reset() = 0;
   virtual float lr() const = 0;
+
+  /// Checkpoint hooks: serialize/restore the internal buffers so a resumed
+  /// run steps exactly like the uninterrupted one. Loading state captured
+  /// from a different architecture is a FailedPrecondition error.
+  virtual void SaveState(serialize::Writer* writer) const = 0;
+  virtual Status LoadState(serialize::Reader* reader) = 0;
 };
 
 /// SGD with momentum and decoupled weight decay.
@@ -44,6 +50,8 @@ class SgdOptimizer : public Optimizer {
   void Step(const std::vector<ParamRef>& params) override;
   void Reset() override { velocity_.clear(); }
   float lr() const override { return config_.lr; }
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   OptimizerConfig config_;
@@ -61,6 +69,8 @@ class AdamOptimizer : public Optimizer {
     t_ = 0;
   }
   float lr() const override { return config_.lr; }
+  void SaveState(serialize::Writer* writer) const override;
+  Status LoadState(serialize::Reader* reader) override;
 
  private:
   OptimizerConfig config_;

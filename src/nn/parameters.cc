@@ -59,4 +59,62 @@ void ZeroGrads(const std::vector<ParamRef>& params) {
   for (const ParamRef& p : params) p.grad->SetZero();
 }
 
+void SaveMatrix(const Matrix& m, serialize::Writer* writer) {
+  FEDGTA_CHECK(writer != nullptr);
+  writer->WriteI64(m.rows());
+  writer->WriteI64(m.cols());
+  writer->WriteFloatVec(std::span<const float>(
+      m.data(), static_cast<size_t>(m.size())));
+}
+
+Status LoadMatrix(serialize::Reader* reader, Matrix* m) {
+  FEDGTA_CHECK(reader != nullptr);
+  FEDGTA_CHECK(m != nullptr);
+  int64_t rows = 0;
+  int64_t cols = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&rows));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI64(&cols));
+  if (rows < 0 || cols < 0) {
+    return InvalidArgumentError("negative matrix dimensions in checkpoint");
+  }
+  std::vector<float> values;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadFloatVec(&values));
+  if (static_cast<int64_t>(values.size()) != rows * cols) {
+    return InvalidArgumentError("matrix payload does not match dimensions");
+  }
+  Matrix loaded(rows, cols);
+  std::copy(values.begin(), values.end(), loaded.data());
+  *m = std::move(loaded);
+  return OkStatus();
+}
+
+void SaveParams(const std::vector<ParamRef>& params,
+                serialize::Writer* writer) {
+  FEDGTA_CHECK(writer != nullptr);
+  writer->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const ParamRef& p : params) SaveMatrix(*p.value, writer);
+}
+
+Status LoadParams(serialize::Reader* reader,
+                  const std::vector<ParamRef>& params) {
+  FEDGTA_CHECK(reader != nullptr);
+  uint32_t count = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&count));
+  if (count != params.size()) {
+    return FailedPreconditionError(
+        "checkpoint holds " + std::to_string(count) +
+        " parameter tensors, model has " + std::to_string(params.size()));
+  }
+  for (const ParamRef& p : params) {
+    Matrix loaded;
+    FEDGTA_RETURN_IF_ERROR(LoadMatrix(reader, &loaded));
+    if (loaded.rows() != p.value->rows() || loaded.cols() != p.value->cols()) {
+      return FailedPreconditionError(
+          "checkpoint tensor shape mismatch against live model");
+    }
+    *p.value = std::move(loaded);
+  }
+  return OkStatus();
+}
+
 }  // namespace fedgta

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/serialize.h"
 #include "linalg/matrix.h"
 
 namespace fedgta {
@@ -35,6 +36,19 @@ void UnflattenGrads(std::span<const float> flat,
 
 /// Zeroes all gradient accumulators.
 void ZeroGrads(const std::vector<ParamRef>& params);
+
+/// Checkpoint hooks (see DESIGN.md "Fault tolerance"). A matrix is encoded
+/// as rows, cols, then the row-major value vector; a parameter list as the
+/// tensor count followed by each value matrix (gradients are transient and
+/// never serialized). Loads are shape-checked against the live objects and
+/// return FailedPrecondition on any mismatch — a checkpoint from a
+/// different architecture must never be silently squeezed in.
+void SaveMatrix(const Matrix& m, serialize::Writer* writer);
+Status LoadMatrix(serialize::Reader* reader, Matrix* m);
+void SaveParams(const std::vector<ParamRef>& params,
+                serialize::Writer* writer);
+Status LoadParams(serialize::Reader* reader,
+                  const std::vector<ParamRef>& params);
 
 }  // namespace fedgta
 

@@ -2,8 +2,14 @@
 // abort, captured via gtest death tests) or via error Status, never
 // silently accepted.
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "common/serialize.h"
 #include "core/label_propagation.h"
 #include "core/moments.h"
 #include "data/registry.h"
@@ -96,6 +102,81 @@ TEST(FailureStatusTest, UnknownNamesReturnErrors) {
 TEST(FailureDeathTest, ResultValueOnErrorAborts) {
   Result<int> r(InternalError("boom"));
   EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+// Checkpoint corruption must always surface as an error Status — a damaged
+// or foreign file must never abort the process or load partially.
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "fedgta_corruption_test.ckpt")
+                .string();
+    serialize::Writer writer;
+    writer.WriteString("state");
+    writer.WriteI64(1234);
+    ASSERT_TRUE(writer.WriteToFile(path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    raw_.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    ASSERT_GT(raw_.size(), 20u);  // header is 20 bytes
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void WriteRaw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::string raw_;
+};
+
+TEST_F(CheckpointCorruptionTest, TruncatedHeaderIsOutOfRange) {
+  WriteRaw(raw_.substr(0, 10));
+  EXPECT_EQ(serialize::Reader::FromFile(path_).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(CheckpointCorruptionTest, TruncatedPayloadIsOutOfRange) {
+  WriteRaw(raw_.substr(0, raw_.size() - 4));
+  EXPECT_EQ(serialize::Reader::FromFile(path_).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(CheckpointCorruptionTest, BadMagicIsInvalidArgument) {
+  std::string bad = raw_;
+  bad[0] = 'X';  // clobber the first magic byte
+  WriteRaw(bad);
+  const Status status = serialize::Reader::FromFile(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, WrongVersionIsInvalidArgument) {
+  std::string bad = raw_;
+  const uint32_t future = serialize::kVersion + 1;
+  std::memcpy(bad.data() + 4, &future, sizeof(future));
+  WriteRaw(bad);
+  const Status status = serialize::Reader::FromFile(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, FlippedPayloadByteFailsCrc) {
+  std::string bad = raw_;
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x5a);
+  WriteRaw(bad);
+  const Status status = serialize::Reader::FromFile(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("CRC"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, TrailingGarbageIsOutOfRange) {
+  WriteRaw(raw_ + "garbage");
+  EXPECT_EQ(serialize::Reader::FromFile(path_).status().code(),
+            StatusCode::kOutOfRange);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <cmath>
+#include <filesystem>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
 #include "data/federated.h"
+#include "fed/failure.h"
 #include "fed/feddc.h"
 #include "fed/fedgl.h"
 #include "fed/fedgta_strategy.h"
@@ -499,6 +501,178 @@ INSTANTIATE_TEST_SUITE_P(Strategies, ParallelDeterminismTest,
                          [](const auto& info) {
                            return std::string(info.param);
                          });
+
+// Runs the full simulation for `strategy_name` either straight through or
+// killed at round `halt_at` and resumed from the checkpoint, with
+// `pool_size` workers. Returns the curve; timings are zeroed so comparisons
+// cover only deterministic quantities.
+std::vector<RoundStats> RunMaybeResumed(const std::string& strategy_name,
+                                        int pool_size, int halt_at,
+                                        const std::string& dir) {
+  SetGlobalThreadPoolSize(pool_size);
+  ModelConfig model = TinyModel();
+  model.dropout = 0.3f;
+  SimulationConfig sim;
+  sim.rounds = 4;
+  sim.local_epochs = 2;
+  sim.batch_size = 16;
+  sim.participation = 0.7;
+  sim.eval_every = 1;
+  sim.seed = 99;
+  StrategyOptions sopt;
+  SimulationResult result;
+  if (halt_at <= 0) {
+    FederatedDataset fed = MakeTinyFederated(/*num_clients=*/6, /*seed=*/5);
+    auto strategy = MakeStrategy(strategy_name, sopt);
+    Simulation simulation(&fed, model, OptimizerConfig{},
+                          std::move(*strategy), sim);
+    result = simulation.Run();
+  } else {
+    sim.checkpoint_dir = dir;
+    sim.checkpoint_every = 1;
+    std::filesystem::remove_all(dir);
+    {
+      SimulationConfig first = sim;
+      first.halt_after_round = halt_at;
+      FederatedDataset fed = MakeTinyFederated(6, 5);
+      auto strategy = MakeStrategy(strategy_name, sopt);
+      Simulation simulation(&fed, model, OptimizerConfig{},
+                            std::move(*strategy), first);
+      const SimulationResult partial = simulation.Run();
+      EXPECT_EQ(partial.curve.size(), static_cast<size_t>(halt_at));
+    }
+    // "Process restart": everything rebuilt from scratch, state from disk.
+    SimulationConfig second = sim;
+    second.resume = true;
+    FederatedDataset fed = MakeTinyFederated(6, 5);
+    auto strategy = MakeStrategy(strategy_name, sopt);
+    Simulation simulation(&fed, model, OptimizerConfig{},
+                          std::move(*strategy), second);
+    result = simulation.Run();
+    EXPECT_EQ(result.resumed_from_round, halt_at);
+    std::filesystem::remove_all(dir);
+  }
+  for (RoundStats& stats : result.curve) {
+    stats.client_seconds = 0.0;
+    stats.server_seconds = 0.0;
+  }
+  return result.curve;
+}
+
+// Checkpoint/resume determinism: killing the run at a round boundary and
+// resuming from the checkpoint yields the exact curve of an uninterrupted
+// run — for every strategy with cross-round server state, serial and with a
+// 4-worker pool.
+class ResumeDeterminismTest : public testing::TestWithParam<const char*> {
+ protected:
+  ~ResumeDeterminismTest() override { SetGlobalThreadPoolSize(0); }
+};
+
+TEST_P(ResumeDeterminismTest, ResumedRunMatchesUninterruptedBitExactly) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("fedgta_resume_") + GetParam()))
+          .string();
+  for (int pool_size : {1, 4}) {
+    const std::vector<RoundStats> straight =
+        RunMaybeResumed(GetParam(), pool_size, /*halt_at=*/0, dir);
+    const std::vector<RoundStats> resumed =
+        RunMaybeResumed(GetParam(), pool_size, /*halt_at=*/2, dir);
+    ASSERT_EQ(straight.size(), resumed.size());
+    ASSERT_FALSE(straight.empty());
+    for (size_t r = 0; r < straight.size(); ++r) {
+      EXPECT_EQ(straight[r].round, resumed[r].round);
+      EXPECT_DOUBLE_EQ(straight[r].train_loss, resumed[r].train_loss)
+          << GetParam() << " pool " << pool_size << " round "
+          << straight[r].round;
+      EXPECT_DOUBLE_EQ(straight[r].val_accuracy, resumed[r].val_accuracy)
+          << GetParam() << " pool " << pool_size << " round "
+          << straight[r].round;
+      EXPECT_DOUBLE_EQ(straight[r].test_accuracy, resumed[r].test_accuracy)
+          << GetParam() << " pool " << pool_size << " round "
+          << straight[r].round;
+      EXPECT_EQ(straight[r].upload_floats, resumed[r].upload_floats);
+      EXPECT_EQ(straight[r].download_floats, resumed[r].download_floats);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ResumeDeterminismTest,
+                         testing::Values("fedavg", "fedgta", "scaffold"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// Failure injection end to end: a 20% deterministic dropout run completes,
+// reports its failure counts through the curve, the metrics registry, and
+// the result totals, and FedGTA's Eq. (7) aggregation sets renormalize over
+// the surviving participants only.
+TEST(SimulationFailureTest, DropoutRunCompletesAndCountsFailures) {
+  FederatedDataset fed = MakeTinyFederated(/*num_clients=*/6, /*seed=*/5);
+  StrategyOptions sopt;
+  auto strategy = MakeStrategy("fedgta", sopt);
+  Strategy* strategy_ptr = strategy->get();
+  SimulationConfig sim;
+  sim.rounds = 5;
+  sim.local_epochs = 2;
+  sim.eval_every = 1;
+  sim.seed = 99;
+  sim.failure.dropout_rate = 0.2;
+  sim.failure.seed = 7;
+  Counter& dropped_counter =
+      GlobalMetrics().GetCounter("fed.round.dropped_clients");
+  const int64_t dropped_before = dropped_counter.value();
+  Simulation simulation(&fed, TinyModel(), OptimizerConfig{},
+                        std::move(*strategy), sim);
+  const SimulationResult result = simulation.Run();
+
+  EXPECT_EQ(result.curve.size(), 5u);
+  EXPECT_GT(result.final_test_accuracy, 0.2);
+  // The plan drops ~20% of 6 clients x 5 rounds; with these seeds at least
+  // one dropout must occur, and each surface must agree on the count.
+  EXPECT_GT(result.total_dropped_clients, 0);
+  EXPECT_EQ(result.curve.back().dropped_clients,
+            result.total_dropped_clients);
+  EXPECT_EQ(dropped_counter.value() - dropped_before,
+            result.total_dropped_clients);
+  EXPECT_EQ(result.total_straggler_clients, 0);
+  EXPECT_EQ(result.total_crashed_clients, 0);
+
+  // Survivor-only aggregation: the last round's FedGTA aggregation sets must
+  // not contain any client that dropped in that round.
+  const FailurePlan plan(sim.failure);
+  auto* fedgta_strategy = dynamic_cast<FedGtaStrategy*>(strategy_ptr);
+  ASSERT_NE(fedgta_strategy, nullptr);
+  const auto& sets = fedgta_strategy->last_aggregation_sets();
+  for (const auto& set : sets) {
+    for (int member : set) {
+      EXPECT_NE(plan.FateOf(sim.rounds, member), ClientFate::kDropout)
+          << "dropped client " << member << " leaked into an aggregation set";
+    }
+  }
+}
+
+TEST(SimulationFailureTest, StragglersAndCrashesAreDiscarded) {
+  FederatedDataset fed = MakeTinyFederated(/*num_clients=*/6, /*seed=*/5);
+  StrategyOptions sopt;
+  auto strategy = MakeStrategy("fedavg", sopt);
+  SimulationConfig sim;
+  sim.rounds = 4;
+  sim.local_epochs = 2;
+  sim.eval_every = 1;
+  sim.seed = 99;
+  sim.failure.straggler_rate = 0.2;
+  sim.failure.crash_rate = 0.2;
+  sim.failure.seed = 3;
+  Simulation simulation(&fed, TinyModel(), OptimizerConfig{},
+                        std::move(*strategy), sim);
+  const SimulationResult result = simulation.Run();
+  EXPECT_EQ(result.curve.size(), 4u);
+  EXPECT_GT(result.total_straggler_clients + result.total_crashed_clients, 0);
+  EXPECT_EQ(result.total_dropped_clients, 0);
+  // Training still converges on the survivors.
+  EXPECT_GT(result.final_test_accuracy, 0.2);
+}
 
 // The ClientMetricsCache must not change what a client uploads: repeated
 // metric computations (as happen across rounds) return identical moments
