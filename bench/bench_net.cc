@@ -1,0 +1,143 @@
+// Loopback transport benchmark: round-trip latency and throughput of the
+// net/ RPC stack over 127.0.0.1 for payloads from 1 KiB to 64 MiB (the
+// size range of real weight uploads), writing BENCH_net.json for
+// perf-trend tracking. The echo path is the real protocol path — framed,
+// CRC-validated TrainRequest/TrainResponse exchanges over an RpcChannel —
+// so serialization cost is included, exactly as a federated round pays it.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "net/rpc.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace {
+
+struct SweepPoint {
+  size_t payload_bytes = 0;
+  double rtt_ms = 0.0;
+  double mb_per_s = 0.0;  // both directions
+};
+
+void EchoServer(net::Socket sock) {
+  while (true) {
+    Result<serialize::Reader> reader = net::RecvMessage(sock);
+    if (!reader.ok()) return;
+    Result<net::MsgType> type = net::ReadMsgType(&*reader);
+    if (!type.ok()) return;
+    if (*type == net::MsgType::kShutdown) {
+      net::ShutdownAckMsg ack;
+      (void)net::SendMessage(sock, ack);
+      return;
+    }
+    FEDGTA_CHECK(*type == net::MsgType::kTrainRequest);
+    net::TrainRequestMsg req;
+    FEDGTA_CHECK(req.Decode(&*reader).ok());
+    net::TrainResponseMsg resp;
+    resp.client_id = req.client_id;
+    resp.weights = std::move(req.weights);
+    FEDGTA_CHECK(net::SendMessage(sock, resp).ok());
+  }
+}
+
+void RunSweep(const char* out_path) {
+  const bool full = std::getenv("FEDGTA_BENCH_MODE") != nullptr &&
+                    std::string(std::getenv("FEDGTA_BENCH_MODE")) == "full";
+  const int reps = full ? 9 : 5;
+
+  Result<net::ServerSocket> server = net::ServerSocket::Listen(0);
+  FEDGTA_CHECK(server.ok());
+  const int port = server->port();
+  std::thread echo([&server] {
+    Result<net::Socket> peer = server->Accept(10000);
+    FEDGTA_CHECK(peer.ok());
+    EchoServer(std::move(*peer));
+  });
+
+  net::RpcOptions options;
+  options.deadline_ms = 60000;
+  Result<net::Socket> dialed = net::ConnectWithRetry("127.0.0.1", port,
+                                                     options);
+  FEDGTA_CHECK(dialed.ok());
+  net::RpcChannel channel(std::move(*dialed), options);
+
+  const std::vector<size_t> sizes = {1u << 10,  16u << 10, 256u << 10,
+                                     1u << 20,  4u << 20,  16u << 20,
+                                     64u << 20};
+  std::vector<SweepPoint> points;
+  for (const size_t bytes : sizes) {
+    net::TrainRequestMsg req;
+    req.client_id = 1;
+    req.weights.assign(bytes / sizeof(float), 0.5f);
+    std::vector<double> rtts;
+    for (int rep = 0; rep < reps; ++rep) {
+      net::TrainResponseMsg resp;
+      WallTimer timer;
+      FEDGTA_CHECK(channel.Call(req, &resp).ok());
+      rtts.push_back(timer.Seconds());
+      FEDGTA_CHECK(resp.weights.size() == req.weights.size());
+    }
+    std::sort(rtts.begin(), rtts.end());
+    const double median = rtts[rtts.size() / 2];
+    SweepPoint p;
+    p.payload_bytes = bytes;
+    p.rtt_ms = 1e3 * median;
+    p.mb_per_s = 2.0 * static_cast<double>(bytes) / median / 1e6;
+    points.push_back(p);
+    std::printf("payload=%8zu B  rtt=%9.3f ms  throughput=%8.1f MB/s\n",
+                p.payload_bytes, p.rtt_ms, p.mb_per_s);
+    std::fflush(stdout);
+  }
+
+  {
+    net::ShutdownMsg shutdown;
+    net::ShutdownAckMsg ack;
+    FEDGTA_CHECK(net::SendMessage(channel.socket(), shutdown).ok());
+    FEDGTA_CHECK(net::ExpectMessage(channel.socket(), &ack).ok());
+  }
+  echo.join();
+
+  // Per-RPC latency distribution across the whole sweep, from the same
+  // histogram the coordinator populates in production.
+  const Histogram* rpc = GlobalMetrics().FindHistogram("net.rpc.seconds");
+  const Histogram::Snapshot snap =
+      rpc != nullptr ? rpc->snapshot() : Histogram::Snapshot{};
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s, skipping JSON dump\n", out_path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"payload_bytes\": %zu, \"rtt_ms\": %.4f, "
+                 "\"mb_per_s\": %.2f}%s\n",
+                 p.payload_bytes, p.rtt_ms, p.mb_per_s,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"rpc_seconds\": {\"count\": %lld, \"mean\": %.6f, "
+               "\"p50\": %.6f, \"p99\": %.6f}\n}\n",
+               static_cast<long long>(snap.count), snap.mean(),
+               snap.Quantile(0.5), snap.Quantile(0.99));
+  std::fclose(f);
+  std::printf("loopback sweep written to %s\n", out_path);
+}
+
+}  // namespace
+}  // namespace fedgta
+
+int main() {
+  std::printf("== loopback RPC sweep (1 KiB - 64 MiB payloads) ==\n");
+  fedgta::RunSweep("BENCH_net.json");
+  return 0;
+}

@@ -11,8 +11,9 @@
 # The sanitizer runs are observability for memory and threading bugs the way
 # the metrics registry is observability for latency: every tier-1 test
 # executes under AddressSanitizer and UndefinedBehaviorSanitizer, and the
-# suites that exercise the parallel round executor (fed_test, linalg_test,
-# common_test, obs_test) additionally run under ThreadSanitizer.
+# suites that exercise the parallel round executor and the TCP transport
+# (fed_test, linalg_test, common_test, obs_test, net_test, loopback_test)
+# additionally run under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,13 +39,13 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFEDGTA_SANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
-    --target fed_test linalg_test common_test obs_test
+    --target fed_test linalg_test common_test obs_test net_test loopback_test
 
   export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
   # Force a multi-threaded pool so the round executor actually runs
   # clients concurrently under TSan, whatever the CI machine reports.
   export FEDGTA_NUM_THREADS=4
-  for t in fed_test linalg_test common_test obs_test; do
+  for t in fed_test linalg_test common_test obs_test net_test loopback_test; do
     "$TSAN_BUILD_DIR/tests/$t"
   done
 fi

@@ -124,6 +124,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 
 int main(int argc, char** argv) {
   Flags flags;
+  bool num_threads_given = false;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -185,14 +186,42 @@ int main(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "num_threads", &value)) {
       flags.num_threads = std::atoi(value.c_str());
+      num_threads_given = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       return 1;
     }
   }
 
-  if (flags.num_threads < 0) {
-    std::fprintf(stderr, "--num_threads must be >= 0\n");
+  // An explicit --num_threads must name a usable pool size; only the
+  // absent-flag default 0 means "FEDGTA_NUM_THREADS env / hardware".
+  if (num_threads_given && flags.num_threads < 1) {
+    std::fprintf(stderr, "--num_threads must be >= 1 (omit the flag for the "
+                         "hardware default)\n");
+    return 1;
+  }
+  if (flags.clients < 1) {
+    std::fprintf(stderr, "--clients must be >= 1\n");
+    return 1;
+  }
+  if (flags.rounds < 1) {
+    std::fprintf(stderr, "--rounds must be >= 1\n");
+    return 1;
+  }
+  if (flags.epochs < 1) {
+    std::fprintf(stderr, "--epochs must be >= 1\n");
+    return 1;
+  }
+  if (flags.repeats < 1) {
+    std::fprintf(stderr, "--repeats must be >= 1\n");
+    return 1;
+  }
+  if (flags.batch < 0) {
+    std::fprintf(stderr, "--batch must be >= 0 (0 = full-batch)\n");
+    return 1;
+  }
+  if (flags.participation <= 0.0 || flags.participation > 1.0) {
+    std::fprintf(stderr, "--participation must be in (0, 1]\n");
     return 1;
   }
   if (flags.num_threads > 0) SetGlobalThreadPoolSize(flags.num_threads);

@@ -70,6 +70,19 @@ void Writer::WriteI64Vec(std::span<const int64_t> v) {
   AppendRaw(v.data(), v.size() * sizeof(int64_t));
 }
 
+std::string Writer::Encode() const {
+  FileHeader header;
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.payload_size = buf_.size();
+  header.crc = Crc32(buf_.data(), buf_.size());
+  std::string out;
+  out.reserve(sizeof(header) + buf_.size());
+  out.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.append(buf_);
+  return out;
+}
+
 Status Writer::WriteToFile(const std::string& path) const {
   FileHeader header;
   header.magic = kMagic;
@@ -132,6 +145,33 @@ Result<Reader> Reader::FromFile(const std::string& path) {
   }
   if (Crc32(payload.data(), payload.size()) != header.crc) {
     return InvalidArgumentError("CRC mismatch (corrupted payload): " + path);
+  }
+  return Reader(std::move(payload));
+}
+
+Result<Reader> Reader::FromBuffer(std::string data) {
+  FileHeader header;
+  if (data.size() < sizeof(header)) {
+    return OutOfRangeError("truncated header: buffer of " +
+                           std::to_string(data.size()) + " bytes");
+  }
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    return InvalidArgumentError("bad magic (not a FGTA buffer)");
+  }
+  if (header.version != kVersion) {
+    return InvalidArgumentError(
+        "unsupported format version " + std::to_string(header.version) +
+        " (expected " + std::to_string(kVersion) + ")");
+  }
+  if (data.size() - sizeof(header) != header.payload_size) {
+    return OutOfRangeError("truncated or oversized payload: declared " +
+                           std::to_string(header.payload_size) + ", got " +
+                           std::to_string(data.size() - sizeof(header)));
+  }
+  std::string payload = data.substr(sizeof(header));
+  if (Crc32(payload.data(), payload.size()) != header.crc) {
+    return InvalidArgumentError("CRC mismatch (corrupted payload)");
   }
   return Reader(std::move(payload));
 }

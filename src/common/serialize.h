@@ -48,6 +48,12 @@ class Writer {
 
   const std::string& payload() const { return buf_; }
 
+  /// Header + payload as one contiguous buffer — the exact bytes
+  /// WriteToFile would persist. This is the unit the network framer ships:
+  /// a frame payload is an Encode()d buffer, so magic/version/CRC
+  /// validation works identically for files and messages.
+  std::string Encode() const;
+
   /// Writes header + payload to `path` atomically (temp file + rename), so
   /// a crash mid-write never leaves a torn checkpoint behind.
   Status WriteToFile(const std::string& path) const;
@@ -68,6 +74,11 @@ class Reader {
   /// returns a Reader over the payload. All validation failures are error
   /// Statuses (NotFound / InvalidArgument / OutOfRange), never aborts.
   static Result<Reader> FromFile(const std::string& path);
+
+  /// Validates an in-memory Encode()d buffer (header + payload) the same
+  /// way FromFile validates a file: bad magic, foreign version, truncated
+  /// or oversized payload, and CRC mismatch are all error Statuses.
+  static Result<Reader> FromBuffer(std::string data);
 
   Status ReadU32(uint32_t* out) { return TakeRaw(out, sizeof(*out), "u32"); }
   Status ReadU64(uint64_t* out) { return TakeRaw(out, sizeof(*out), "u64"); }

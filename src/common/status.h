@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -67,6 +68,7 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A value-or-status holder, similar to absl::StatusOr. Accessing the value
 /// of a non-OK result aborts via FEDGTA_CHECK.

@@ -22,6 +22,9 @@ class FedGtaStrategy : public Strategy {
                           const TrainHooks& extra_hooks) override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  /// Clients upload weights plus H/M (both carried by the wire protocol);
+  /// Eq. 6-7 aggregation stays on the server — remotable.
+  bool RemoteExecutable() const override { return true; }
   /// Saves/restores the personalized model table plus the last round's
   /// confidence (H) uploads and aggregation sets, so a resumed server
   /// serves exactly the weights the killed one would have.

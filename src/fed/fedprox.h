@@ -16,6 +16,9 @@ class FedProxStrategy : public Strategy {
                           const TrainHooks& extra_hooks) override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  /// The proximal anchor is the downloaded global weights, so the grad hook
+  /// is a pure function of the download — remotable.
+  bool RemoteExecutable() const override { return true; }
 
  private:
   float mu_;

@@ -1,0 +1,197 @@
+#include "fed/remote_client_runner.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+#include "fed/client.h"
+#include "fed/failure.h"
+
+namespace fedgta {
+namespace {
+
+/// Sends a protocol complaint before bailing; the send itself is
+/// best-effort (the peer may already be gone).
+Status Complain(net::Socket& sock, Status status) {
+  net::ErrorMsg err;
+  err.message = std::string(status.message());
+  (void)net::SendMessage(sock, err);
+  return status;
+}
+
+}  // namespace
+
+RemoteClientRunner::RemoteClientRunner(const RemoteRunnerOptions& options)
+    : options_(options) {}
+
+Status RemoteClientRunner::Run() {
+  Result<net::Socket> dialed =
+      net::ConnectWithRetry(options_.host, options_.port, options_.rpc);
+  FEDGTA_RETURN_IF_ERROR(dialed.status());
+  net::Socket sock = std::move(*dialed);
+  FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.rpc.deadline_ms));
+
+  net::HelloMsg hello;
+  FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, hello));
+  net::AssignConfigMsg assign;
+  FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(sock, &assign));
+
+  WorkerSetup setup;
+  if (Status parsed = SetupFromWireConfig(assign.config, &setup);
+      !parsed.ok()) {
+    return Complain(sock, std::move(parsed));
+  }
+
+  // Hosted clients, constructed exactly as Simulation constructs its full
+  // roster: same shard pointer, same configs, same per-client seed — so
+  // client 0's fresh weights (the common initialization) and every local
+  // RNG stream match the in-process run bit for bit.
+  const int n_clients = setup.data.num_clients();
+  std::vector<Client> clients;
+  std::unordered_map<int, size_t> hosted;  // client id -> index in `clients`
+  clients.reserve(assign.client_ids.size());
+  for (int32_t id : assign.client_ids) {
+    if (id < 0 || id >= n_clients) {
+      return Complain(sock, InvalidArgumentError(
+                                "assigned client id " + std::to_string(id) +
+                                " outside [0, " + std::to_string(n_clients) +
+                                ")"));
+    }
+    if (!hosted.emplace(id, clients.size()).second) {
+      return Complain(sock, InvalidArgumentError(
+                                "client id " + std::to_string(id) +
+                                " assigned twice"));
+    }
+    clients.emplace_back(&setup.data.clients[static_cast<size_t>(id)],
+                         setup.model, setup.optimizer, assign.config.seed);
+    clients.back().SetBatchSize(setup.batch_size);
+  }
+  if (clients.empty()) {
+    return Complain(sock, InvalidArgumentError("no clients assigned"));
+  }
+
+  net::ConfigAckMsg ack;
+  ack.param_count = clients.front().param_count();
+  if (auto it = hosted.find(0); it != hosted.end()) {
+    ack.init_params = clients[it->second].GetParams();
+  }
+  FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, ack));
+
+  const FailurePlan plan(setup.failure);
+  const bool failures = setup.failure.enabled();
+  const bool is_fedprox = setup.strategy == "fedprox";
+  const bool is_fedgta = setup.strategy == "fedgta";
+
+  FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.idle_timeout_ms));
+  int train_responses = 0;
+  while (true) {
+    Result<serialize::Reader> reader = net::RecvMessage(sock);
+    FEDGTA_RETURN_IF_ERROR(reader.status());
+    Result<net::MsgType> type = net::ReadMsgType(&*reader);
+    FEDGTA_RETURN_IF_ERROR(type.status());
+    switch (*type) {
+      case net::MsgType::kTrainRequest: {
+        net::TrainRequestMsg req;
+        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader));
+        if (!reader->AtEnd()) {
+          return Complain(sock,
+                          InvalidArgumentError("trailing bytes after train"));
+        }
+        auto it = hosted.find(req.client_id);
+        if (it == hosted.end()) {
+          return Complain(sock, InvalidArgumentError(
+                                    "train request for unhosted client " +
+                                    std::to_string(req.client_id)));
+        }
+        const ClientFate fate = failures
+                                    ? plan.FateOf(req.round, req.client_id)
+                                    : ClientFate::kHealthy;
+        net::TrainResponseMsg resp;
+        resp.client_id = req.client_id;
+        resp.fate = static_cast<uint32_t>(fate);
+        if (fate != ClientFate::kDropout) {
+          // Crash truncation mirrors RoundExecutor: ceil(epochs / 2) local
+          // epochs, then the "process dies" — nothing is uploaded.
+          const int epochs = fate == ClientFate::kCrash
+                                 ? (setup.local_epochs + 1) / 2
+                                 : setup.local_epochs;
+          WallTimer timer;
+          Client& client = clients[it->second];
+          client.SetParams(req.weights);
+          TrainHooks hooks;
+          if (is_fedprox) {
+            // The proximal anchor is the download itself (the simulation
+            // anchors on global_params_, which is exactly what the server
+            // sent).
+            const std::vector<float>& anchor = req.weights;
+            const float mu = setup.prox_mu;
+            hooks.grad_hook = [&anchor, mu](std::span<const float> params,
+                                            std::span<float> grads) {
+              FEDGTA_CHECK_EQ(params.size(), anchor.size());
+              for (size_t i = 0; i < grads.size(); ++i) {
+                grads[i] += mu * (params[i] - anchor[i]);
+              }
+            };
+          }
+          const double loss = client.TrainLocal(epochs, hooks);
+          if (fate == ClientFate::kHealthy) {
+            resp.loss = loss;
+            resp.num_samples = client.num_train();
+            resp.weights = client.GetParams();
+            if (is_fedgta) {
+              ClientMetrics metrics = client.ComputeFedGtaMetrics(setup.gta);
+              resp.confidence = metrics.confidence;
+              resp.moments = std::move(metrics.moments);
+            }
+          }
+          resp.seconds = timer.Seconds();
+        }
+        FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp));
+        ++train_responses;
+        if (options_.max_train_requests > 0 &&
+            train_responses >= options_.max_train_requests) {
+          // Chaos hook: vanish mid-protocol like a killed process.
+          return OkStatus();
+        }
+        break;
+      }
+      case net::MsgType::kEvalRequest: {
+        net::EvalRequestMsg req;
+        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader));
+        if (!reader->AtEnd()) {
+          return Complain(sock,
+                          InvalidArgumentError("trailing bytes after eval"));
+        }
+        auto it = hosted.find(req.client_id);
+        if (it == hosted.end()) {
+          return Complain(sock, InvalidArgumentError(
+                                    "eval request for unhosted client " +
+                                    std::to_string(req.client_id)));
+        }
+        Client& client = clients[it->second];
+        client.SetParams(req.weights);
+        net::EvalResponseMsg resp;
+        resp.client_id = req.client_id;
+        if (!client.data().test_idx.empty()) {
+          resp.test_accuracy = client.TestAccuracy();
+        }
+        if (!client.data().val_idx.empty()) {
+          resp.val_accuracy = client.ValAccuracy();
+        }
+        FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp));
+        break;
+      }
+      case net::MsgType::kShutdown: {
+        net::ShutdownAckMsg bye;
+        FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, bye));
+        return OkStatus();
+      }
+      default:
+        return Complain(
+            sock, InvalidArgumentError(std::string("unexpected message: ") +
+                                       net::MsgTypeName(*type)));
+    }
+  }
+}
+
+}  // namespace fedgta

@@ -1,0 +1,137 @@
+#include "fed/remote_config.h"
+
+#include "data/registry.h"
+#include "fed/strategy.h"
+
+namespace fedgta {
+
+FederatedDataset MaterializeFederatedDataset(const std::string& dataset,
+                                             uint64_t seed,
+                                             const SplitConfig& split,
+                                             const FederatedOptions& options) {
+  Dataset ds = MakeDatasetByName(dataset, seed);
+  Rng split_rng(seed ^ 0x5714);
+  return BuildFederatedDataset(std::move(ds), split, split_rng, options);
+}
+
+net::WireFedConfig ToWireConfig(const RemoteFedConfig& config) {
+  net::WireFedConfig wire;
+  wire.dataset = config.dataset;
+  wire.seed = config.seed;
+  wire.split_method = SplitMethodName(config.split.method);
+  wire.num_clients = config.split.num_clients;
+  wire.overlap_fraction = config.federated.overlap_fraction;
+  wire.model = ModelTypeName(config.model.type);
+  wire.hidden = config.model.hidden;
+  wire.num_layers = config.model.num_layers;
+  wire.model_k = config.model.k;
+  wire.dropout = config.model.dropout;
+  wire.gbp_beta = config.model.gbp_beta;
+  wire.r = config.model.r;
+  wire.optimizer =
+      config.optimizer.type == OptimizerType::kAdam ? "adam" : "sgd";
+  wire.lr = config.optimizer.lr;
+  wire.momentum = config.optimizer.momentum;
+  wire.weight_decay = config.optimizer.weight_decay;
+  wire.beta1 = config.optimizer.beta1;
+  wire.beta2 = config.optimizer.beta2;
+  wire.adam_epsilon = config.optimizer.epsilon;
+  wire.strategy = config.strategy;
+  wire.prox_mu = config.strategy_options.prox_mu;
+  wire.gta_alpha = config.strategy_options.fedgta.alpha;
+  wire.gta_k = config.strategy_options.fedgta.k;
+  wire.gta_moment_order = config.strategy_options.fedgta.moment_order;
+  wire.gta_use_feature_moments =
+      config.strategy_options.fedgta.use_feature_moments;
+  wire.gta_feature_moment_dims =
+      config.strategy_options.fedgta.feature_moment_dims;
+  wire.local_epochs = config.sim.local_epochs;
+  wire.batch_size = config.sim.batch_size;
+  wire.fail_dropout = config.sim.failure.dropout_rate;
+  wire.fail_straggler = config.sim.failure.straggler_rate;
+  wire.fail_crash = config.sim.failure.crash_rate;
+  wire.fail_seed = config.sim.failure.seed;
+  return wire;
+}
+
+Status SetupFromWireConfig(const net::WireFedConfig& wire,
+                           WorkerSetup* setup) {
+  FEDGTA_CHECK(setup != nullptr);
+  FEDGTA_RETURN_IF_ERROR(GetDatasetSpec(wire.dataset).status());
+  Result<ModelType> model_type = ParseModelType(wire.model);
+  FEDGTA_RETURN_IF_ERROR(model_type.status());
+  Result<SplitMethod> split_method = ParseSplitMethod(wire.split_method);
+  FEDGTA_RETURN_IF_ERROR(split_method.status());
+  if (wire.num_clients < 1) {
+    return InvalidArgumentError("num_clients must be >= 1, got " +
+                                std::to_string(wire.num_clients));
+  }
+  if (wire.local_epochs < 1) {
+    return InvalidArgumentError("local_epochs must be >= 1, got " +
+                                std::to_string(wire.local_epochs));
+  }
+  if (wire.batch_size < 0) {
+    return InvalidArgumentError("batch_size must be >= 0");
+  }
+
+  OptimizerType opt_type;
+  if (wire.optimizer == "adam") {
+    opt_type = OptimizerType::kAdam;
+  } else if (wire.optimizer == "sgd") {
+    opt_type = OptimizerType::kSgd;
+  } else {
+    return InvalidArgumentError("unknown optimizer: " + wire.optimizer);
+  }
+
+  StrategyOptions strategy_options;
+  strategy_options.prox_mu = wire.prox_mu;
+  strategy_options.fedgta.alpha = wire.gta_alpha;
+  strategy_options.fedgta.k = wire.gta_k;
+  strategy_options.fedgta.moment_order = wire.gta_moment_order;
+  strategy_options.fedgta.use_feature_moments = wire.gta_use_feature_moments;
+  strategy_options.fedgta.feature_moment_dims = wire.gta_feature_moment_dims;
+  Result<std::unique_ptr<Strategy>> probe =
+      MakeStrategy(wire.strategy, strategy_options);
+  FEDGTA_RETURN_IF_ERROR(probe.status());
+  if (!(*probe)->RemoteExecutable()) {
+    return FailedPreconditionError(
+        "strategy '" + wire.strategy +
+        "' mutates per-client server state inside TrainClient and cannot "
+        "run on remote workers (see DESIGN.md §5e)");
+  }
+
+  setup->model.type = *model_type;
+  setup->model.hidden = wire.hidden;
+  setup->model.num_layers = wire.num_layers;
+  setup->model.k = wire.model_k;
+  setup->model.dropout = wire.dropout;
+  setup->model.gbp_beta = wire.gbp_beta;
+  setup->model.r = wire.r;
+  setup->optimizer.type = opt_type;
+  setup->optimizer.lr = wire.lr;
+  setup->optimizer.momentum = wire.momentum;
+  setup->optimizer.weight_decay = wire.weight_decay;
+  setup->optimizer.beta1 = wire.beta1;
+  setup->optimizer.beta2 = wire.beta2;
+  setup->optimizer.epsilon = wire.adam_epsilon;
+  setup->strategy = wire.strategy;
+  setup->prox_mu = wire.prox_mu;
+  setup->gta = strategy_options.fedgta;
+  setup->failure.dropout_rate = wire.fail_dropout;
+  setup->failure.straggler_rate = wire.fail_straggler;
+  setup->failure.crash_rate = wire.fail_crash;
+  setup->failure.seed = wire.fail_seed;
+  setup->local_epochs = wire.local_epochs;
+  setup->batch_size = wire.batch_size;
+
+  SplitConfig split;
+  split.method = *split_method;
+  split.num_clients = wire.num_clients;
+  FederatedOptions federated;
+  federated.overlap_fraction = wire.overlap_fraction;
+  setup->data =
+      MaterializeFederatedDataset(wire.dataset, wire.seed, split, federated);
+  return OkStatus();
+}
+
+}  // namespace fedgta

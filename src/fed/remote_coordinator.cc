@@ -1,0 +1,397 @@
+#include "fed/remote_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/timer.h"
+#include "data/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedgta {
+namespace {
+
+std::vector<float> CopyParams(std::span<const float> params) {
+  return std::vector<float>(params.begin(), params.end());
+}
+
+}  // namespace
+
+RemoteCoordinator::RemoteCoordinator(const RemoteFedConfig& config)
+    : config_(config) {}
+
+Status RemoteCoordinator::ValidateConfig() const {
+  if (config_.num_workers < 1) {
+    return InvalidArgumentError("num_workers must be >= 1");
+  }
+  if (config_.num_workers > config_.split.num_clients) {
+    return InvalidArgumentError(
+        "more workers than clients: every worker must host at least one");
+  }
+  if (config_.sim.fgl != FglModel::kNone) {
+    return InvalidArgumentError(
+        "FGL model wrappers are not supported in distributed mode");
+  }
+  if (!config_.sim.checkpoint_dir.empty() || config_.sim.resume) {
+    return InvalidArgumentError(
+        "checkpointing is not supported in distributed mode");
+  }
+  if (config_.sim.participation <= 0.0 || config_.sim.participation > 1.0) {
+    return InvalidArgumentError("participation must be in (0, 1]");
+  }
+  if (config_.sim.rounds < 1 || config_.sim.local_epochs < 1) {
+    return InvalidArgumentError("rounds and local_epochs must be >= 1");
+  }
+  FEDGTA_RETURN_IF_ERROR(GetDatasetSpec(config_.dataset).status());
+  return OkStatus();
+}
+
+Status RemoteCoordinator::Listen(int port) {
+  FEDGTA_RETURN_IF_ERROR(ValidateConfig());
+  Result<net::ServerSocket> server =
+      net::ServerSocket::Listen(port, config_.num_workers + 8);
+  FEDGTA_RETURN_IF_ERROR(server.status());
+  server_ = std::move(*server);
+  return OkStatus();
+}
+
+Status RemoteCoordinator::Handshake() {
+  Result<std::unique_ptr<Strategy>> strategy =
+      MakeStrategy(config_.strategy, config_.strategy_options);
+  FEDGTA_RETURN_IF_ERROR(strategy.status());
+  if (!(*strategy)->RemoteExecutable()) {
+    return FailedPreconditionError(
+        "strategy '" + config_.strategy +
+        "' mutates per-client server state inside TrainClient and cannot "
+        "run on remote workers (see DESIGN.md §5e)");
+  }
+  strategy_ = std::move(*strategy);
+
+  // The server holds no models — just the deterministic dataset, for shard
+  // sizes (Initialize weights, eval denominators). Workers materialize the
+  // same dataset from the same recipe.
+  data_ = MaterializeFederatedDataset(config_.dataset, config_.seed,
+                                      config_.split, config_.federated);
+  const int n_clients = data_.num_clients();
+  if (config_.num_workers > n_clients) {
+    return InvalidArgumentError(
+        "more workers than clients: every worker must host at least one");
+  }
+
+  workers_.clear();
+  workers_.resize(static_cast<size_t>(config_.num_workers));
+  owner_.assign(static_cast<size_t>(n_clients), 0);
+  for (int id = 0; id < n_clients; ++id) {
+    const int w = id % config_.num_workers;
+    owner_[static_cast<size_t>(id)] = w;
+    workers_[static_cast<size_t>(w)].client_ids.push_back(id);
+  }
+
+  const net::WireFedConfig wire = ToWireConfig(config_);
+  std::vector<float> init_params;
+  int64_t param_count = -1;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    Result<net::Socket> accepted = server_.Accept(config_.accept_timeout_ms);
+    FEDGTA_RETURN_IF_ERROR(accepted.status());
+    net::RpcChannel channel(std::move(*accepted), config_.rpc);
+    net::HelloMsg hello;
+    FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(channel.socket(), &hello));
+    if (hello.protocol_version != net::kProtocolVersion) {
+      net::ErrorMsg err;
+      err.message = "protocol version " + std::to_string(net::kProtocolVersion) +
+                    " expected, worker speaks " +
+                    std::to_string(hello.protocol_version);
+      (void)net::SendMessage(channel.socket(), err);
+      return FailedPreconditionError(err.message);
+    }
+    net::AssignConfigMsg assign;
+    assign.config = wire;
+    WorkerLink& link = workers_[static_cast<size_t>(w)];
+    assign.client_ids.assign(link.client_ids.begin(), link.client_ids.end());
+    net::ConfigAckMsg ack;
+    FEDGTA_RETURN_IF_ERROR(channel.Call(assign, &ack));
+    if (param_count < 0) param_count = ack.param_count;
+    if (ack.param_count != param_count) {
+      return FailedPreconditionError(
+          "workers disagree on the model parameter count");
+    }
+    if (!ack.init_params.empty()) init_params = std::move(ack.init_params);
+    link.channel = std::move(channel);
+  }
+  if (init_params.empty()) {
+    return InternalError(
+        "no worker reported the common initialization (client 0 unhosted?)");
+  }
+  if (static_cast<int64_t>(init_params.size()) != param_count) {
+    return FailedPreconditionError(
+        "init parameter vector length disagrees with the reported count");
+  }
+
+  std::vector<int64_t> train_sizes;
+  train_sizes.reserve(data_.clients.size());
+  for (const ClientData& shard : data_.clients) {
+    train_sizes.push_back(shard.num_train());
+  }
+  strategy_->Initialize(n_clients, train_sizes, init_params);
+  return OkStatus();
+}
+
+void RemoteCoordinator::Evaluate(double* test_accuracy,
+                                 double* val_accuracy) {
+  const size_t n = data_.clients.size();
+  std::vector<double> test_acc(n, 0.0);
+  std::vector<double> val_acc(n, 0.0);
+  std::vector<char> evaluated(n, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    threads.emplace_back([this, w, &test_acc, &val_acc, &evaluated] {
+      WorkerLink& link = workers_[w];
+      for (int id : link.client_ids) {
+        if (!link.channel.ok()) return;
+        net::EvalRequestMsg req;
+        req.client_id = id;
+        req.weights = CopyParams(strategy_->ParamsFor(id));
+        net::EvalResponseMsg resp;
+        if (!link.channel.Call(req, &resp).ok()) continue;
+        if (resp.client_id != id) continue;
+        test_acc[static_cast<size_t>(id)] = resp.test_accuracy;
+        val_acc[static_cast<size_t>(id)] = resp.val_accuracy;
+        evaluated[static_cast<size_t>(id)] = 1;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Weighted reduction in client order — same arithmetic stream as
+  // Simulation::Evaluate.
+  double test_correct = 0.0;
+  double val_correct = 0.0;
+  int64_t test_total = 0;
+  int64_t val_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!evaluated[i]) continue;
+    const ClientData& shard = data_.clients[i];
+    const int64_t n_test = static_cast<int64_t>(shard.test_idx.size());
+    const int64_t n_val = static_cast<int64_t>(shard.val_idx.size());
+    if (n_test > 0) {
+      test_correct += test_acc[i] * static_cast<double>(n_test);
+      test_total += n_test;
+    }
+    if (n_val > 0) {
+      val_correct += val_acc[i] * static_cast<double>(n_val);
+      val_total += n_val;
+    }
+  }
+  *test_accuracy =
+      test_total > 0 ? test_correct / static_cast<double>(test_total) : 0.0;
+  *val_accuracy =
+      val_total > 0 ? val_correct / static_cast<double>(val_total) : 0.0;
+}
+
+Result<SimulationResult> RemoteCoordinator::Run() {
+  if (!server_.valid()) {
+    return FailedPreconditionError("call Listen() before Run()");
+  }
+  WallTimer setup_timer;
+  FEDGTA_RETURN_IF_ERROR(Handshake());
+
+  SimulationResult result;
+  result.setup_seconds = setup_timer.Seconds();
+
+  Rng rng(config_.seed ^ 0x517u);
+  double best_val = -1.0;
+
+  FailurePlan plan(config_.sim.failure);
+  const bool failures = config_.sim.failure.enabled();
+
+  const int n_clients = data_.num_clients();
+  const int per_round = std::max(
+      1,
+      static_cast<int>(std::lround(config_.sim.participation * n_clients)));
+
+  MetricsRegistry& metrics = GlobalMetrics();
+  Histogram& round_client_seconds =
+      metrics.GetHistogram("round.client_seconds");
+  Histogram& round_server_seconds =
+      metrics.GetHistogram("round.server_seconds");
+  Counter& rounds_completed = metrics.GetCounter("rounds.completed");
+  Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
+  Counter& download_floats = metrics.GetCounter("comm.download_floats");
+  Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
+  Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
+  Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
+
+  for (int round = 1; round <= config_.sim.rounds; ++round) {
+    FEDGTA_TRACE_SCOPE("round");
+    std::vector<int> participants =
+        per_round >= n_clients
+            ? [n_clients] {
+                std::vector<int> all(static_cast<size_t>(n_clients));
+                for (int i = 0; i < n_clients; ++i) {
+                  all[static_cast<size_t>(i)] = i;
+                }
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(n_clients, per_round);
+    std::sort(participants.begin(), participants.end());
+    const size_t n_part = participants.size();
+
+    // Fates are computed here too (FateOf is pure): dropouts are never
+    // contacted, so the remote client's RNG streams advance exactly as the
+    // in-process executor's would (no download, no local work).
+    std::vector<ClientFate> fates(n_part, ClientFate::kHealthy);
+    if (failures) {
+      for (size_t i = 0; i < n_part; ++i) {
+        fates[i] = plan.FateOf(round, participants[i]);
+      }
+    }
+
+    // One dispatch thread per worker: requests on one connection are
+    // strictly sequential (request/response protocol); workers run
+    // concurrently. Responses land in participant-index-aligned slots.
+    std::vector<net::TrainResponseMsg> responses(n_part);
+    std::vector<Status> rpc_status(n_part, OkStatus());
+    WallTimer client_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      threads.emplace_back([&, w] {
+        WorkerLink& link = workers_[w];
+        for (size_t i = 0; i < n_part; ++i) {
+          const int id = participants[i];
+          if (owner_[static_cast<size_t>(id)] != static_cast<int>(w)) {
+            continue;
+          }
+          if (fates[i] == ClientFate::kDropout) continue;
+          if (!link.channel.ok()) {
+            rpc_status[i] = InternalError("worker connection is down");
+            continue;
+          }
+          net::TrainRequestMsg req;
+          req.round = round;
+          req.client_id = id;
+          req.weights = CopyParams(strategy_->ParamsFor(id));
+          rpc_status[i] = link.channel.Call(req, &responses[i]);
+          if (rpc_status[i].ok() && responses[i].client_id != id) {
+            rpc_status[i] =
+                InternalError("response for a different client id");
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double client_seconds = client_timer.Seconds();
+
+    // Survivor reduction in participant order, mirroring Simulation::Run.
+    // A transport failure (dead worker, blown straggler deadline) maps onto
+    // the dropout semantics: the participant never reported.
+    std::vector<int> survivors;
+    std::vector<LocalResult> results;
+    survivors.reserve(n_part);
+    results.reserve(n_part);
+    int64_t dropped = 0;
+    int64_t stragglers = 0;
+    int64_t crashed = 0;
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < n_part; ++i) {
+      const int id = participants[i];
+      if (fates[i] == ClientFate::kDropout) {
+        ++dropped;
+        continue;
+      }
+      if (!rpc_status[i].ok()) {
+        ++dropped;
+        continue;
+      }
+      switch (fates[i]) {
+        case ClientFate::kHealthy: {
+          survivors.push_back(id);
+          loss_sum += responses[i].loss;
+          LocalResult r;
+          r.client_id = id;
+          r.params = std::move(responses[i].weights);
+          r.num_samples = responses[i].num_samples;
+          r.loss = responses[i].loss;
+          r.metrics.confidence = responses[i].confidence;
+          r.metrics.moments = std::move(responses[i].moments);
+          results.push_back(std::move(r));
+          break;
+        }
+        case ClientFate::kStraggler:
+          ++stragglers;
+          break;
+        case ClientFate::kCrash:
+          ++crashed;
+          break;
+        case ClientFate::kDropout:
+          break;  // handled above
+      }
+    }
+
+    WallTimer server_timer;
+    {
+      FEDGTA_TRACE_SCOPE("server_step");
+      if (!survivors.empty()) strategy_->Aggregate(survivors, results);
+    }
+    const double server_seconds = server_timer.Seconds();
+
+    result.total_client_seconds += client_seconds;
+    result.total_server_seconds += server_seconds;
+    const Strategy::CommunicationStats comm =
+        strategy_->RoundCommunication(results);
+    result.total_upload_floats += comm.upload_floats;
+    result.total_download_floats += comm.download_floats;
+    result.total_dropped_clients += dropped;
+    result.total_straggler_clients += stragglers;
+    result.total_crashed_clients += crashed;
+
+    round_client_seconds.Record(client_seconds);
+    round_server_seconds.Record(server_seconds);
+    rounds_completed.Increment();
+    upload_floats.Increment(comm.upload_floats);
+    download_floats.Increment(comm.download_floats);
+    if (dropped > 0) dropped_counter.Increment(dropped);
+    if (stragglers > 0) straggler_counter.Increment(stragglers);
+    if (crashed > 0) crashed_counter.Increment(crashed);
+
+    if (round % config_.sim.eval_every == 0 || round == config_.sim.rounds) {
+      RoundStats stats;
+      stats.round = round;
+      stats.train_loss =
+          survivors.empty()
+              ? 0.0
+              : loss_sum / static_cast<double>(survivors.size());
+      stats.client_seconds = result.total_client_seconds;
+      stats.server_seconds = result.total_server_seconds;
+      stats.upload_floats = result.total_upload_floats;
+      stats.download_floats = result.total_download_floats;
+      stats.dropped_clients = result.total_dropped_clients;
+      stats.straggler_clients = result.total_straggler_clients;
+      stats.crashed_clients = result.total_crashed_clients;
+      Evaluate(&stats.test_accuracy, &stats.val_accuracy);
+      if (stats.val_accuracy > best_val) {
+        best_val = stats.val_accuracy;
+        result.best_test_accuracy = stats.test_accuracy;
+      }
+      result.final_test_accuracy = stats.test_accuracy;
+      result.curve.push_back(stats);
+    }
+  }
+
+  // Best-effort goodbye; a dead worker just errors out of the exchange.
+  for (WorkerLink& link : workers_) {
+    if (!link.channel.ok()) continue;
+    net::ShutdownMsg shutdown;
+    if (!net::SendMessage(link.channel.socket(), shutdown).ok()) continue;
+    net::ShutdownAckMsg ack;
+    (void)net::ExpectMessage(link.channel.socket(), &ack);
+  }
+
+  result.metrics_json = GlobalMetrics().ToJson();
+  return result;
+}
+
+}  // namespace fedgta

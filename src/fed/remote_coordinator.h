@@ -1,0 +1,72 @@
+#ifndef FEDGTA_FED_REMOTE_COORDINATOR_H_
+#define FEDGTA_FED_REMOTE_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "fed/remote_config.h"
+#include "net/rpc.h"
+
+namespace fedgta {
+
+/// FedGTA server over TCP: accepts worker connections, hands each a shard
+/// assignment, and drives the federated rounds by exchanging weights (and
+/// FedGTA H/M uploads) with the workers hosting each participant.
+///
+/// Faithfulness contract: Run() mirrors Simulation::Run round for round —
+/// the same sampling RNG (seed ^ 0x517), the same sorted participant lists,
+/// and every reduction (survivor filtering, loss sum, aggregation input
+/// order, eval weighting) performed in participant/client order — while the
+/// workers replicate the executor's client-side semantics. With healthy
+/// workers the returned curve is bit-identical to the in-process simulation
+/// of the same config (the loopback test pins this).
+///
+/// Failure mapping: an unreachable worker, a broken connection, or a blown
+/// `rpc.deadline_ms` (the straggler deadline) turns the affected
+/// participants into dropped clients for the round — the server aggregates
+/// over the survivors and moves on, exactly like a FailurePlan dropout.
+/// Injected fates (FailureConfig) are computed on both sides from the pure
+/// FateOf schedule: dropouts are never contacted, stragglers/crashed
+/// clients train remotely (fully / truncated) and their uploads are
+/// discarded here.
+class RemoteCoordinator {
+ public:
+  explicit RemoteCoordinator(const RemoteFedConfig& config);
+
+  /// Binds the listening socket (port 0 = ephemeral; see port()). Workers
+  /// may start dialing as soon as this returns.
+  Status Listen(int port);
+  int port() const { return server_.port(); }
+
+  /// Accepts `num_workers` workers, runs the handshake, and drives all
+  /// rounds. Returns the same SimulationResult an in-process run would.
+  Result<SimulationResult> Run();
+
+ private:
+  struct WorkerLink {
+    net::RpcChannel channel;
+    /// Hosted client ids, ascending.
+    std::vector<int> client_ids;
+  };
+
+  Status ValidateConfig() const;
+  /// Accepts workers, exchanges Hello/AssignConfig/ConfigAck, initializes
+  /// the strategy from the reported common init weights.
+  Status Handshake();
+  /// Distributed mirror of Simulation::Evaluate: every client is evaluated
+  /// on its hosting worker; reduction runs in client order. Clients hosted
+  /// by dead workers are skipped (with healthy workers: none).
+  void Evaluate(double* test_accuracy, double* val_accuracy);
+
+  RemoteFedConfig config_;
+  net::ServerSocket server_;
+  std::unique_ptr<Strategy> strategy_;
+  FederatedDataset data_;
+  std::vector<WorkerLink> workers_;
+  /// client id -> hosting worker index (id % num_workers).
+  std::vector<int> owner_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_REMOTE_COORDINATOR_H_

@@ -93,6 +93,17 @@ class Strategy {
   virtual CommunicationStats RoundCommunication(
       const std::vector<LocalResult>& results) const;
 
+  /// True when this strategy's client-side work can run on a remote worker
+  /// that holds nothing but the downloaded weights plus wire-shipped
+  /// hyperparameters: TrainClient must reduce to SetParams → TrainLocal
+  /// (with hooks that are pure functions of the download) → upload, with
+  /// every cross-round table living on the server. Strategies that mutate
+  /// per-client *server* state inside TrainClient (Scaffold control
+  /// variates, MOON snapshots, FedDC drift, GCFL+ gradient windows) keep
+  /// the default; the distributed coordinator rejects them up front (see
+  /// DESIGN.md §5e for the extension path).
+  virtual bool RemoteExecutable() const { return false; }
+
   /// Checkpoint contract (see DESIGN.md "Fault tolerance"): SaveState
   /// serializes every field the strategy carries across rounds — for
   /// personalized strategies that includes all per-client server state
@@ -128,6 +139,7 @@ class FedAvgStrategy : public Strategy {
   std::string_view name() const override { return "fedavg"; }
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  bool RemoteExecutable() const override { return true; }
 };
 
 /// No-communication baseline ("Local" in Fig. 1b): every client keeps its
@@ -140,6 +152,7 @@ class LocalOnlyStrategy : public Strategy {
   std::span<const float> ParamsFor(int client_id) const override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
+  bool RemoteExecutable() const override { return true; }
   void SaveState(serialize::Writer* writer) const override;
   Status LoadState(serialize::Reader* reader) override;
 

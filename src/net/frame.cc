@@ -1,0 +1,81 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "obs/phase.h"
+
+namespace fedgta {
+namespace net {
+namespace {
+
+struct FrameHeader {
+  uint32_t magic;
+  uint64_t payload_size;
+};
+
+Counter& BytesSent() {
+  static Counter& c = GlobalMetrics().GetCounter("net.bytes_sent");
+  return c;
+}
+Counter& BytesRecv() {
+  static Counter& c = GlobalMetrics().GetCounter("net.bytes_recv");
+  return c;
+}
+Counter& Messages() {
+  static Counter& c = GlobalMetrics().GetCounter("net.messages");
+  return c;
+}
+
+}  // namespace
+
+Status SendFrame(Socket& sock, const serialize::Writer& writer) {
+  std::string encoded;
+  {
+    FEDGTA_PHASE_SCOPE("net_serialize");
+    encoded = writer.Encode();
+  }
+  if (encoded.size() > kMaxFramePayload) {
+    return InvalidArgumentError("frame payload of " +
+                                std::to_string(encoded.size()) +
+                                " bytes exceeds the 2 GiB frame limit");
+  }
+  FrameHeader header;
+  header.magic = kFrameMagic;
+  header.payload_size = encoded.size();
+
+  FEDGTA_PHASE_SCOPE("net_send");
+  FEDGTA_RETURN_IF_ERROR(sock.WriteFull(&header, sizeof(header)));
+  FEDGTA_RETURN_IF_ERROR(sock.WriteFull(encoded.data(), encoded.size()));
+  BytesSent().Increment(static_cast<int64_t>(sizeof(header) + encoded.size()));
+  Messages().Increment();
+  return OkStatus();
+}
+
+Result<serialize::Reader> RecvFrame(Socket& sock) {
+  FrameHeader header;
+  std::string encoded;
+  {
+    FEDGTA_PHASE_SCOPE("net_recv");
+    FEDGTA_RETURN_IF_ERROR(sock.ReadFull(&header, sizeof(header)));
+    if (header.magic != kFrameMagic) {
+      return InvalidArgumentError("bad frame magic (stream corrupted)");
+    }
+    if (header.payload_size > kMaxFramePayload) {
+      return InvalidArgumentError("frame declares " +
+                                  std::to_string(header.payload_size) +
+                                  " payload bytes, over the 2 GiB limit");
+    }
+    encoded.resize(header.payload_size);
+    FEDGTA_RETURN_IF_ERROR(sock.ReadFull(encoded.data(), encoded.size()));
+  }
+  BytesRecv().Increment(
+      static_cast<int64_t>(sizeof(header) + encoded.size()));
+  Messages().Increment();
+  // Integrity (magic/version/CRC) is the serialize layer's job; a flipped
+  // bit anywhere in the payload surfaces here as an error Status.
+  FEDGTA_PHASE_SCOPE("net_serialize");
+  return serialize::Reader::FromBuffer(std::move(encoded));
+}
+
+}  // namespace net
+}  // namespace fedgta

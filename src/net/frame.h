@@ -1,0 +1,39 @@
+#ifndef FEDGTA_NET_FRAME_H_
+#define FEDGTA_NET_FRAME_H_
+
+#include <cstdint>
+
+#include "common/serialize.h"
+#include "net/socket.h"
+
+namespace fedgta {
+namespace net {
+
+/// Message framing over a TCP stream.
+///
+/// Wire layout of one frame:
+///   [u32 frame magic "FGNF"] [u64 payload size] [payload bytes]
+/// where the payload is a serialize::Writer::Encode() buffer — i.e. it
+/// carries its own magic/version/CRC header. The frame layer only
+/// delimits messages; integrity is validated by serialize::Reader, so a
+/// corrupt, truncated, or foreign frame always yields an error Status and
+/// never a crash or a silent partial decode.
+
+inline constexpr uint32_t kFrameMagic = 0x464E4746u;  // "FGNF"
+/// Upper bound on a frame payload; anything larger is treated as stream
+/// corruption instead of an allocation attempt.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 31;  // 2 GiB
+
+/// Serializes `writer`'s buffer and ships it as one frame. Accumulates
+/// `net.bytes_sent` / `net.messages`.
+Status SendFrame(Socket& sock, const serialize::Writer& writer);
+
+/// Receives one frame and returns a validated Reader over its payload.
+/// The socket's recv timeout bounds the wait (kDeadlineExceeded).
+/// Accumulates `net.bytes_recv` / `net.messages`.
+Result<serialize::Reader> RecvFrame(Socket& sock);
+
+}  // namespace net
+}  // namespace fedgta
+
+#endif  // FEDGTA_NET_FRAME_H_

@@ -1,0 +1,286 @@
+#include "net/rpc.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace net {
+namespace {
+
+Counter& ConnectRetries() {
+  static Counter& c = GlobalMetrics().GetCounter("net.connect_retries");
+  return c;
+}
+
+Histogram& RpcSeconds() {
+  static Histogram& h = GlobalMetrics().GetHistogram("net.rpc.seconds");
+  return h;
+}
+
+void Backoff(int attempt, int base_ms) {
+  // attempt 1 sleeps base, attempt 2 sleeps 2*base, ... capped at 2s.
+  const int64_t ms =
+      std::min<int64_t>(2000, static_cast<int64_t>(base_ms) << (attempt - 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "Hello";
+    case MsgType::kAssignConfig:
+      return "AssignConfig";
+    case MsgType::kConfigAck:
+      return "ConfigAck";
+    case MsgType::kTrainRequest:
+      return "TrainRequest";
+    case MsgType::kTrainResponse:
+      return "TrainResponse";
+    case MsgType::kEvalRequest:
+      return "EvalRequest";
+    case MsgType::kEvalResponse:
+      return "EvalResponse";
+    case MsgType::kShutdown:
+      return "Shutdown";
+    case MsgType::kShutdownAck:
+      return "ShutdownAck";
+    case MsgType::kError:
+      return "Error";
+  }
+  return "UnknownMsg";
+}
+
+void HelloMsg::Encode(serialize::Writer* w) const {
+  w->WriteU32(protocol_version);
+}
+Status HelloMsg::Decode(serialize::Reader* r) {
+  return r->ReadU32(&protocol_version);
+}
+
+void WireFedConfig::Encode(serialize::Writer* w) const {
+  w->WriteString(dataset);
+  w->WriteU64(seed);
+  w->WriteString(split_method);
+  w->WriteI32(num_clients);
+  w->WriteDouble(overlap_fraction);
+  w->WriteString(model);
+  w->WriteI32(hidden);
+  w->WriteI32(num_layers);
+  w->WriteI32(model_k);
+  w->WriteFloat(dropout);
+  w->WriteFloat(gbp_beta);
+  w->WriteFloat(r);
+  w->WriteString(optimizer);
+  w->WriteFloat(lr);
+  w->WriteFloat(momentum);
+  w->WriteFloat(weight_decay);
+  w->WriteFloat(beta1);
+  w->WriteFloat(beta2);
+  w->WriteFloat(adam_epsilon);
+  w->WriteString(strategy);
+  w->WriteFloat(prox_mu);
+  w->WriteFloat(gta_alpha);
+  w->WriteI32(gta_k);
+  w->WriteI32(gta_moment_order);
+  w->WriteBool(gta_use_feature_moments);
+  w->WriteI32(gta_feature_moment_dims);
+  w->WriteI32(local_epochs);
+  w->WriteI32(batch_size);
+  w->WriteDouble(fail_dropout);
+  w->WriteDouble(fail_straggler);
+  w->WriteDouble(fail_crash);
+  w->WriteU64(fail_seed);
+}
+
+Status WireFedConfig::Decode(serialize::Reader* rd) {
+  FEDGTA_RETURN_IF_ERROR(rd->ReadString(&dataset));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadU64(&seed));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadString(&split_method));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&num_clients));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&overlap_fraction));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadString(&model));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&hidden));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&num_layers));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&model_k));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&dropout));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&gbp_beta));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&r));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadString(&optimizer));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&lr));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&momentum));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&weight_decay));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&beta1));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&beta2));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&adam_epsilon));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadString(&strategy));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&prox_mu));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadFloat(&gta_alpha));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&gta_k));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&gta_moment_order));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadBool(&gta_use_feature_moments));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&gta_feature_moment_dims));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&local_epochs));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&batch_size));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&fail_dropout));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&fail_straggler));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&fail_crash));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadU64(&fail_seed));
+  return OkStatus();
+}
+
+void AssignConfigMsg::Encode(serialize::Writer* w) const {
+  config.Encode(w);
+  w->WriteI32Vec(client_ids);
+}
+Status AssignConfigMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(config.Decode(r));
+  return r->ReadI32Vec(&client_ids);
+}
+
+void ConfigAckMsg::Encode(serialize::Writer* w) const {
+  w->WriteI64(param_count);
+  w->WriteFloatVec(init_params);
+}
+Status ConfigAckMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadI64(&param_count));
+  return r->ReadFloatVec(&init_params);
+}
+
+void TrainRequestMsg::Encode(serialize::Writer* w) const {
+  w->WriteI32(round);
+  w->WriteI32(client_id);
+  w->WriteFloatVec(weights);
+}
+Status TrainRequestMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&round));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  return r->ReadFloatVec(&weights);
+}
+
+void TrainResponseMsg::Encode(serialize::Writer* w) const {
+  w->WriteI32(client_id);
+  w->WriteU32(fate);
+  w->WriteDouble(loss);
+  w->WriteI64(num_samples);
+  w->WriteFloatVec(weights);
+  w->WriteDouble(confidence);
+  w->WriteFloatVec(moments);
+  w->WriteDouble(seconds);
+}
+Status TrainResponseMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&fate));
+  FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&loss));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI64(&num_samples));
+  FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&weights));
+  FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&confidence));
+  FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&moments));
+  return r->ReadDouble(&seconds);
+}
+
+void EvalRequestMsg::Encode(serialize::Writer* w) const {
+  w->WriteI32(client_id);
+  w->WriteFloatVec(weights);
+}
+Status EvalRequestMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  return r->ReadFloatVec(&weights);
+}
+
+void EvalResponseMsg::Encode(serialize::Writer* w) const {
+  w->WriteI32(client_id);
+  w->WriteDouble(test_accuracy);
+  w->WriteDouble(val_accuracy);
+}
+Status EvalResponseMsg::Decode(serialize::Reader* r) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&test_accuracy));
+  return r->ReadDouble(&val_accuracy);
+}
+
+void ShutdownMsg::Encode(serialize::Writer* /*w*/) const {}
+Status ShutdownMsg::Decode(serialize::Reader* /*r*/) { return OkStatus(); }
+
+void ShutdownAckMsg::Encode(serialize::Writer* /*w*/) const {}
+Status ShutdownAckMsg::Decode(serialize::Reader* /*r*/) { return OkStatus(); }
+
+void ErrorMsg::Encode(serialize::Writer* w) const { w->WriteString(message); }
+Status ErrorMsg::Decode(serialize::Reader* r) {
+  return r->ReadString(&message);
+}
+
+Result<serialize::Reader> RecvMessage(Socket& sock) {
+  return RecvFrame(sock);
+}
+
+Result<MsgType> ReadMsgType(serialize::Reader* reader) {
+  uint32_t raw = 0;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&raw));
+  if (raw < static_cast<uint32_t>(MsgType::kHello) ||
+      raw > static_cast<uint32_t>(MsgType::kError)) {
+    return InvalidArgumentError("unknown message type " + std::to_string(raw));
+  }
+  return static_cast<MsgType>(raw);
+}
+
+RpcChannel::RpcChannel(Socket sock, const RpcOptions& options)
+    : sock_(std::move(sock)), options_(options), healthy_(sock_.valid()) {
+  if (healthy_) {
+    const Status s = sock_.SetRecvTimeout(options_.deadline_ms);
+    if (!s.ok()) healthy_ = false;
+  }
+}
+
+Status RpcChannel::CallImpl(const Step& send, const Step& recv) {
+  if (!ok()) {
+    return FailedPreconditionError("rpc channel is broken");
+  }
+  WallTimer timer;
+  Status last = OkStatus();
+  const int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ConnectRetries().Increment();
+      Backoff(attempt, options_.backoff_ms);
+    }
+    last = send(sock_);
+    if (!last.ok()) continue;
+    last = recv(sock_);
+    if (last.ok()) {
+      RpcSeconds().Record(timer.Seconds());
+      return OkStatus();
+    }
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      // The peer may still answer later; a retry would read *that* stale
+      // response as its own. The stream is unusable — fail the channel.
+      break;
+    }
+  }
+  healthy_ = false;
+  sock_.Close();
+  return last;
+}
+
+Result<Socket> ConnectWithRetry(const std::string& host, int port,
+                                const RpcOptions& options) {
+  Status last = OkStatus();
+  const int attempts = std::max(1, options.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ConnectRetries().Increment();
+      Backoff(attempt, options.backoff_ms);
+    }
+    Result<Socket> sock = Connect(host, port, options.deadline_ms);
+    if (sock.ok()) return sock;
+    last = sock.status();
+  }
+  return last;
+}
+
+}  // namespace net
+}  // namespace fedgta

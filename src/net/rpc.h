@@ -1,0 +1,311 @@
+#ifndef FEDGTA_NET_RPC_H_
+#define FEDGTA_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedgta {
+namespace net {
+
+/// Federated round protocol spoken between the FedGTA server and its
+/// workers (see DESIGN.md §5e for the full state machine):
+///
+///   worker                          server
+///     | -- Hello{version} ----------> |   (one per connection)
+///     | <-- AssignConfig{exp, ids} -- |
+///     | -- ConfigAck{init params} --> |
+///     |                               |   per round, per hosted client:
+///     | <-- TrainRequest{w, round} -- |
+///     | -- TrainResponse{w,H,M,..} -> |
+///     |                               |   on eval rounds, per client:
+///     | <-- EvalRequest{w} ---------- |
+///     | -- EvalResponse{accs} ------> |
+///     | <-- Shutdown ---------------- |
+///     | -- ShutdownAck -------------> |
+///
+/// Every message is one frame whose payload starts with a u32 MsgType.
+/// Both sides treat any malformed message as a broken peer (error Status),
+/// which the coordinator maps onto the failure model: an unreachable or
+/// timed-out worker is a dropped participant for the round.
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class MsgType : uint32_t {
+  kHello = 1,
+  kAssignConfig = 2,
+  kConfigAck = 3,
+  kTrainRequest = 4,
+  kTrainResponse = 5,
+  kEvalRequest = 6,
+  kEvalResponse = 7,
+  kShutdown = 8,
+  kShutdownAck = 9,
+  kError = 10,
+};
+
+const char* MsgTypeName(MsgType type);
+
+/// Worker -> server, immediately after connecting.
+struct HelloMsg {
+  static constexpr MsgType kType = MsgType::kHello;
+  uint32_t protocol_version = kProtocolVersion;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// The full experiment identity a worker needs to materialize its shards
+/// and train them exactly like the in-process Simulation would: dataset
+/// recipe, model + optimizer hyperparameters, strategy (with the
+/// remote-executable strategies' client-side knobs), and the deterministic
+/// failure-injection rates. Everything is derived data — no tensors ship.
+struct WireFedConfig {
+  std::string dataset = "cora";
+  uint64_t seed = 42;
+  std::string split_method = "louvain";
+  int32_t num_clients = 10;
+  double overlap_fraction = 0.0;
+  // Model (gnn/factory.h ModelConfig).
+  std::string model = "gamlp";
+  int32_t hidden = 64;
+  int32_t num_layers = 2;
+  int32_t model_k = 3;
+  float dropout = 0.3f;
+  float gbp_beta = 0.3f;
+  float r = 0.5f;
+  // Optimizer (nn/optimizer.h OptimizerConfig).
+  std::string optimizer = "adam";
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float adam_epsilon = 1e-8f;
+  // Strategy; client-side knobs of the remote-executable set.
+  std::string strategy = "fedgta";
+  float prox_mu = 0.01f;
+  float gta_alpha = 0.5f;
+  int32_t gta_k = 5;
+  int32_t gta_moment_order = 3;
+  bool gta_use_feature_moments = false;
+  int32_t gta_feature_moment_dims = 16;
+  // Round shape.
+  int32_t local_epochs = 3;
+  int32_t batch_size = 0;
+  // Deterministic failure injection (fed/failure.h). FateOf is a pure
+  // function of (seed, round, client), so both sides compute the same
+  // schedule without coordination.
+  double fail_dropout = 0.0;
+  double fail_straggler = 0.0;
+  double fail_crash = 0.0;
+  uint64_t fail_seed = 0xFA11;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Server -> worker: experiment config plus the client ids this worker
+/// hosts.
+struct AssignConfigMsg {
+  static constexpr MsgType kType = MsgType::kAssignConfig;
+  WireFedConfig config;
+  std::vector<int32_t> client_ids;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Worker -> server after materializing its shards. `init_params` is
+/// non-empty only on the worker hosting client 0: its freshly constructed
+/// client's weights are the common initialization every strategy starts
+/// from (mirroring Simulation, where round-0 globals are client 0's fresh
+/// weights).
+struct ConfigAckMsg {
+  static constexpr MsgType kType = MsgType::kConfigAck;
+  int64_t param_count = 0;
+  std::vector<float> init_params;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Server -> worker: run one client's local round from `weights`.
+struct TrainRequestMsg {
+  static constexpr MsgType kType = MsgType::kTrainRequest;
+  int32_t round = 0;
+  int32_t client_id = 0;
+  std::vector<float> weights;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Worker -> server: the upload. `fate` is the worker's locally computed
+/// ClientFate for (round, client); for non-healthy fates the tensor fields
+/// stay empty (the server discards them anyway — matching the simulation,
+/// where failed results never reach aggregation). `confidence`/`moments`
+/// carry the FedGTA H and M uploads when the strategy wants them.
+struct TrainResponseMsg {
+  static constexpr MsgType kType = MsgType::kTrainResponse;
+  int32_t client_id = 0;
+  uint32_t fate = 0;  // static_cast<uint32_t>(ClientFate)
+  double loss = 0.0;
+  int64_t num_samples = 0;
+  std::vector<float> weights;
+  double confidence = 0.0;
+  std::vector<float> moments;
+  double seconds = 0.0;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Server -> worker: evaluate `weights` on one client's local test/val
+/// sets.
+struct EvalRequestMsg {
+  static constexpr MsgType kType = MsgType::kEvalRequest;
+  int32_t client_id = 0;
+  std::vector<float> weights;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+struct EvalResponseMsg {
+  static constexpr MsgType kType = MsgType::kEvalResponse;
+  int32_t client_id = 0;
+  double test_accuracy = 0.0;
+  double val_accuracy = 0.0;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+struct ShutdownMsg {
+  static constexpr MsgType kType = MsgType::kShutdown;
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+struct ShutdownAckMsg {
+  static constexpr MsgType kType = MsgType::kShutdownAck;
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Either side -> peer: a fatal protocol-level complaint (version skew,
+/// unknown strategy, ...) before closing the connection.
+struct ErrorMsg {
+  static constexpr MsgType kType = MsgType::kError;
+  std::string message;
+
+  void Encode(serialize::Writer* w) const;
+  Status Decode(serialize::Reader* r);
+};
+
+/// Ships one typed message as one frame.
+template <typename M>
+Status SendMessage(Socket& sock, const M& msg) {
+  serialize::Writer writer;
+  writer.WriteU32(static_cast<uint32_t>(M::kType));
+  msg.Encode(&writer);
+  return SendFrame(sock, writer);
+}
+
+/// Receives one frame and returns its validated payload Reader; the caller
+/// reads the leading MsgType u32 via ReadMsgType and dispatches.
+Result<serialize::Reader> RecvMessage(Socket& sock);
+
+/// Reads the leading type tag of a received message payload.
+Result<MsgType> ReadMsgType(serialize::Reader* reader);
+
+/// Receives a message that must be of type M. A kError message from the
+/// peer is surfaced as a FailedPrecondition carrying its text; any other
+/// type mismatch is a protocol error.
+template <typename M>
+Status ExpectMessage(Socket& sock, M* out);
+
+/// Per-message retry/backoff knobs shared by the channel and the worker's
+/// connect loop.
+struct RpcOptions {
+  /// Bounds each response wait — the straggler deadline. A worker that
+  /// blows it is treated exactly like a FailurePlan straggler: the round
+  /// proceeds without it.
+  int deadline_ms = 30000;
+  /// Total send+recv attempts per Call (>= 1).
+  int max_attempts = 3;
+  /// First retry delay; doubles per attempt (exponential backoff).
+  int backoff_ms = 50;
+};
+
+/// One request/response exchange at a time over an established connection.
+/// Call() retries transport failures with exponential backoff (each retry
+/// accumulates `net.connect_retries`) and records per-RPC latency into the
+/// `net.rpc.seconds` histogram. A deadline expiry poisons the stream — the
+/// late response could arrive mid-next-exchange — so the channel marks
+/// itself broken and every later Call fails fast; the coordinator maps
+/// that onto dropped participants.
+class RpcChannel {
+ public:
+  RpcChannel() = default;
+  RpcChannel(Socket sock, const RpcOptions& options);
+
+  bool ok() const { return healthy_ && sock_.valid(); }
+  Socket& socket() { return sock_; }
+
+  template <typename Req, typename Resp>
+  Status Call(const Req& req, Resp* resp) {
+    return CallImpl(
+        [&](Socket& s) { return SendMessage(s, req); },
+        [&](Socket& s) { return ExpectMessage(s, resp); });
+  }
+
+ private:
+  using Step = std::function<Status(Socket&)>;
+  Status CallImpl(const Step& send, const Step& recv);
+
+  Socket sock_;
+  RpcOptions options_;
+  bool healthy_ = false;
+};
+
+/// Worker-side connect loop: dials host:port up to `max_attempts` times
+/// with exponential backoff (covers the worker-starts-first race), each
+/// retry accumulating `net.connect_retries`.
+Result<Socket> ConnectWithRetry(const std::string& host, int port,
+                                const RpcOptions& options);
+
+template <typename M>
+Status ExpectMessage(Socket& sock, M* out) {
+  Result<serialize::Reader> reader = RecvMessage(sock);
+  FEDGTA_RETURN_IF_ERROR(reader.status());
+  Result<MsgType> type = ReadMsgType(&*reader);
+  FEDGTA_RETURN_IF_ERROR(type.status());
+  if (*type == MsgType::kError) {
+    ErrorMsg err;
+    FEDGTA_RETURN_IF_ERROR(err.Decode(&*reader));
+    return FailedPreconditionError("peer error: " + err.message);
+  }
+  if (*type != M::kType) {
+    return InvalidArgumentError(std::string("expected ") +
+                                MsgTypeName(M::kType) + ", peer sent " +
+                                MsgTypeName(*type));
+  }
+  FEDGTA_RETURN_IF_ERROR(out->Decode(&*reader));
+  if (!reader->AtEnd()) {
+    return InvalidArgumentError(std::string("trailing bytes after ") +
+                                MsgTypeName(M::kType));
+  }
+  return OkStatus();
+}
+
+}  // namespace net
+}  // namespace fedgta
+
+#endif  // FEDGTA_NET_RPC_H_

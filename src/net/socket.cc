@@ -1,0 +1,244 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace fedgta {
+namespace net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status SetTimeout(int fd, int optname, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return InternalError(Errno("setsockopt(timeout)"));
+  }
+  return OkStatus();
+}
+
+/// RPC exchanges are small header + payload write pairs; with Nagle on,
+/// the trailing write stalls behind the peer's delayed ACK (~40ms per
+/// exchange on loopback), so every connected socket disables it.
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status MakeAddr(const std::string& host, int port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return InvalidArgumentError("not an IPv4 address: " + host);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SetRecvTimeout(int timeout_ms) {
+  if (!valid()) return FailedPreconditionError("socket is closed");
+  return SetTimeout(fd_, SO_RCVTIMEO, timeout_ms);
+}
+
+Status Socket::SetSendTimeout(int timeout_ms) {
+  if (!valid()) return FailedPreconditionError("socket is closed");
+  return SetTimeout(fd_, SO_SNDTIMEO, timeout_ms);
+}
+
+Status Socket::ReadFull(void* buf, size_t n) {
+  if (!valid()) return FailedPreconditionError("socket is closed");
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd_, out + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      return InternalError("connection closed by peer after " +
+                           std::to_string(done) + " of " + std::to_string(n) +
+                           " bytes");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return DeadlineExceededError("recv timed out after " +
+                                   std::to_string(done) + " of " +
+                                   std::to_string(n) + " bytes");
+    }
+    return InternalError(Errno("recv"));
+  }
+  return OkStatus();
+}
+
+Status Socket::WriteFull(const void* buf, size_t n) {
+  if (!valid()) return FailedPreconditionError("socket is closed");
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a vanished peer must be a Status, not a SIGPIPE abort.
+    const ssize_t put = ::send(fd_, in + done, n - done, MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return DeadlineExceededError("send timed out after " +
+                                   std::to_string(done) + " of " +
+                                   std::to_string(n) + " bytes");
+    }
+    return InternalError(Errno("send"));
+  }
+  return OkStatus();
+}
+
+Result<Socket> Connect(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr;
+  FEDGTA_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError(Errno("socket"));
+  Socket sock(fd);
+  SetNoDelay(fd);
+
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return InternalError(Errno("connect"));
+    }
+    return sock;
+  }
+
+  // Bounded handshake: non-blocking connect, poll for writability, then
+  // read SO_ERROR for the actual outcome.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return InternalError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return InternalError(Errno("connect"));
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      return DeadlineExceededError("connect to " + host + ":" +
+                                   std::to_string(port) + " timed out");
+    }
+    if (rc < 0) return InternalError(Errno("poll"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return InternalError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return InternalError("connect to " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return InternalError(Errno("fcntl(restore flags)"));
+  }
+  return sock;
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServerSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ServerSocket> ServerSocket::Listen(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError(Errno("socket"));
+  ServerSocket server;
+  server.fd_ = fd;
+
+  const int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return InternalError(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return InternalError(Errno("bind"));
+  }
+  if (::listen(fd, backlog) != 0) return InternalError(Errno("listen"));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return InternalError(Errno("getsockname"));
+  }
+  server.port_ = ntohs(addr.sin_port);
+  return server;
+}
+
+Result<Socket> ServerSocket::Accept(int timeout_ms) {
+  if (!valid()) return FailedPreconditionError("server socket is closed");
+  if (timeout_ms > 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      return DeadlineExceededError("no worker connected within " +
+                                   std::to_string(timeout_ms) + "ms");
+    }
+    if (rc < 0) return InternalError(Errno("poll"));
+  }
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return InternalError(Errno("accept"));
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+}  // namespace net
+}  // namespace fedgta

@@ -1,0 +1,90 @@
+#ifndef FEDGTA_NET_SOCKET_H_
+#define FEDGTA_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace fedgta {
+namespace net {
+
+/// Status-returning POSIX TCP wrappers. Everything here is blocking I/O
+/// with explicit timeouts; no file descriptor ever leaks (RAII) and no
+/// failure aborts — a refused connection, a peer that vanished, or a
+/// deadline expiry all surface as error Statuses the caller can map onto
+/// the federated failure model (a dead worker is a dropped participant).
+
+/// Connected TCP stream (movable, owns its fd).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Bounds every subsequent ReadFull; 0 restores "block forever". An
+  /// expired deadline surfaces as a kDeadlineExceeded Status — this is the
+  /// transport half of the straggler deadline.
+  Status SetRecvTimeout(int timeout_ms);
+  Status SetSendTimeout(int timeout_ms);
+
+  /// Reads exactly `n` bytes, looping over short reads (the kernel may
+  /// deliver one byte at a time; see net_test's byte-at-a-time case). A
+  /// peer close before `n` bytes is an error, a recv-timeout expiry is
+  /// kDeadlineExceeded.
+  Status ReadFull(void* buf, size_t n);
+  /// Writes exactly `n` bytes, looping over short writes. A broken pipe
+  /// (peer gone) is an error Status, never SIGPIPE.
+  Status WriteFull(const void* buf, size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port. `timeout_ms` bounds the TCP handshake
+/// (0 = OS default). Refusal/timeout are error Statuses.
+Result<Socket> Connect(const std::string& host, int port, int timeout_ms = 0);
+
+/// Listening TCP socket (movable, owns its fd).
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+  ServerSocket(ServerSocket&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds 0.0.0.0:`port` with SO_REUSEADDR and listens. `port` 0 picks an
+  /// ephemeral port; the bound port is available via port() either way.
+  static Result<ServerSocket> Listen(int port, int backlog = 16);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  void Close();
+
+  /// Accepts one connection. `timeout_ms` > 0 bounds the wait
+  /// (kDeadlineExceeded on expiry); 0 blocks until a peer arrives.
+  Result<Socket> Accept(int timeout_ms = 0);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace net
+}  // namespace fedgta
+
+#endif  // FEDGTA_NET_SOCKET_H_

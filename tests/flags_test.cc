@@ -1,0 +1,94 @@
+// Black-box flag validation of the run_experiment CLI: every rejected
+// configuration must exit non-zero with a message naming the offending
+// flag, before paying for dataset generation.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult RunCli(const std::string& args) {
+  CliResult result;
+  const std::string cmd =
+      std::string(RUN_EXPERIMENT_BINARY) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    result.output += buf;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void ExpectRejected(const std::string& args, const std::string& needle) {
+  const CliResult result = RunCli(args);
+  EXPECT_EQ(result.exit_code, 1) << args << "\n" << result.output;
+  EXPECT_NE(result.output.find(needle), std::string::npos)
+      << args << " printed:\n"
+      << result.output;
+}
+
+TEST(FlagsTest, HelpExitsZeroAndListsFlags) {
+  const CliResult result = RunCli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--strategy"), std::string::npos);
+  EXPECT_NE(result.output.find("--num_threads"), std::string::npos);
+}
+
+TEST(FlagsTest, ExplicitZeroOrNegativeNumThreadsIsRejected) {
+  ExpectRejected("--num_threads=0", "--num_threads must be >= 1");
+  ExpectRejected("--num_threads=-2", "--num_threads must be >= 1");
+}
+
+TEST(FlagsTest, UnknownStrategyIsRejected) {
+  ExpectRejected("--strategy=bogus", "unknown strategy: bogus");
+}
+
+TEST(FlagsTest, UnknownDatasetIsRejected) {
+  ExpectRejected("--dataset=imagenet", "unknown dataset: imagenet");
+}
+
+TEST(FlagsTest, UnknownModelIsRejected) {
+  ExpectRejected("--model=transformer", "transformer");
+}
+
+TEST(FlagsTest, ResumeWithoutCheckpointDirIsRejected) {
+  ExpectRejected("--resume", "--resume requires --checkpoint_dir");
+}
+
+TEST(FlagsTest, NonPositiveRoundShapeIsRejected) {
+  ExpectRejected("--clients=0", "--clients must be >= 1");
+  ExpectRejected("--rounds=-3", "--rounds must be >= 1");
+  ExpectRejected("--epochs=0", "--epochs must be >= 1");
+  ExpectRejected("--repeats=0", "--repeats must be >= 1");
+  ExpectRejected("--batch=-1", "--batch must be >= 0");
+}
+
+TEST(FlagsTest, ParticipationOutsideUnitIntervalIsRejected) {
+  ExpectRejected("--participation=0", "--participation must be in (0, 1]");
+  ExpectRejected("--participation=1.5", "--participation must be in (0, 1]");
+}
+
+TEST(FlagsTest, InvalidFailureRatesAreRejected) {
+  ExpectRejected("--fail_dropout=0.7 --fail_crash=0.7",
+                 "failure rates must be >= 0 and sum to at most 1");
+  ExpectRejected("--fail_straggler=-0.1",
+                 "failure rates must be >= 0 and sum to at most 1");
+}
+
+TEST(FlagsTest, UnknownFlagIsRejected) {
+  ExpectRejected("--bogus=1", "unknown flag: --bogus=1");
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Distributed-vs-in-process determinism: a FedGTA run driven over real TCP
+// worker processes (fork+exec of the fedgta_worker binary, loopback
+// transport) must be bit-identical to the in-process Simulation of the same
+// configuration — same accuracy curve, same losses, same communication and
+// failure totals. Also covers graceful degradation when a worker dies
+// mid-round.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fed/remote_coordinator.h"
+#include "fed/simulation.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace {
+
+pid_t SpawnWorker(int port, int max_train_requests = 0) {
+  const std::string port_flag = "--port=" + std::to_string(port);
+  const std::string chaos_flag =
+      "--max_train_requests=" + std::to_string(max_train_requests);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(FEDGTA_WORKER_BINARY, FEDGTA_WORKER_BINARY, "--host=127.0.0.1",
+          port_flag.c_str(), "--connect_attempts=60", "--deadline_ms=60000",
+          "--num_threads=2", chaos_flag.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+/// Listens, forks the worker fleet, drives the run, reaps the children.
+/// Forking happens before any thread is created in this process (the
+/// coordinator's dispatch threads start inside Run()).
+Result<SimulationResult> RunRemote(const RemoteFedConfig& config,
+                                   int max_train_requests = 0,
+                                   std::vector<int>* exit_codes = nullptr) {
+  RemoteCoordinator coordinator(config);
+  FEDGTA_RETURN_IF_ERROR(coordinator.Listen(0));
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<size_t>(config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    pids.push_back(SpawnWorker(coordinator.port(), max_train_requests));
+  }
+  Result<SimulationResult> result = coordinator.Run();
+  for (pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (exit_codes != nullptr) {
+      exit_codes->push_back(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+  }
+  return result;
+}
+
+/// The same run, in process — the reference the transport must reproduce.
+SimulationResult RunInProcess(const RemoteFedConfig& config) {
+  FederatedDataset data = MaterializeFederatedDataset(
+      config.dataset, config.seed, config.split, config.federated);
+  Result<std::unique_ptr<Strategy>> strategy =
+      MakeStrategy(config.strategy, config.strategy_options);
+  EXPECT_TRUE(strategy.ok()) << strategy.status();
+  SimulationConfig sim = config.sim;
+  sim.seed = config.seed;
+  Simulation simulation(&data, config.model, config.optimizer,
+                        std::move(*strategy), sim);
+  return simulation.Run();
+}
+
+/// Everything deterministic must match exactly; wall-clock fields are
+/// deliberately excluded.
+void ExpectBitIdentical(const SimulationResult& remote,
+                        const SimulationResult& local) {
+  EXPECT_EQ(remote.best_test_accuracy, local.best_test_accuracy);
+  EXPECT_EQ(remote.final_test_accuracy, local.final_test_accuracy);
+  EXPECT_EQ(remote.total_upload_floats, local.total_upload_floats);
+  EXPECT_EQ(remote.total_download_floats, local.total_download_floats);
+  EXPECT_EQ(remote.total_dropped_clients, local.total_dropped_clients);
+  EXPECT_EQ(remote.total_straggler_clients, local.total_straggler_clients);
+  EXPECT_EQ(remote.total_crashed_clients, local.total_crashed_clients);
+  ASSERT_EQ(remote.curve.size(), local.curve.size());
+  for (size_t i = 0; i < remote.curve.size(); ++i) {
+    const RoundStats& r = remote.curve[i];
+    const RoundStats& l = local.curve[i];
+    EXPECT_EQ(r.round, l.round);
+    EXPECT_EQ(r.test_accuracy, l.test_accuracy) << "round " << r.round;
+    EXPECT_EQ(r.val_accuracy, l.val_accuracy) << "round " << r.round;
+    EXPECT_EQ(r.train_loss, l.train_loss) << "round " << r.round;
+    EXPECT_EQ(r.upload_floats, l.upload_floats);
+    EXPECT_EQ(r.download_floats, l.download_floats);
+    EXPECT_EQ(r.dropped_clients, l.dropped_clients);
+    EXPECT_EQ(r.straggler_clients, l.straggler_clients);
+    EXPECT_EQ(r.crashed_clients, l.crashed_clients);
+  }
+}
+
+RemoteFedConfig BaseConfig() {
+  RemoteFedConfig config;
+  config.dataset = "cora";
+  config.seed = 7;
+  config.split.num_clients = 10;
+  config.model.type = ModelType::kSgc;
+  config.model.hidden = 16;
+  config.model.k = 2;
+  config.strategy = "fedgta";
+  config.sim.rounds = 3;
+  config.sim.local_epochs = 2;
+  config.sim.eval_every = 1;
+  config.num_workers = 5;
+  config.rpc.deadline_ms = 120000;
+  config.accept_timeout_ms = 120000;
+  return config;
+}
+
+TEST(LoopbackTest, FedGtaOverFiveWorkersIsBitIdenticalToSimulation) {
+  const RemoteFedConfig config = BaseConfig();
+  std::vector<int> exit_codes;
+  // Remote first: fork before this process creates thread-pool threads.
+  Result<SimulationResult> remote =
+      RunRemote(config, /*max_train_requests=*/0, &exit_codes);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  for (int code : exit_codes) EXPECT_EQ(code, 0);
+  const SimulationResult local = RunInProcess(config);
+  ExpectBitIdentical(*remote, local);
+  // Sanity: the run actually learned something.
+  EXPECT_GT(local.final_test_accuracy, 0.2);
+}
+
+TEST(LoopbackTest, FailureInjectionMinibatchAndSamplingStayIdentical) {
+  RemoteFedConfig config = BaseConfig();
+  config.seed = 11;
+  config.num_workers = 3;
+  config.sim.batch_size = 16;
+  config.sim.participation = 0.6;
+  config.sim.failure.dropout_rate = 0.25;
+  config.sim.failure.straggler_rate = 0.15;
+  config.sim.failure.crash_rate = 0.15;
+  Result<SimulationResult> remote = RunRemote(config);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  const SimulationResult local = RunInProcess(config);
+  EXPECT_GT(local.total_dropped_clients + local.total_straggler_clients +
+                local.total_crashed_clients,
+            0);
+  ExpectBitIdentical(*remote, local);
+}
+
+TEST(LoopbackTest, FedProxOverTwoWorkersIsBitIdenticalToSimulation) {
+  RemoteFedConfig config = BaseConfig();
+  config.strategy = "fedprox";
+  config.strategy_options.prox_mu = 0.1f;
+  config.num_workers = 2;
+  config.sim.rounds = 2;
+  Result<SimulationResult> remote = RunRemote(config);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  const SimulationResult local = RunInProcess(config);
+  ExpectBitIdentical(*remote, local);
+}
+
+TEST(LoopbackTest, NonRemotableStrategyIsRejectedBeforeAcceptingWorkers) {
+  RemoteFedConfig config = BaseConfig();
+  config.strategy = "scaffold";  // mutates per-client server state
+  RemoteCoordinator coordinator(config);
+  ASSERT_TRUE(coordinator.Listen(0).ok());
+  const Result<SimulationResult> result = coordinator.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LoopbackTest, KilledWorkerDegradesToDroppedClients) {
+  RemoteFedConfig config = BaseConfig();
+  config.strategy = "fedavg";
+  config.split.num_clients = 6;
+  config.num_workers = 2;
+  config.sim.rounds = 2;
+  config.rpc.deadline_ms = 3000;
+  config.rpc.max_attempts = 2;
+  config.rpc.backoff_ms = 20;
+
+  Counter& dropped = GlobalMetrics().GetCounter("fed.round.dropped_clients");
+  Counter& retries = GlobalMetrics().GetCounter("net.connect_retries");
+  const int64_t dropped0 = dropped.value();
+  const int64_t retries0 = retries.value();
+
+  // Every worker vanishes after serving exactly one train request: round 1
+  // gets 2 uploads out of 6, the rest of the federation is unreachable.
+  Result<SimulationResult> remote =
+      RunRemote(config, /*max_train_requests=*/1);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  // Round 1: 2 healthy, 4 dropped. Round 2: all 6 dropped.
+  EXPECT_EQ(remote->total_dropped_clients, 10);
+  ASSERT_EQ(remote->curve.size(), 2u);
+  EXPECT_EQ(remote->curve[0].dropped_clients, 4);
+  EXPECT_EQ(remote->curve[1].dropped_clients, 10);
+  // Aggregation still happened over round 1's survivors.
+  EXPECT_GT(remote->total_upload_floats, 0);
+  // The transport failures are visible in the metrics registry.
+  EXPECT_EQ(dropped.value() - dropped0, 10);
+  EXPECT_GE(retries.value() - retries0, 1);
+}
+
+}  // namespace
+}  // namespace fedgta

@@ -1,0 +1,341 @@
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace net {
+namespace {
+
+// Mirrors the private on-wire header in frame.cc (same compiler, same
+// layout) so tests can handcraft malformed frames.
+struct RawFrameHeader {
+  uint32_t magic;
+  uint64_t payload_size;
+};
+
+// Listens on an ephemeral port and returns {server, connected client pair}.
+struct Loop {
+  ServerSocket server;
+  Socket client;  // dialing side
+  Socket peer;    // accepted side
+};
+
+Loop MakeLoop() {
+  Loop loop;
+  Result<ServerSocket> server = ServerSocket::Listen(0);
+  EXPECT_TRUE(server.ok()) << server.status();
+  loop.server = std::move(*server);
+  Result<Socket> client = Connect("127.0.0.1", loop.server.port(), 2000);
+  EXPECT_TRUE(client.ok()) << client.status();
+  loop.client = std::move(*client);
+  Result<Socket> peer = loop.server.Accept(2000);
+  EXPECT_TRUE(peer.ok()) << peer.status();
+  loop.peer = std::move(*peer);
+  return loop;
+}
+
+TEST(SocketTest, ReadFullReassemblesByteAtATimeWrites) {
+  Loop loop = MakeLoop();
+  std::vector<char> sent(1000);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 31 + 7);
+  }
+  std::thread writer([&] {
+    for (char byte : sent) {
+      ASSERT_TRUE(loop.peer.WriteFull(&byte, 1).ok());
+    }
+  });
+  std::vector<char> got(sent.size());
+  const Status read = loop.client.ReadFull(got.data(), got.size());
+  writer.join();
+  ASSERT_TRUE(read.ok()) << read;
+  EXPECT_EQ(got, sent);
+}
+
+TEST(SocketTest, PeerCloseMidMessageIsErrorNotCrash) {
+  Loop loop = MakeLoop();
+  std::thread writer([&] {
+    const char some[10] = {};
+    ASSERT_TRUE(loop.peer.WriteFull(some, sizeof(some)).ok());
+    loop.peer.Close();
+  });
+  char buf[64];
+  const Status read = loop.client.ReadFull(buf, sizeof(buf));
+  writer.join();
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kInternal) << read;
+}
+
+TEST(SocketTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
+  Loop loop = MakeLoop();
+  ASSERT_TRUE(loop.client.SetRecvTimeout(50).ok());
+  char buf[8];
+  const Status read = loop.client.ReadFull(buf, sizeof(buf));
+  EXPECT_EQ(read.code(), StatusCode::kDeadlineExceeded) << read;
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close it so nothing listens there.
+  int dead_port = 0;
+  {
+    Result<ServerSocket> server = ServerSocket::Listen(0);
+    ASSERT_TRUE(server.ok());
+    dead_port = server->port();
+  }
+  Result<Socket> conn = Connect("127.0.0.1", dead_port, 500);
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(FrameTest, RoundTripsAWriterPayload) {
+  Loop loop = MakeLoop();
+  serialize::Writer writer;
+  writer.WriteU32(0xDEADu);
+  writer.WriteString("hello frame");
+  const std::vector<float> floats = {1.5f, -2.5f, 3.25f};
+  writer.WriteFloatVec(floats);
+  std::thread sender(
+      [&] { ASSERT_TRUE(SendFrame(loop.peer, writer).ok()); });
+  Result<serialize::Reader> reader = RecvFrame(loop.client);
+  sender.join();
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  uint32_t tag = 0;
+  std::string text;
+  std::vector<float> vec;
+  ASSERT_TRUE(reader->ReadU32(&tag).ok());
+  ASSERT_TRUE(reader->ReadString(&text).ok());
+  ASSERT_TRUE(reader->ReadFloatVec(&vec).ok());
+  EXPECT_EQ(tag, 0xDEADu);
+  EXPECT_EQ(text, "hello frame");
+  EXPECT_EQ(vec, (std::vector<float>{1.5f, -2.5f, 3.25f}));
+  EXPECT_TRUE(reader->AtEnd());
+}
+
+TEST(FrameTest, FlippedPayloadBitIsErrorStatus) {
+  Loop loop = MakeLoop();
+  serialize::Writer writer;
+  writer.WriteString("soon to be corrupted");
+  std::string encoded = writer.Encode();
+  encoded.back() = static_cast<char>(encoded.back() ^ 0x40);
+
+  RawFrameHeader header;
+  header.magic = kFrameMagic;
+  header.payload_size = encoded.size();
+  ASSERT_TRUE(loop.peer.WriteFull(&header, sizeof(header)).ok());
+  ASSERT_TRUE(loop.peer.WriteFull(encoded.data(), encoded.size()).ok());
+
+  Result<serialize::Reader> reader = RecvFrame(loop.client);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(FrameTest, TruncatedFrameIsErrorStatus) {
+  Loop loop = MakeLoop();
+  RawFrameHeader header;
+  header.magic = kFrameMagic;
+  header.payload_size = 100;  // ...but only 10 bytes follow.
+  ASSERT_TRUE(loop.peer.WriteFull(&header, sizeof(header)).ok());
+  const char partial[10] = {};
+  ASSERT_TRUE(loop.peer.WriteFull(partial, sizeof(partial)).ok());
+  loop.peer.Close();
+  Result<serialize::Reader> reader = RecvFrame(loop.client);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(FrameTest, BadMagicIsErrorStatus) {
+  Loop loop = MakeLoop();
+  RawFrameHeader header;
+  header.magic = 0x12345678;
+  header.payload_size = 4;
+  ASSERT_TRUE(loop.peer.WriteFull(&header, sizeof(header)).ok());
+  Result<serialize::Reader> reader = RecvFrame(loop.client);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, OversizeDeclaredPayloadIsRejectedBeforeAllocation) {
+  Loop loop = MakeLoop();
+  RawFrameHeader header;
+  header.magic = kFrameMagic;
+  header.payload_size = kMaxFramePayload + 1;
+  ASSERT_TRUE(loop.peer.WriteFull(&header, sizeof(header)).ok());
+  Result<serialize::Reader> reader = RecvFrame(loop.client);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RpcTest, WireFedConfigRoundTrips) {
+  WireFedConfig in;
+  in.dataset = "citeseer";
+  in.seed = 1234;
+  in.split_method = "metis";
+  in.num_clients = 7;
+  in.overlap_fraction = 0.25;
+  in.model = "sgc";
+  in.hidden = 32;
+  in.num_layers = 3;
+  in.model_k = 4;
+  in.dropout = 0.1f;
+  in.optimizer = "sgd";
+  in.lr = 0.05f;
+  in.strategy = "fedprox";
+  in.prox_mu = 0.125f;
+  in.gta_alpha = 0.75f;
+  in.gta_k = 2;
+  in.gta_use_feature_moments = true;
+  in.local_epochs = 4;
+  in.batch_size = 64;
+  in.fail_dropout = 0.125;
+  in.fail_seed = 99;
+
+  serialize::Writer writer;
+  in.Encode(&writer);
+  Result<serialize::Reader> reader =
+      serialize::Reader::FromBuffer(writer.Encode());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  WireFedConfig out;
+  ASSERT_TRUE(out.Decode(&*reader).ok());
+  EXPECT_TRUE(reader->AtEnd());
+  EXPECT_EQ(out.dataset, in.dataset);
+  EXPECT_EQ(out.seed, in.seed);
+  EXPECT_EQ(out.split_method, in.split_method);
+  EXPECT_EQ(out.num_clients, in.num_clients);
+  EXPECT_EQ(out.overlap_fraction, in.overlap_fraction);
+  EXPECT_EQ(out.model, in.model);
+  EXPECT_EQ(out.hidden, in.hidden);
+  EXPECT_EQ(out.num_layers, in.num_layers);
+  EXPECT_EQ(out.model_k, in.model_k);
+  EXPECT_EQ(out.dropout, in.dropout);
+  EXPECT_EQ(out.optimizer, in.optimizer);
+  EXPECT_EQ(out.lr, in.lr);
+  EXPECT_EQ(out.strategy, in.strategy);
+  EXPECT_EQ(out.prox_mu, in.prox_mu);
+  EXPECT_EQ(out.gta_alpha, in.gta_alpha);
+  EXPECT_EQ(out.gta_k, in.gta_k);
+  EXPECT_EQ(out.gta_use_feature_moments, in.gta_use_feature_moments);
+  EXPECT_EQ(out.local_epochs, in.local_epochs);
+  EXPECT_EQ(out.batch_size, in.batch_size);
+  EXPECT_EQ(out.fail_dropout, in.fail_dropout);
+  EXPECT_EQ(out.fail_seed, in.fail_seed);
+}
+
+TEST(RpcTest, ChannelEchoesARequestResponseExchange) {
+  Loop loop = MakeLoop();
+  std::thread server([&] {
+    EvalRequestMsg req;
+    ASSERT_TRUE(ExpectMessage(loop.peer, &req).ok());
+    EvalResponseMsg resp;
+    resp.client_id = req.client_id;
+    resp.test_accuracy = 0.75;
+    resp.val_accuracy = 0.5;
+    ASSERT_TRUE(SendMessage(loop.peer, resp).ok());
+  });
+  RpcOptions options;
+  options.deadline_ms = 2000;
+  RpcChannel channel(std::move(loop.client), options);
+  ASSERT_TRUE(channel.ok());
+  EvalRequestMsg req;
+  req.client_id = 7;
+  req.weights = {1.0f, 2.0f};
+  EvalResponseMsg resp;
+  const Status called = channel.Call(req, &resp);
+  server.join();
+  ASSERT_TRUE(called.ok()) << called;
+  EXPECT_EQ(resp.client_id, 7);
+  EXPECT_EQ(resp.test_accuracy, 0.75);
+  EXPECT_TRUE(channel.ok());
+}
+
+TEST(RpcTest, BlownDeadlinePoisonsTheChannel) {
+  Loop loop = MakeLoop();
+  RpcOptions options;
+  options.deadline_ms = 100;
+  options.max_attempts = 3;
+  options.backoff_ms = 10;
+  RpcChannel channel(std::move(loop.client), options);
+  EvalRequestMsg req;
+  req.client_id = 1;
+  EvalResponseMsg resp;
+  // The peer never answers: the deadline expires and — because a late
+  // response would desynchronize the stream — there is no retry.
+  const Status first = channel.Call(req, &resp);
+  EXPECT_EQ(first.code(), StatusCode::kDeadlineExceeded) << first;
+  EXPECT_FALSE(channel.ok());
+  const Status second = channel.Call(req, &resp);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(RpcTest, ErrorMsgSurfacesAsFailedPreconditionWithText) {
+  Loop loop = MakeLoop();
+  std::thread server([&] {
+    ErrorMsg err;
+    err.message = "unknown strategy: gcfl+";
+    ASSERT_TRUE(SendMessage(loop.peer, err).ok());
+  });
+  ShutdownAckMsg ack;
+  const Status got = ExpectMessage(loop.client, &ack);
+  server.join();
+  ASSERT_EQ(got.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(got.ToString().find("unknown strategy"), std::string::npos);
+}
+
+TEST(RpcTest, TypeMismatchIsProtocolError) {
+  Loop loop = MakeLoop();
+  std::thread server([&] {
+    HelloMsg hello;
+    ASSERT_TRUE(SendMessage(loop.peer, hello).ok());
+  });
+  ShutdownAckMsg ack;
+  const Status got = ExpectMessage(loop.client, &ack);
+  server.join();
+  EXPECT_EQ(got.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RpcTest, ConnectWithRetryCountsRetriesAndGivesUp) {
+  int dead_port = 0;
+  {
+    Result<ServerSocket> server = ServerSocket::Listen(0);
+    ASSERT_TRUE(server.ok());
+    dead_port = server->port();
+  }
+  Counter& retries = GlobalMetrics().GetCounter("net.connect_retries");
+  const int64_t before = retries.value();
+  RpcOptions options;
+  options.max_attempts = 3;
+  options.backoff_ms = 5;
+  options.deadline_ms = 200;
+  Result<Socket> conn = ConnectWithRetry("127.0.0.1", dead_port, options);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_GE(retries.value() - before, 2);
+}
+
+TEST(RpcTest, MessageBytesAreCountedByTheFrameLayer) {
+  Counter& sent = GlobalMetrics().GetCounter("net.bytes_sent");
+  Counter& recv = GlobalMetrics().GetCounter("net.bytes_recv");
+  Counter& messages = GlobalMetrics().GetCounter("net.messages");
+  const int64_t sent0 = sent.value();
+  const int64_t recv0 = recv.value();
+  const int64_t messages0 = messages.value();
+
+  Loop loop = MakeLoop();
+  std::thread server([&] {
+    HelloMsg hello;
+    ASSERT_TRUE(ExpectMessage(loop.peer, &hello).ok());
+  });
+  HelloMsg hello;
+  ASSERT_TRUE(SendMessage(loop.client, hello).ok());
+  server.join();
+  EXPECT_GT(sent.value(), sent0);
+  EXPECT_GT(recv.value(), recv0);
+  EXPECT_GE(messages.value() - messages0, 2);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fedgta

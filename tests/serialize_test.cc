@@ -1,0 +1,139 @@
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace fedgta {
+namespace serialize {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// > 64 MiB of floats: the size class of a large-model weight upload. The
+// framer ships Encode()d buffers verbatim, so this is also the wire-payload
+// large-message test.
+std::vector<float> BigPayload() {
+  constexpr size_t kCount = 17u << 20;  // 17M floats = 68 MiB
+  std::vector<float> v(kCount);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i % 9973) * 0.25f - 100.0f;
+  }
+  return v;
+}
+
+TEST(SerializeTest, LargePayloadRoundTripsThroughBuffer) {
+  const std::vector<float> big = BigPayload();
+  Writer writer;
+  writer.WriteU64(big.size());
+  writer.WriteFloatVec(big);
+  writer.WriteString("trailer");
+
+  std::string encoded = writer.Encode();
+  EXPECT_GT(encoded.size(), 64u << 20);
+  Result<Reader> reader = Reader::FromBuffer(std::move(encoded));
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  uint64_t count = 0;
+  std::vector<float> got;
+  std::string trailer;
+  ASSERT_TRUE(reader->ReadU64(&count).ok());
+  ASSERT_TRUE(reader->ReadFloatVec(&got).ok());
+  ASSERT_TRUE(reader->ReadString(&trailer).ok());
+  EXPECT_TRUE(reader->AtEnd());
+  EXPECT_EQ(count, big.size());
+  EXPECT_EQ(trailer, "trailer");
+  EXPECT_EQ(got, big);
+}
+
+TEST(SerializeTest, LargePayloadRoundTripsThroughFile) {
+  const std::vector<float> big = BigPayload();
+  Writer writer;
+  writer.WriteFloatVec(big);
+  const std::string path = TempPath("fedgta_serialize_big.bin");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  Result<Reader> reader = Reader::FromFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  std::vector<float> got;
+  ASSERT_TRUE(reader->ReadFloatVec(&got).ok());
+  EXPECT_TRUE(reader->AtEnd());
+  EXPECT_EQ(got, big);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, EveryPrefixTruncationFailsCleanly) {
+  Writer writer;
+  writer.WriteU32(7);
+  writer.WriteString("partial read probe");
+  const std::vector<float> floats = {1.0f, 2.0f, 3.0f};
+  writer.WriteFloatVec(floats);
+  const std::string encoded = writer.Encode();
+
+  // A stream delivered byte-at-a-time can be cut anywhere; every prefix
+  // must validate as an error Status, never crash or half-load.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    Result<Reader> reader = Reader::FromBuffer(encoded.substr(0, len));
+    EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes validated";
+  }
+  EXPECT_TRUE(Reader::FromBuffer(encoded).ok());
+}
+
+TEST(SerializeTest, EverySingleByteFlipIsDetected) {
+  Writer writer;
+  writer.WriteI64(-42);
+  writer.WriteString("integrity");
+  const std::string encoded = writer.Encode();
+
+  // Magic/version/size corruption is caught structurally, payload and CRC
+  // corruption by the checksum. The only bytes allowed to validate are the
+  // header struct's alignment padding — and those must decode to the exact
+  // original content.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string corrupted = encoded;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x20);
+    Result<Reader> reader = Reader::FromBuffer(std::move(corrupted));
+    if (!reader.ok()) continue;
+    int64_t value = 0;
+    std::string text;
+    ASSERT_TRUE(reader->ReadI64(&value).ok()) << "flip at byte " << i;
+    ASSERT_TRUE(reader->ReadString(&text).ok()) << "flip at byte " << i;
+    EXPECT_TRUE(reader->AtEnd()) << "flip at byte " << i;
+    EXPECT_EQ(value, -42) << "flip at byte " << i << " altered content";
+    EXPECT_EQ(text, "integrity") << "flip at byte " << i << " altered content";
+  }
+}
+
+TEST(SerializeTest, OverReadIsOutOfRangeAndLeavesOutputUntouched) {
+  Writer writer;
+  writer.WriteU32(5);
+  Result<Reader> reader = Reader::FromBuffer(writer.Encode());
+  ASSERT_TRUE(reader.ok());
+  uint32_t small = 0;
+  ASSERT_TRUE(reader->ReadU32(&small).ok());
+  EXPECT_EQ(small, 5u);
+  uint64_t big = 0xABCDu;
+  EXPECT_EQ(reader->ReadU64(&big).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(big, 0xABCDu);
+}
+
+TEST(SerializeTest, VectorLengthBeyondBufferIsRejected) {
+  // Handcraft a payload whose float-vec claims more elements than the
+  // buffer holds; the length check must fire before any allocation.
+  Writer writer;
+  writer.WriteU64(1ull << 60);  // absurd element count, nothing follows
+  Result<Reader> reader = Reader::FromBuffer(writer.Encode());
+  ASSERT_TRUE(reader.ok());
+  std::vector<float> v;
+  EXPECT_FALSE(reader->ReadFloatVec(&v).ok());
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace serialize
+}  // namespace fedgta
