@@ -2,11 +2,14 @@
 // SpMM, label propagation, moments, Louvain, and METIS-style partitioning.
 // These back the Table 1 / §4.5 discussion with kernel-level numbers.
 //
-// Before the google-benchmark suite, main() runs a thread-scaling sweep
-// (1/2/4/8 pool threads) over GEMM, SpMM, and full federated rounds, and
-// writes the results to BENCH_parallel.json — the machine-readable artifact
-// behind the parallel round-executor speedup claims (see DESIGN.md
-// "Execution engine").
+// Before the google-benchmark suite, main() runs two sweeps:
+//  * a kernel-backend sweep (reference/blocked/simd) over GEMM and SpMM,
+//    written to BENCH_kernels_backends.json — the artifact behind the
+//    backend speedup claims (see DESIGN.md "Kernel backends");
+//  * a thread-scaling sweep (1/2/4/8 pool threads) over GEMM, SpMM, and
+//    full federated rounds, written to BENCH_parallel.json — the artifact
+//    behind the parallel round-executor claims (see DESIGN.md "Execution
+//    engine").
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +22,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "linalg/backend.h"
 #include "core/label_propagation.h"
 #include "core/moments.h"
 #include "data/federated.h"
@@ -247,10 +251,87 @@ void RunThreadScalingSweep(const char* out_path) {
   std::printf("thread-scaling sweep written to %s\n\n", out_path);
 }
 
+// ---------------------------------------------------------------------------
+// Backend sweep: GEMM (512³) and SpMM (32k nodes, 64 features) timed under
+// every registered kernel backend at the default thread count. The JSON
+// artifact backs the backend speedup claims in DESIGN.md "Kernel backends".
+
+struct BackendPoint {
+  std::string name;
+  std::string description;
+  double gemm_ms = 0.0;
+  double gemm_gflops = 0.0;
+  double spmm_ms = 0.0;
+};
+
+void RunBackendSweep(const char* out_path) {
+  const bool full = std::getenv("FEDGTA_BENCH_MODE") != nullptr &&
+                    std::string(std::getenv("FEDGTA_BENCH_MODE")) == "full";
+  const int reps = full ? 7 : 3;
+
+  const int64_t gemm_n = 512;
+  Rng rng(13);
+  Matrix a(gemm_n, gemm_n), b(gemm_n, gemm_n), c(gemm_n, gemm_n);
+  a.GaussianInit(rng, 1.0f);
+  b.GaussianInit(rng, 1.0f);
+
+  LabeledGraph lg = MakeGraph(32000, 14);
+  const CsrMatrix adj = NormalizedAdjacency(lg.graph);
+  Matrix x(32000, 64);
+  x.GaussianInit(rng, 1.0f);
+  Matrix spmm_out;
+
+  const double gemm_flops = 2.0 * static_cast<double>(gemm_n) *
+                            static_cast<double>(gemm_n) *
+                            static_cast<double>(gemm_n);
+
+  std::vector<BackendPoint> points;
+  for (const std::string& name : linalg::ListBackends()) {
+    linalg::ScopedBackend scoped(name);
+    BackendPoint p;
+    p.name = name;
+    p.description = linalg::ActiveBackend().description();
+    p.gemm_ms = 1e3 * MedianSeconds(
+                          [&] {
+                            Gemm(a, Transpose::kNo, b, Transpose::kNo, 1.0f,
+                                 0.0f, &c);
+                          },
+                          reps);
+    p.gemm_gflops = gemm_flops / (p.gemm_ms * 1e-3) * 1e-9;
+    p.spmm_ms = 1e3 * MedianSeconds([&] { adj.Multiply(x, &spmm_out); }, reps);
+    points.push_back(p);
+    std::printf("backend=%-22s gemm(512^3)=%.2fms (%.1f GFLOP/s)  "
+                "spmm(32k,64)=%.2fms\n",
+                p.description.c_str(), p.gemm_ms, p.gemm_gflops, p.spmm_ms);
+    std::fflush(stdout);
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s, skipping JSON dump\n", out_path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"backends\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BackendPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"description\": \"%s\", "
+                 "\"gemm_ms\": %.4f, \"gemm_gflops\": %.2f, "
+                 "\"spmm_ms\": %.4f}%s\n",
+                 p.name.c_str(), p.description.c_str(), p.gemm_ms,
+                 p.gemm_gflops, p.spmm_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("backend sweep written to %s\n\n", out_path);
+}
+
 }  // namespace
 }  // namespace fedgta
 
 int main(int argc, char** argv) {
+  std::printf("== kernel-backend sweep (reference/blocked/simd) ==\n");
+  fedgta::RunBackendSweep("BENCH_kernels_backends.json");
   std::printf("== thread-scaling sweep (shared pool: 1/2/4/8 threads) ==\n");
   fedgta::RunThreadScalingSweep("BENCH_parallel.json");
   benchmark::Initialize(&argc, argv);

@@ -34,6 +34,15 @@ if [[ -n "${CTEST_LABEL:-}" ]]; then
 fi
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
+# Every kernel backend must pass the fast tier, not just the default one:
+# FEDGTA_BACKEND is read at first dispatch, so the same binaries re-run
+# with each backend selected (see src/linalg/backend.h).
+for backend in reference blocked simd; do
+  echo "== fast tier under FEDGTA_BACKEND=$backend =="
+  FEDGTA_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -j"$JOBS" -L fast
+done
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -5,173 +5,37 @@
 // Start the matching number of fedgta_worker processes pointed at the same
 // port; the server accepts them, ships the experiment config, and runs the
 // rounds. With healthy workers the result is bit-identical to running the
-// same configuration in-process (see DESIGN.md §5e).
+// same configuration in-process (see DESIGN.md §5e). Flag parsing and
+// validation are shared with run_experiment / fedgta_worker
+// (src/eval/cli.h).
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "eval/cli.h"
 #include "fed/remote_coordinator.h"
-#include "obs/metrics.h"
-
-namespace {
+#include "linalg/backend.h"
 
 using namespace fedgta;
 
-struct Flags {
-  int port = 5714;
-  int workers = 1;
-  std::string dataset = "cora";
-  std::string model = "gamlp";
-  std::string strategy = "fedgta";
-  std::string split = "louvain";
-  std::string metrics_json;
-  int clients = 10;
-  int rounds = 50;
-  int epochs = 3;
-  int hidden = 64;
-  int k = 3;
-  int batch = 0;
-  double participation = 1.0;
-  double epsilon = 0.3;
-  uint64_t seed = 42;
-  double fail_dropout = 0.0;
-  double fail_straggler = 0.0;
-  double fail_crash = 0.0;
-  uint64_t fail_seed = 0xFA11;
-  int deadline_ms = 120000;
-  int accept_timeout_ms = 60000;
-};
-
-void PrintHelp() {
-  std::printf(
-      "fedgta_server — distributed FedGTA coordinator\n\n"
-      "  --port=N              listening port, 0 = ephemeral (default 5714)\n"
-      "  --workers=N           worker processes to accept (default 1)\n"
-      "  --dataset=NAME        dataset recipe shipped to workers\n"
-      "  --model=NAME          gcn sage sgc sign s2gc gbp gamlp\n"
-      "  --strategy=NAME       fedavg fedprox fedgta local (remote-executable "
-      "set)\n"
-      "  --split=METHOD        louvain | metis\n"
-      "  --clients=N           number of clients (default 10)\n"
-      "  --rounds=N            federated rounds (default 50)\n"
-      "  --epochs=N            local epochs per round (default 3)\n"
-      "  --hidden=N            hidden width (default 64)\n"
-      "  --k=N                 propagation steps (default 3)\n"
-      "  --batch=N             minibatch size, 0 = full-batch (default 0)\n"
-      "  --participation=F     fraction of clients per round (default 1.0)\n"
-      "  --epsilon=F           FedGTA similarity threshold (default 0.3)\n"
-      "  --seed=N              RNG seed (default 42)\n"
-      "  --deadline_ms=N       per-RPC straggler deadline (default 120000)\n"
-      "  --accept_timeout_ms=N wait per worker connection (default 60000)\n"
-      "  --fail_dropout=F      injected dropout probability (default 0)\n"
-      "  --fail_straggler=F    injected straggler probability (default 0)\n"
-      "  --fail_crash=F        injected crash probability (default 0)\n"
-      "  --fail_seed=N         failure-injection seed (default 0xFA11)\n"
-      "  --metrics_json=PATH   write the metrics-registry JSON dump\n");
-}
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  const std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      PrintHelp();
-      return 0;
-    } else if (ParseFlag(argv[i], "port", &value)) {
-      flags.port = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "workers", &value)) {
-      flags.workers = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "dataset", &value)) {
-      flags.dataset = value;
-    } else if (ParseFlag(argv[i], "model", &value)) {
-      flags.model = value;
-    } else if (ParseFlag(argv[i], "strategy", &value)) {
-      flags.strategy = value;
-    } else if (ParseFlag(argv[i], "split", &value)) {
-      flags.split = value;
-    } else if (ParseFlag(argv[i], "metrics_json", &value)) {
-      flags.metrics_json = value;
-    } else if (ParseFlag(argv[i], "clients", &value)) {
-      flags.clients = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "rounds", &value)) {
-      flags.rounds = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "epochs", &value)) {
-      flags.epochs = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "hidden", &value)) {
-      flags.hidden = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "k", &value)) {
-      flags.k = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "batch", &value)) {
-      flags.batch = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "participation", &value)) {
-      flags.participation = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "epsilon", &value)) {
-      flags.epsilon = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "seed", &value)) {
-      flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(argv[i], "deadline_ms", &value)) {
-      flags.deadline_ms = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "accept_timeout_ms", &value)) {
-      flags.accept_timeout_ms = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_dropout", &value)) {
-      flags.fail_dropout = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_straggler", &value)) {
-      flags.fail_straggler = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_crash", &value)) {
-      flags.fail_crash = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_seed", &value)) {
-      flags.fail_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return 1;
-    }
-  }
-
-  const Result<ModelType> model = ParseModelType(flags.model);
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+  const Result<cli::ExperimentCli> parsed =
+      cli::ParseAndValidate(cli::Role::kServer, argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  const Result<SplitMethod> split = ParseSplitMethod(flags.split);
-  if (!split.ok()) {
-    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+  if (parsed->help) {
+    std::fputs(cli::HelpText(cli::Role::kServer).c_str(), stdout);
+    return 0;
+  }
+  if (const Status status = cli::ApplyRuntimeOptions(*parsed); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
 
-  RemoteFedConfig config;
-  config.dataset = flags.dataset;
-  config.seed = flags.seed;
-  config.split.method = *split;
-  config.split.num_clients = flags.clients;
-  config.model.type = *model;
-  config.model.hidden = flags.hidden;
-  config.model.k = flags.k;
-  config.strategy = flags.strategy;
-  config.strategy_options.fedgta.epsilon = flags.epsilon;
-  config.sim.rounds = flags.rounds;
-  config.sim.local_epochs = flags.epochs;
-  config.sim.batch_size = flags.batch;
-  config.sim.participation = flags.participation;
-  config.sim.eval_every = std::max(1, flags.rounds / 20);
-  config.sim.failure.dropout_rate = flags.fail_dropout;
-  config.sim.failure.straggler_rate = flags.fail_straggler;
-  config.sim.failure.crash_rate = flags.fail_crash;
-  config.sim.failure.seed = flags.fail_seed;
-  config.num_workers = flags.workers;
-  config.rpc.deadline_ms = flags.deadline_ms;
-  config.accept_timeout_ms = flags.accept_timeout_ms;
+  const cli::ExperimentCli& flags = *parsed;
+  const RemoteFedConfig config = flags.ToRemoteConfig();
 
   RemoteCoordinator coordinator(config);
   if (const Status status = coordinator.Listen(flags.port); !status.ok()) {
@@ -180,10 +44,12 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "listening on port %d, waiting for %d worker(s)\n"
-      "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs\n",
+      "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs | "
+      "backend %s\n",
       coordinator.port(), flags.workers, flags.dataset.c_str(),
       flags.model.c_str(), flags.strategy.c_str(), flags.split.c_str(),
-      flags.clients, flags.rounds, flags.epochs);
+      flags.clients, flags.rounds, flags.epochs,
+      linalg::ActiveBackend().description().c_str());
 
   const Result<SimulationResult> result = coordinator.Run();
   if (!result.ok()) {

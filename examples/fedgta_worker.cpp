@@ -5,82 +5,33 @@
 // The worker dials the server (retrying with backoff, so it may be started
 // before the server), receives the experiment config plus its hosted client
 // ids, materializes the deterministic dataset locally, and serves train /
-// eval requests until the server says Shutdown.
+// eval requests until the server says Shutdown. Flag parsing and validation
+// are shared with run_experiment / fedgta_server (src/eval/cli.h).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "common/thread_pool.h"
+#include "eval/cli.h"
 #include "fed/remote_client_runner.h"
-
-namespace {
 
 using namespace fedgta;
 
-void PrintHelp() {
-  std::printf(
-      "fedgta_worker — distributed FedGTA worker process\n\n"
-      "  --host=ADDR           server address (default 127.0.0.1)\n"
-      "  --port=N              server port (default 5714)\n"
-      "  --deadline_ms=N       handshake receive deadline (default 120000)\n"
-      "  --connect_attempts=N  dial attempts with backoff (default 20)\n"
-      "  --idle_timeout_ms=N   serve-loop receive timeout, 0 = wait forever\n"
-      "                        (default 0)\n"
-      "  --max_train_requests=N  exit abruptly after N train responses, like\n"
-      "                        a killed process (fault-injection testing;\n"
-      "                        0 = disabled)\n"
-      "  --num_threads=N       worker threads for the shared pool; 0 =\n"
-      "                        FEDGTA_NUM_THREADS env, else hardware default\n");
-}
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  const std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  RemoteRunnerOptions options;
-  options.port = 5714;
-  options.rpc.deadline_ms = 120000;
-  options.rpc.max_attempts = 20;
-  int num_threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      PrintHelp();
-      return 0;
-    } else if (ParseFlag(argv[i], "host", &value)) {
-      options.host = value;
-    } else if (ParseFlag(argv[i], "port", &value)) {
-      options.port = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "deadline_ms", &value)) {
-      options.rpc.deadline_ms = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "connect_attempts", &value)) {
-      options.rpc.max_attempts = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "idle_timeout_ms", &value)) {
-      options.idle_timeout_ms = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "max_train_requests", &value)) {
-      options.max_train_requests = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "num_threads", &value)) {
-      num_threads = std::atoi(value.c_str());
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return 1;
-    }
-  }
-  if (num_threads < 0) {
-    std::fprintf(stderr, "--num_threads must be >= 0\n");
+  const Result<cli::ExperimentCli> parsed =
+      cli::ParseAndValidate(cli::Role::kWorker, argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  if (num_threads > 0) SetGlobalThreadPoolSize(num_threads);
+  if (parsed->help) {
+    std::fputs(cli::HelpText(cli::Role::kWorker).c_str(), stdout);
+    return 0;
+  }
+  if (const Status status = cli::ApplyRuntimeOptions(*parsed); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
 
-  RemoteClientRunner runner(options);
+  RemoteClientRunner runner(parsed->ToRunnerOptions());
   const Status status = runner.Run();
   if (!status.ok()) {
     std::fprintf(stderr, "worker failed: %s\n", status.ToString().c_str());

@@ -2,307 +2,49 @@
 //
 //   run_experiment --dataset=cora --model=gamlp --strategy=fedgta \
 //       --clients=10 --split=louvain --rounds=50 --repeats=3 \
-//       --csv=/tmp/curve.csv
+//       --backend=simd --csv=/tmp/curve.csv
 //
-// Run with --help for the full flag list.
+// Run with --help for the full flag list. Flag parsing and validation are
+// shared with fedgta_server / fedgta_worker (src/eval/cli.h).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "common/serialize.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "fed/simulation.h"
+#include "eval/cli.h"
 #include "eval/csv.h"
 #include "eval/experiment.h"
+#include "linalg/backend.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
-namespace {
-
 using namespace fedgta;
 
-struct Flags {
-  std::string dataset = "cora";
-  std::string model = "gamlp";
-  std::string strategy = "fedgta";
-  std::string split = "louvain";
-  std::string csv;
-  std::string metrics_json;
-  std::string trace_out;
-  std::string checkpoint_dir;
-  int checkpoint_every = 0;
-  bool resume = false;
-  int halt_after_round = 0;
-  double fail_dropout = 0.0;
-  double fail_straggler = 0.0;
-  double fail_crash = 0.0;
-  uint64_t fail_seed = 0xFA11;
-  int clients = 10;
-  int rounds = 50;
-  int epochs = 3;
-  int hidden = 64;
-  int k = 3;
-  int batch = 0;
-  int repeats = 1;
-  double participation = 1.0;
-  double epsilon = 0.3;
-  uint64_t seed = 42;
-  int num_threads = 0;  // 0 = FEDGTA_NUM_THREADS env / hardware default
-  bool adaptive_epsilon = false;
-  bool feature_moments = false;
-};
-
-void PrintHelp() {
-  std::printf(
-      "run_experiment — federated graph learning from the command line\n\n"
-      "  --dataset=NAME        one of:");
-  for (const std::string& name : ListDatasets()) {
-    std::printf(" %s", name.c_str());
-  }
-  std::printf(
-      "\n  --model=NAME          gcn sage sgc sign s2gc gbp gamlp\n"
-      "  --strategy=NAME       fedavg fedprox scaffold moon feddc gcfl+ "
-      "fedgta local\n"
-      "  --split=METHOD        louvain | metis\n"
-      "  --clients=N           number of clients (default 10)\n"
-      "  --rounds=N            federated rounds (default 50)\n"
-      "  --epochs=N            local epochs per round (default 3)\n"
-      "  --hidden=N            hidden width (default 64)\n"
-      "  --k=N                 propagation steps (default 3)\n"
-      "  --participation=F     fraction of clients per round (default 1.0)\n"
-      "  --batch=N             minibatch size, 0 = full-batch (default 0)\n"
-      "  --epsilon=F           FedGTA similarity threshold (default 0.3)\n"
-      "  --adaptive-epsilon    use the adaptive-ε extension\n"
-      "  --feature-moments     use the FedGTA+feat extension\n"
-      "  --repeats=N           independent runs (default 1)\n"
-      "  --seed=N              base RNG seed (default 42)\n"
-      "  --num_threads=N       worker threads for the shared pool (client\n"
-      "                        dispatch + GEMM/SpMM); 0 = FEDGTA_NUM_THREADS\n"
-      "                        env var, else hardware concurrency. Results\n"
-      "                        are identical for any value (default 0)\n"
-      "  --csv=PATH            write the first run's curve as CSV\n"
-      "  --metrics_json=PATH   write the metrics-registry JSON dump\n"
-      "                        (per-phase timers: spmm, gemm, "
-      "label_propagation,\n"
-      "                        moments, aggregation, ...; per-round "
-      "client/server\n"
-      "                        seconds; communication counters)\n"
-      "  --trace_out=PATH      enable tracing and write a Chrome trace-event\n"
-      "                        JSON timeline (open in chrome://tracing or\n"
-      "                        ui.perfetto.dev)\n"
-      "  --checkpoint_dir=DIR  write <DIR>/checkpoint.ckpt atomically every\n"
-      "                        --checkpoint_every rounds (with --repeats>1,\n"
-      "                        per-repeat subdirectories rep0, rep1, ...)\n"
-      "  --checkpoint_every=N  checkpoint cadence in rounds; <=0 = every\n"
-      "                        round (default 0)\n"
-      "  --resume              resume from an existing checkpoint in\n"
-      "                        --checkpoint_dir; the resumed run is\n"
-      "                        bit-identical to an uninterrupted one\n"
-      "  --halt_after_round=N  stop after N rounds (checkpointing first);\n"
-      "                        emulates a mid-run kill for resume testing\n"
-      "  --fail_dropout=F      per-(round,client) dropout probability:\n"
-      "                        sampled but never reports (default 0)\n"
-      "  --fail_straggler=F    straggler probability: trains fully but the\n"
-      "                        result arrives too late and is discarded\n"
-      "  --fail_crash=F        crash probability: dies mid-round after\n"
-      "                        ceil(epochs/2) local epochs, result discarded\n"
-      "  --fail_seed=N         failure-injection seed, independent of --seed\n"
-      "                        (default 0xFA11)\n");
-}
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  const std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Flags flags;
-  bool num_threads_given = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      PrintHelp();
-      return 0;
-    } else if (std::strcmp(argv[i], "--adaptive-epsilon") == 0) {
-      flags.adaptive_epsilon = true;
-    } else if (std::strcmp(argv[i], "--feature-moments") == 0) {
-      flags.feature_moments = true;
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      flags.resume = true;
-    } else if (ParseFlag(argv[i], "checkpoint_dir", &value)) {
-      flags.checkpoint_dir = value;
-    } else if (ParseFlag(argv[i], "checkpoint_every", &value)) {
-      flags.checkpoint_every = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "halt_after_round", &value)) {
-      flags.halt_after_round = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_dropout", &value)) {
-      flags.fail_dropout = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_straggler", &value)) {
-      flags.fail_straggler = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_crash", &value)) {
-      flags.fail_crash = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "fail_seed", &value)) {
-      flags.fail_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(argv[i], "dataset", &value)) {
-      flags.dataset = value;
-    } else if (ParseFlag(argv[i], "model", &value)) {
-      flags.model = value;
-    } else if (ParseFlag(argv[i], "strategy", &value)) {
-      flags.strategy = value;
-    } else if (ParseFlag(argv[i], "split", &value)) {
-      flags.split = value;
-    } else if (ParseFlag(argv[i], "csv", &value)) {
-      flags.csv = value;
-    } else if (ParseFlag(argv[i], "metrics_json", &value)) {
-      flags.metrics_json = value;
-    } else if (ParseFlag(argv[i], "trace_out", &value)) {
-      flags.trace_out = value;
-    } else if (ParseFlag(argv[i], "clients", &value)) {
-      flags.clients = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "rounds", &value)) {
-      flags.rounds = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "epochs", &value)) {
-      flags.epochs = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "hidden", &value)) {
-      flags.hidden = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "k", &value)) {
-      flags.k = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "repeats", &value)) {
-      flags.repeats = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "batch", &value)) {
-      flags.batch = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "participation", &value)) {
-      flags.participation = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "epsilon", &value)) {
-      flags.epsilon = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "seed", &value)) {
-      flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(argv[i], "num_threads", &value)) {
-      flags.num_threads = std::atoi(value.c_str());
-      num_threads_given = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return 1;
-    }
-  }
-
-  // An explicit --num_threads must name a usable pool size; only the
-  // absent-flag default 0 means "FEDGTA_NUM_THREADS env / hardware".
-  if (num_threads_given && flags.num_threads < 1) {
-    std::fprintf(stderr, "--num_threads must be >= 1 (omit the flag for the "
-                         "hardware default)\n");
+  const Result<cli::ExperimentCli> parsed =
+      cli::ParseAndValidate(cli::Role::kRunExperiment, argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  if (flags.clients < 1) {
-    std::fprintf(stderr, "--clients must be >= 1\n");
-    return 1;
+  if (parsed->help) {
+    std::fputs(cli::HelpText(cli::Role::kRunExperiment).c_str(), stdout);
+    return 0;
   }
-  if (flags.rounds < 1) {
-    std::fprintf(stderr, "--rounds must be >= 1\n");
-    return 1;
-  }
-  if (flags.epochs < 1) {
-    std::fprintf(stderr, "--epochs must be >= 1\n");
-    return 1;
-  }
-  if (flags.repeats < 1) {
-    std::fprintf(stderr, "--repeats must be >= 1\n");
-    return 1;
-  }
-  if (flags.batch < 0) {
-    std::fprintf(stderr, "--batch must be >= 0 (0 = full-batch)\n");
-    return 1;
-  }
-  if (flags.participation <= 0.0 || flags.participation > 1.0) {
-    std::fprintf(stderr, "--participation must be in (0, 1]\n");
-    return 1;
-  }
-  if (flags.num_threads > 0) SetGlobalThreadPoolSize(flags.num_threads);
-  if (flags.fail_dropout < 0.0 || flags.fail_straggler < 0.0 ||
-      flags.fail_crash < 0.0 ||
-      flags.fail_dropout + flags.fail_straggler + flags.fail_crash > 1.0) {
-    std::fprintf(stderr,
-                 "failure rates must be >= 0 and sum to at most 1\n");
-    return 1;
-  }
-  if (flags.resume && flags.checkpoint_dir.empty()) {
-    std::fprintf(stderr, "--resume requires --checkpoint_dir\n");
-    return 1;
-  }
-  if (flags.resume) {
-    // Fail up front on an unreadable or corrupted checkpoint (bad magic,
-    // version, truncation, CRC) rather than after dataset setup. A missing
-    // file is fine — the run starts fresh and writes one.
-    const std::string ckpt = Simulation::CheckpointPath(flags.checkpoint_dir);
-    Result<serialize::Reader> probe = serialize::Reader::FromFile(ckpt);
-    if (!probe.ok() && probe.status().code() != StatusCode::kNotFound) {
-      std::fprintf(stderr, "cannot resume: %s\n",
-                   probe.status().ToString().c_str());
-      return 1;
-    }
-  }
-
-  const Result<ModelType> model = ParseModelType(flags.model);
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-    return 1;
-  }
-  const Result<SplitMethod> split = ParseSplitMethod(flags.split);
-  if (!split.ok()) {
-    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
-    return 1;
-  }
-  if (!GetDatasetSpec(flags.dataset).ok()) {
-    std::fprintf(stderr, "unknown dataset: %s (try --help)\n",
-                 flags.dataset.c_str());
+  if (const Status status = cli::ApplyRuntimeOptions(*parsed); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
 
-  ExperimentConfig config;
-  config.dataset = flags.dataset;
-  config.strategy = flags.strategy;
-  config.model.type = *model;
-  config.model.hidden = flags.hidden;
-  config.model.k = flags.k;
-  config.split.method = *split;
-  config.split.num_clients = flags.clients;
-  config.sim.rounds = flags.rounds;
-  config.sim.local_epochs = flags.epochs;
-  config.sim.batch_size = flags.batch;
-  config.sim.participation = flags.participation;
-  config.sim.eval_every = std::max(1, flags.rounds / 20);
-  config.sim.checkpoint_dir = flags.checkpoint_dir;
-  config.sim.checkpoint_every = flags.checkpoint_every;
-  config.sim.resume = flags.resume;
-  config.sim.halt_after_round = flags.halt_after_round;
-  config.sim.failure.dropout_rate = flags.fail_dropout;
-  config.sim.failure.straggler_rate = flags.fail_straggler;
-  config.sim.failure.crash_rate = flags.fail_crash;
-  config.sim.failure.seed = flags.fail_seed;
-  config.repeats = flags.repeats;
-  config.seed = flags.seed;
-  config.strategy_options.fedgta.epsilon = flags.epsilon;
-  config.strategy_options.fedgta.adaptive_epsilon = flags.adaptive_epsilon;
-  config.strategy_options.fedgta.use_feature_moments = flags.feature_moments;
+  const cli::ExperimentCli& flags = *parsed;
+  const ExperimentConfig config = flags.ToExperimentConfig();
 
-  // Validate the strategy name before paying for dataset generation.
-  if (!MakeStrategy(flags.strategy, config.strategy_options).ok()) {
-    std::fprintf(stderr, "unknown strategy: %s (try --help)\n",
-                 flags.strategy.c_str());
-    return 1;
-  }
-
-  std::printf("%s | %s | %s | %s split | %d clients | %d rounds x %d epochs\n",
-              flags.dataset.c_str(), flags.model.c_str(),
-              flags.strategy.c_str(), flags.split.c_str(), flags.clients,
-              flags.rounds, flags.epochs);
+  std::printf(
+      "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs | "
+      "backend %s\n",
+      flags.dataset.c_str(), flags.model.c_str(), flags.strategy.c_str(),
+      flags.split.c_str(), flags.clients, flags.rounds, flags.epochs,
+      linalg::ActiveBackend().description().c_str());
   if (!flags.trace_out.empty()) EnableTracing();
   const ExperimentResult result = RunExperiment(config);
   std::printf(

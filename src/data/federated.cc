@@ -83,7 +83,7 @@ FederatedDataset BuildFederatedDataset(Dataset dataset,
     client.num_classes = dataset.num_classes;
     client.sub = InduceSubgraph(dataset.graph, nodes);
     const int64_t n_local = client.sub.graph.num_nodes();
-    client.features.Resize(n_local, dataset.features.cols());
+    client.features.ResizeDiscard(n_local, dataset.features.cols());
     client.labels.resize(static_cast<size_t>(n_local));
     for (int64_t i = 0; i < n_local; ++i) {
       const NodeId g = client.sub.global_ids[static_cast<size_t>(i)];

@@ -26,7 +26,7 @@ FedGlCoordinator::FedGlCoordinator(const FederatedDataset* data,
     if (list.size() >= 2) holders_.emplace(g, std::move(list));
   }
   for (const ClientData& client : data->clients) {
-    targets_[static_cast<size_t>(client.client_id)].Resize(
+    targets_[static_cast<size_t>(client.client_id)].ResizeDiscard(
         client.num_nodes(), client.num_classes);
   }
 }

@@ -24,7 +24,11 @@ class FedGtaStrategy : public Strategy {
                  const std::vector<LocalResult>& results) override;
   /// Clients upload weights plus H/M (both carried by the wire protocol);
   /// Eq. 6-7 aggregation stays on the server — remotable.
-  bool RemoteExecutable() const override { return true; }
+  StrategyCapabilities Capabilities() const override {
+    return {.remote_executable = true,
+            .needs_server_state = false,
+            .uploads_topology_metrics = true};
+  }
   /// Saves/restores the personalized model table plus the last round's
   /// confidence (H) uploads and aggregation sets, so a resumed server
   /// serves exactly the weights the killed one would have.

@@ -18,7 +18,9 @@ class FedProxStrategy : public Strategy {
                  const std::vector<LocalResult>& results) override;
   /// The proximal anchor is the downloaded global weights, so the grad hook
   /// is a pure function of the download — remotable.
-  bool RemoteExecutable() const override { return true; }
+  StrategyCapabilities Capabilities() const override {
+    return {.remote_executable = true, .needs_server_state = false};
+  }
 
  private:
   float mu_;

@@ -53,16 +53,16 @@ GenSupervision BuildSupervision(const ClientData& client, double hide_fraction,
   }
 
   GenSupervision sup;
-  sup.observed_features.Resize(static_cast<int64_t>(observed.size()), f);
-  sup.degree_targets.Resize(static_cast<int64_t>(observed.size()), 1);
+  sup.observed_features.ResizeDiscard(static_cast<int64_t>(observed.size()), f);
+  sup.degree_targets.ResizeDiscard(static_cast<int64_t>(observed.size()), 1);
   for (size_t i = 0; i < observed.size(); ++i) {
     const auto src = client.features.Row(observed[i]);
     std::copy(src.begin(), src.end(),
               sup.observed_features.Row(static_cast<int64_t>(i)).begin());
     sup.degree_targets(static_cast<int64_t>(i), 0) = deg_target[i];
   }
-  sup.positive_features.Resize(static_cast<int64_t>(positive.size()), f);
-  sup.feature_targets.Resize(static_cast<int64_t>(positive.size()), f);
+  sup.positive_features.ResizeDiscard(static_cast<int64_t>(positive.size()), f);
+  sup.feature_targets.ResizeDiscard(static_cast<int64_t>(positive.size()), f);
   for (size_t i = 0; i < positive.size(); ++i) {
     const auto src = client.features.Row(positive[i]);
     std::copy(src.begin(), src.end(),
@@ -211,7 +211,7 @@ std::vector<ClientData> FedSageAugment(const std::vector<ClientData>& clients,
     const int64_t n_total = client.sub.graph.num_nodes() + n_new;
     out.sub.graph = Graph::FromEdges(static_cast<NodeId>(n_total), new_edges);
     out.sub.global_ids.resize(static_cast<size_t>(n_total), NodeId{-1});
-    out.features.Resize(n_total, f);
+    out.features.ResizeDiscard(n_total, f);
     for (int64_t i = 0; i < client.num_nodes(); ++i) {
       const auto src = client.features.Row(i);
       std::copy(src.begin(), src.end(), out.features.Row(i).begin());

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "fed/client.h"
 #include "fed/failure.h"
+#include "fed/strategy.h"
 
 namespace fedgta {
 namespace {
@@ -79,8 +80,20 @@ Status RemoteClientRunner::Run() {
 
   const FailurePlan plan(setup.failure);
   const bool failures = setup.failure.enabled();
+  // What this worker must do per upload is a capability of the strategy,
+  // not a name to string-match. SetupFromWireConfig already validated the
+  // strategy and its remote-executability, so the probe cannot fail here.
+  StrategyOptions probe_options;
+  probe_options.prox_mu = setup.prox_mu;
+  probe_options.fedgta = setup.gta;
+  Result<std::unique_ptr<Strategy>> probe =
+      MakeStrategy(setup.strategy, probe_options);
+  FEDGTA_RETURN_IF_ERROR(probe.status());
+  const StrategyCapabilities caps = (*probe)->Capabilities();
+  // The proximal hook is re-implemented at the wire level (the worker never
+  // instantiates the server-side Strategy for training), so the hook
+  // install still keys on the wire identity.
   const bool is_fedprox = setup.strategy == "fedprox";
-  const bool is_fedgta = setup.strategy == "fedgta";
 
   FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.idle_timeout_ms));
   int train_responses = 0;
@@ -138,7 +151,7 @@ Status RemoteClientRunner::Run() {
             resp.loss = loss;
             resp.num_samples = client.num_train();
             resp.weights = client.GetParams();
-            if (is_fedgta) {
+            if (caps.uploads_topology_metrics) {
               ClientMetrics metrics = client.ComputeFedGtaMetrics(setup.gta);
               resp.confidence = metrics.confidence;
               resp.moments = std::move(metrics.moments);

@@ -93,7 +93,7 @@ Status SetupFromWireConfig(const net::WireFedConfig& wire,
   Result<std::unique_ptr<Strategy>> probe =
       MakeStrategy(wire.strategy, strategy_options);
   FEDGTA_RETURN_IF_ERROR(probe.status());
-  if (!(*probe)->RemoteExecutable()) {
+  if (!(*probe)->Capabilities().remote_executable) {
     return FailedPreconditionError(
         "strategy '" + wire.strategy +
         "' mutates per-client server state inside TrainClient and cannot "

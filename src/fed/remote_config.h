@@ -64,7 +64,7 @@ struct WorkerSetup {
 /// Parses and validates a wire config, then materializes the deterministic
 /// federated dataset exactly as the server (and RunExperiment) would.
 /// Unknown dataset/model/split/optimizer/strategy names are InvalidArgument;
-/// a strategy that is not Strategy::RemoteExecutable() is a
+/// a strategy whose Capabilities() are not remote-executable is a
 /// FailedPrecondition.
 Status SetupFromWireConfig(const net::WireFedConfig& wire, WorkerSetup* setup);
 

@@ -60,7 +60,7 @@ Status RemoteCoordinator::Handshake() {
   Result<std::unique_ptr<Strategy>> strategy =
       MakeStrategy(config_.strategy, config_.strategy_options);
   FEDGTA_RETURN_IF_ERROR(strategy.status());
-  if (!(*strategy)->RemoteExecutable()) {
+  if (!(*strategy)->Capabilities().remote_executable) {
     return FailedPreconditionError(
         "strategy '" + config_.strategy +
         "' mutates per-client server state inside TrainClient and cannot "

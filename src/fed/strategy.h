@@ -44,6 +44,28 @@ struct StrategyOptions {
   FedGtaOptions fedgta;
 };
 
+/// Static, per-strategy facts the distributed coordinator, wire protocol,
+/// and workers need before any round runs. Collected in one struct so the
+/// next strategy (or the next fact) is a field here, not a new virtual
+/// threaded through remote_config.cc / remote_coordinator.cc /
+/// remote_client_runner.cc.
+struct StrategyCapabilities {
+  /// TrainClient reduces to SetParams → TrainLocal (with hooks that are
+  /// pure functions of the download) → upload, with every cross-round table
+  /// living on the server — safe to run on a remote worker that holds
+  /// nothing but the downloaded weights plus wire-shipped hyperparameters.
+  bool remote_executable = false;
+  /// TrainClient mutates per-client *server* state (Scaffold control
+  /// variates, MOON snapshots, FedDC drift, GCFL+ gradient windows). The
+  /// distributed coordinator rejects such strategies up front (see
+  /// DESIGN.md §5e for the extension path).
+  bool needs_server_state = true;
+  /// Healthy uploads carry FedGTA's topology metrics — confidence H and
+  /// moments M (Algorithm 1 line 11) — alongside the weights; remote
+  /// workers must compute and ship them.
+  bool uploads_topology_metrics = false;
+};
+
 /// A federated optimization strategy: decides which weights each client
 /// starts a round from, how local training is modified, and how uploads are
 /// aggregated. Personalized strategies (FedGTA, GCFL+, local-only) serve
@@ -93,16 +115,10 @@ class Strategy {
   virtual CommunicationStats RoundCommunication(
       const std::vector<LocalResult>& results) const;
 
-  /// True when this strategy's client-side work can run on a remote worker
-  /// that holds nothing but the downloaded weights plus wire-shipped
-  /// hyperparameters: TrainClient must reduce to SetParams → TrainLocal
-  /// (with hooks that are pure functions of the download) → upload, with
-  /// every cross-round table living on the server. Strategies that mutate
-  /// per-client *server* state inside TrainClient (Scaffold control
-  /// variates, MOON snapshots, FedDC drift, GCFL+ gradient windows) keep
-  /// the default; the distributed coordinator rejects them up front (see
-  /// DESIGN.md §5e for the extension path).
-  virtual bool RemoteExecutable() const { return false; }
+  /// Static facts about this strategy (see StrategyCapabilities). The
+  /// conservative default — server-bound, not remote-executable — is
+  /// correct for any strategy that doesn't explicitly opt in.
+  virtual StrategyCapabilities Capabilities() const { return {}; }
 
   /// Checkpoint contract (see DESIGN.md "Fault tolerance"): SaveState
   /// serializes every field the strategy carries across rounds — for
@@ -139,7 +155,9 @@ class FedAvgStrategy : public Strategy {
   std::string_view name() const override { return "fedavg"; }
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
-  bool RemoteExecutable() const override { return true; }
+  StrategyCapabilities Capabilities() const override {
+    return {.remote_executable = true, .needs_server_state = false};
+  }
 };
 
 /// No-communication baseline ("Local" in Fig. 1b): every client keeps its
@@ -152,7 +170,9 @@ class LocalOnlyStrategy : public Strategy {
   std::span<const float> ParamsFor(int client_id) const override;
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
-  bool RemoteExecutable() const override { return true; }
+  StrategyCapabilities Capabilities() const override {
+    return {.remote_executable = true, .needs_server_state = false};
+  }
   void SaveState(serialize::Writer* writer) const override;
   Status LoadState(serialize::Reader* reader) override;
 

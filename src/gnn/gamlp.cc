@@ -29,8 +29,8 @@ void GamlpModel::Prepare(const ModelInput& input, Rng& rng) {
     hops_train_ = PropagateHops(adj_train, *input.features, k_);
   }
 
-  gate_scores_.Resize(1, k_ + 1);
-  gate_grad_.Resize(1, k_ + 1);
+  gate_scores_.ResizeDiscard(1, k_ + 1);
+  gate_grad_.ResizeDiscard(1, k_ + 1);
 
   MlpConfig cfg;
   cfg.in_dim = input.features->cols();

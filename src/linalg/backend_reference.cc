@@ -1,0 +1,69 @@
+// The "reference" kernel backend: the original straightforward loops, kept
+// as the correctness oracle every other backend is tested against. Must
+// stay simple enough to audit by eye — performance work belongs in
+// backend_blocked.cc / backend_simd.cc.
+
+#include <algorithm>
+
+#include "linalg/backend.h"
+
+namespace fedgta {
+namespace linalg {
+namespace {
+
+class ReferenceBackend : public Backend {
+ public:
+  std::string_view name() const override { return "reference"; }
+
+  void GemmRows(const GemmCall& call, int64_t row_begin,
+                int64_t row_end) const override {
+    const int64_t n = call.n;
+    const int64_t k = call.k;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* c_row = call.c + i * n;
+      if (call.beta == 0.0f) {
+        std::fill(c_row, c_row + n, 0.0f);
+      } else if (call.beta != 1.0f) {
+        for (int64_t j = 0; j < n; ++j) c_row[j] *= call.beta;
+      }
+      // ikj loop order: stream through B rows when B is untransposed
+      // (col_stride == 1), the common case.
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_ip = call.alpha * call.a.At(i, p);
+        if (a_ip == 0.0f) continue;
+        if (call.b.col_stride == 1) {
+          const float* b_row = call.b.base + p * call.b.row_stride;
+          for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+        } else {
+          for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * call.b.At(p, j);
+        }
+      }
+    }
+  }
+
+  void SpmmRows(const SpmmCall& call, int64_t row_begin,
+                int64_t row_end) const override {
+    const int64_t f = call.f;
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      float* dst = call.out + r * f;
+      std::fill(dst, dst + f, 0.0f);
+      for (int64_t p = call.row_ptr[r]; p < call.row_ptr[r + 1]; ++p) {
+        const float w = call.values[p];
+        const float* src =
+            call.dense + static_cast<int64_t>(call.col_idx[p]) * f;
+        for (int64_t j = 0; j < f; ++j) dst[j] += w * src[j];
+      }
+    }
+  }
+};
+
+}  // namespace
+
+namespace internal {
+std::unique_ptr<Backend> MakeReferenceBackend() {
+  return std::make_unique<ReferenceBackend>();
+}
+}  // namespace internal
+
+}  // namespace linalg
+}  // namespace fedgta

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "linalg/backend.h"
 #include "obs/phase.h"
 
 namespace fedgta {
@@ -104,26 +105,61 @@ void CsrMatrix::Multiply(const Matrix& dense, Matrix* out) const {
   FEDGTA_CHECK(out != nullptr);
   FEDGTA_CHECK_EQ(dense.rows(), cols_);
   const int64_t f = dense.cols();
-  out->Resize(rows_, f);
-  // Row-disjoint chunks: output is chunking-invariant, and when the SpMM is
-  // itself inside a pool task (per-client training under the round
-  // executor) ParallelForChunked degrades to an inline loop instead of
-  // re-entering the pool.
+  // Backend kernels overwrite the rows they are assigned, so existing
+  // storage can be reused without a zero-fill (label propagation feeds the
+  // same scratch matrix back in every hop).
+  out->EnsureShape(rows_, f);
+  if (rows_ == 0) return;
+
+  linalg::SpmmCall call;
+  call.row_ptr = row_ptr_.data();
+  call.col_idx = col_idx_.data();
+  call.values = values_.data();
+  call.dense = dense.data();
+  call.f = f;
+  call.out = out->data();
+  const linalg::Backend& backend = linalg::ActiveBackend();
+
+  const int64_t nnz = row_ptr_.back();
+  if (nnz * f < (1 << 16)) {
+    backend.SpmmRows(call, 0, rows_);
+    return;
+  }
+
+  // Row bins balanced by nnz rather than by row count: power-law graphs put
+  // most of the work in a few dense rows, and uniform row chunks would leave
+  // all but one worker idle. Each bin is a disjoint row range and kernels
+  // have a chunk-invariant per-element order, so the output is identical for
+  // any binning — including the inline fallback when this SpMM already runs
+  // on a pool worker (per-client training under the round executor).
+  const int64_t num_bins = std::min<int64_t>(
+      rows_, std::max<int64_t>(1, int64_t{4} * GlobalThreadPoolSize()));
+  if (num_bins <= 1) {
+    backend.SpmmRows(call, 0, rows_);
+    return;
+  }
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(num_bins) + 1);
+  bounds.push_back(0);
+  const int64_t target = (nnz + num_bins - 1) / num_bins;
+  int64_t next = target;
+  for (int64_t r = 1; r < rows_; ++r) {
+    if (row_ptr_[static_cast<size_t>(r)] >= next &&
+        static_cast<int64_t>(bounds.size()) < num_bins) {
+      bounds.push_back(r);
+      next = row_ptr_[static_cast<size_t>(r)] + target;
+    }
+  }
+  bounds.push_back(rows_);
   ParallelForChunked(
-      0, rows_,
-      [this, &dense, out, f](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-          float* dst = out->data() + r * f;
-          for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-            const float w = values_[static_cast<size_t>(p)];
-            const float* src =
-                dense.data() +
-                static_cast<int64_t>(col_idx_[static_cast<size_t>(p)]) * f;
-            for (int64_t j = 0; j < f; ++j) dst[j] += w * src[j];
-          }
+      0, static_cast<int64_t>(bounds.size()) - 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t bin = lo; bin < hi; ++bin) {
+          backend.SpmmRows(call, bounds[static_cast<size_t>(bin)],
+                           bounds[static_cast<size_t>(bin) + 1]);
         }
       },
-      /*min_chunk=*/64);
+      /*min_chunk=*/1);
 }
 
 Matrix CsrMatrix::operator*(const Matrix& dense) const {

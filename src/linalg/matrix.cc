@@ -16,12 +16,26 @@ void Matrix::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-void Matrix::Resize(int64_t rows, int64_t cols) {
+void Matrix::ResizeDiscard(int64_t rows, int64_t cols) {
   FEDGTA_CHECK_GE(rows, 0);
   FEDGTA_CHECK_GE(cols, 0);
   rows_ = rows;
   cols_ = cols;
   data_.assign(static_cast<size_t>(rows * cols), 0.0f);
+}
+
+void Matrix::EnsureShape(int64_t rows, int64_t cols) {
+  FEDGTA_CHECK_GE(rows, 0);
+  FEDGTA_CHECK_GE(cols, 0);
+  if (rows * cols == rows_ * cols_) {
+    // Same element count: reshape in place, keep (stale) storage.
+    rows_ = rows;
+    cols_ = cols;
+    return;
+  }
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<size_t>(rows * cols));
 }
 
 void Matrix::GlorotInit(Rng& rng) {

@@ -14,7 +14,9 @@ namespace fedgta {
 /// soft labels, layer activations, and model weights.
 ///
 /// Copyable and movable; copies are deep. Sizes are fixed at construction
-/// (or via Resize, which discards contents).
+/// (or via ResizeDiscard / EnsureShape, both of which discard contents —
+/// the names say so because several call sites were bitten by assuming the
+/// old `Resize` preserved data).
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -58,8 +60,17 @@ class Matrix {
   /// Sets every element to zero.
   void SetZero() { Fill(0.0f); }
 
-  /// Reshapes to rows x cols, discarding contents (zero-filled).
-  void Resize(int64_t rows, int64_t cols);
+  /// Reshapes to rows x cols, discarding contents (zero-filled). The
+  /// explicit name exists so a reader can't mistake this for a
+  /// contents-preserving resize.
+  void ResizeDiscard(int64_t rows, int64_t cols);
+
+  /// Reshapes to rows x cols WITHOUT zero-filling: when the element count
+  /// already matches, the storage is reused and contents are unspecified
+  /// (stale values from the previous use). For scratch buffers whose every
+  /// element is overwritten by the next kernel (backend SpMM/GEMM outputs);
+  /// anything that reads before writing must use ResizeDiscard.
+  void EnsureShape(int64_t rows, int64_t cols);
 
   /// Fills with Glorot/Xavier-uniform values: U(-s, s), s = sqrt(6/(r+c)).
   void GlorotInit(Rng& rng);

@@ -4,51 +4,10 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "linalg/backend.h"
 #include "obs/phase.h"
 
 namespace fedgta {
-namespace {
-
-// Serial kernel computing rows [row_begin, row_end) of
-// C = alpha * A_eff * B_eff + beta * C for the no-transpose layout, where
-// A_eff is m x k and B_eff is k x n, both accessed through strides so the
-// same kernel serves all four transpose combinations.
-struct StridedView {
-  const float* base;
-  int64_t row_stride;
-  int64_t col_stride;
-  float At(int64_t r, int64_t c) const {
-    return base[r * row_stride + c * col_stride];
-  }
-};
-
-void GemmRows(const StridedView& a, const StridedView& b, float alpha,
-              float beta, int64_t k, Matrix* c, int64_t row_begin,
-              int64_t row_end) {
-  const int64_t n = c->cols();
-  for (int64_t i = row_begin; i < row_end; ++i) {
-    float* c_row = c->data() + i * n;
-    if (beta == 0.0f) {
-      std::fill(c_row, c_row + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
-    }
-    // ikj loop order: stream through B rows when B is untransposed
-    // (col_stride == 1), the common case.
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = alpha * a.At(i, p);
-      if (a_ip == 0.0f) continue;
-      if (b.col_stride == 1) {
-        const float* b_row = b.base + p * b.row_stride;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b.At(p, j);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
           Transpose trans_b, float alpha, float beta, Matrix* c) {
@@ -62,25 +21,32 @@ void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
   FEDGTA_CHECK_EQ(c->rows(), m);
   FEDGTA_CHECK_EQ(c->cols(), n);
 
-  const StridedView av{a.data(),
-                       trans_a == Transpose::kNo ? a.cols() : int64_t{1},
-                       trans_a == Transpose::kNo ? int64_t{1} : a.cols()};
-  const StridedView bv{b.data(),
-                       trans_b == Transpose::kNo ? b.cols() : int64_t{1},
-                       trans_b == Transpose::kNo ? int64_t{1} : b.cols()};
+  linalg::GemmCall call;
+  call.a = {a.data(), trans_a == Transpose::kNo ? a.cols() : int64_t{1},
+            trans_a == Transpose::kNo ? int64_t{1} : a.cols()};
+  call.b = {b.data(), trans_b == Transpose::kNo ? b.cols() : int64_t{1},
+            trans_b == Transpose::kNo ? int64_t{1} : b.cols()};
+  call.m = m;
+  call.n = n;
+  call.k = ka;
+  call.alpha = alpha;
+  call.beta = beta;
+  call.c = c->data();
 
+  const linalg::Backend& backend = linalg::ActiveBackend();
   const int64_t work = m * n * ka;
   if (work < (1 << 16)) {
-    GemmRows(av, bv, alpha, beta, ka, c, 0, m);
+    backend.GemmRows(call, 0, m);
     return;
   }
-  // Each chunk writes disjoint output rows and GemmRows is row-independent,
+  // Each chunk writes disjoint output rows and every backend's GemmRows is
+  // row-independent with a chunk-invariant per-element accumulation order,
   // so the result is identical for any chunking — including the inline
   // single-chunk execution ParallelForChunked falls back to when this GEMM
   // already runs on a pool worker (a client task of the round executor).
   ParallelForChunked(
       0, m,
-      [&](int64_t lo, int64_t hi) { GemmRows(av, bv, alpha, beta, ka, c, lo, hi); },
+      [&](int64_t lo, int64_t hi) { backend.GemmRows(call, lo, hi); },
       /*min_chunk=*/std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, n * ka)));
 }
 
@@ -107,12 +73,8 @@ void AddRowBroadcast(const Matrix& bias, Matrix* m) {
 
 Matrix ColumnSums(const Matrix& m) {
   Matrix out(1, m.cols());
-  float* acc = out.data();
-  const int64_t cols = m.cols();
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) acc[c] += row[c];
-  }
+  linalg::ActiveBackend().ColumnSums(m.data(), m.rows(), m.cols(),
+                                     out.data());
   return out;
 }
 
@@ -120,20 +82,12 @@ void RowSoftmaxInPlace(Matrix* m) {
   FEDGTA_CHECK(m != nullptr);
   const int64_t cols = m->cols();
   if (cols == 0) return;
-  ParallelForChunked(0, m->rows(), [m, cols](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      float* row = m->data() + r * cols;
-      float max_v = row[0];
-      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
-      float sum = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) {
-        row[c] = std::exp(row[c] - max_v);
-        sum += row[c];
-      }
-      const float inv = 1.0f / sum;
-      for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
-    }
-  });
+  const linalg::Backend& backend = linalg::ActiveBackend();
+  float* data = m->data();
+  ParallelForChunked(0, m->rows(),
+                     [&backend, data, cols](int64_t lo, int64_t hi) {
+                       backend.RowSoftmaxRows(data, cols, lo, hi);
+                     });
 }
 
 std::vector<int> RowArgmax(const Matrix& m) {
@@ -174,7 +128,9 @@ void DropoutForward(float rate, Rng& rng, Matrix* m, Matrix* mask) {
   FEDGTA_CHECK(m != nullptr && mask != nullptr);
   FEDGTA_CHECK_GE(rate, 0.0f);
   FEDGTA_CHECK_LT(rate, 1.0f);
-  mask->Resize(m->rows(), m->cols());
+  // Every element of the mask is written below, so the cheaper
+  // contents-unspecified resize is safe here.
+  mask->EnsureShape(m->rows(), m->cols());
   if (rate == 0.0f) {
     mask->Fill(1.0f);
     return;
@@ -206,11 +162,7 @@ void DropoutBackward(const Matrix& mask, Matrix* grad) {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
   FEDGTA_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += static_cast<double>(a[i]) * b[i];
-  }
-  return sum;
+  return linalg::ActiveBackend().Dot(a, b);
 }
 
 double L2Norm(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
@@ -224,7 +176,7 @@ double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FEDGTA_CHECK_EQ(x.size(), y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  linalg::ActiveBackend().Axpy(alpha, x, y);
 }
 
 void RowNormalizeInPlace(Matrix* m, bool l1) {

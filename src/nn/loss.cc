@@ -12,7 +12,7 @@ double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
   FEDGTA_CHECK(dlogits != nullptr);
   FEDGTA_CHECK(!rows.empty());
   FEDGTA_CHECK_EQ(labels.size(), static_cast<size_t>(logits.rows()));
-  dlogits->Resize(logits.rows(), logits.cols());
+  dlogits->ResizeDiscard(logits.rows(), logits.cols());
 
   const int64_t c = logits.cols();
   const float inv_n = 1.0f / static_cast<float>(rows.size());

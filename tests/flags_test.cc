@@ -44,6 +44,11 @@ TEST(FlagsTest, HelpExitsZeroAndListsFlags) {
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_NE(result.output.find("--strategy"), std::string::npos);
   EXPECT_NE(result.output.find("--num_threads"), std::string::npos);
+  EXPECT_NE(result.output.find("--backend"), std::string::npos);
+}
+
+TEST(FlagsTest, UnknownBackendIsRejected) {
+  ExpectRejected("--backend=cuda", "unknown backend: cuda");
 }
 
 TEST(FlagsTest, ExplicitZeroOrNegativeNumThreadsIsRejected) {

@@ -58,7 +58,7 @@ TEST(MatrixTest, FillAndResize) {
   Matrix m(2, 2, 1.0f);
   m.Fill(3.0f);
   EXPECT_FLOAT_EQ(m(0, 0), 3.0f);
-  m.Resize(4, 5);
+  m.ResizeDiscard(4, 5);
   EXPECT_EQ(m.rows(), 4);
   EXPECT_EQ(m.cols(), 5);
   EXPECT_FLOAT_EQ(m(3, 4), 0.0f);
