@@ -11,9 +11,10 @@
 # The sanitizer runs are observability for memory and threading bugs the way
 # the metrics registry is observability for latency: every tier-1 test
 # executes under AddressSanitizer and UndefinedBehaviorSanitizer, and the
-# suites that exercise the parallel round executor and the TCP transport
-# (fed_test, linalg_test, common_test, obs_test, net_test, loopback_test)
-# additionally run under ThreadSanitizer.
+# suites that exercise the parallel round executor, the TCP transport, and
+# the observability plane (status socket, fleet metrics merge, cross-process
+# trace stitching) — fed_test, linalg_test, common_test, obs_test, net_test,
+# loopback_test — additionally run under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -15,6 +15,8 @@
 #include "eval/cli.h"
 #include "fed/remote_coordinator.h"
 #include "linalg/backend.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 using namespace fedgta;
 
@@ -37,10 +39,17 @@ int main(int argc, char** argv) {
   const cli::ExperimentCli& flags = *parsed;
   const RemoteFedConfig config = flags.ToRemoteConfig();
 
+  if (!flags.trace_out.empty()) {
+    SetTraceProcessName("fedgta_server");
+    EnableTracing();
+  }
   RemoteCoordinator coordinator(config);
   if (const Status status = coordinator.Listen(flags.port); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
+  }
+  if (coordinator.status_port() >= 0) {
+    std::printf("status endpoint on port %d\n", coordinator.status_port());
   }
   std::printf(
       "listening on port %d, waiting for %d worker(s)\n"
@@ -76,6 +85,25 @@ int main(int argc, char** argv) {
     std::fputs(result->metrics_json.c_str(), f);
     std::fclose(f);
     std::printf("metrics written to %s\n", flags.metrics_json.c_str());
+  }
+  if (!flags.trace_out.empty()) {
+    if (const Status status = WriteChromeTrace(flags.trace_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "trace written to %s (merge with worker traces via trace_merge)\n",
+        flags.trace_out.c_str());
+  }
+  if (!flags.timeline_out.empty()) {
+    if (const Status status =
+            GlobalTimeline().WriteJsonLines(flags.timeline_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("timeline written to %s\n", flags.timeline_out.c_str());
   }
   return 0;
 }

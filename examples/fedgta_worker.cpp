@@ -12,6 +12,7 @@
 
 #include "eval/cli.h"
 #include "fed/remote_client_runner.h"
+#include "obs/trace.h"
 
 using namespace fedgta;
 
@@ -31,8 +32,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The runner stamps the process id/name and clock offset during the
+  // handshake, so the trace written below already lives on the server's
+  // timebase — trace_merge only concatenates.
+  if (!parsed->trace_out.empty()) EnableTracing();
   RemoteClientRunner runner(parsed->ToRunnerOptions());
   const Status status = runner.Run();
+  if (!parsed->trace_out.empty()) {
+    if (const Status trace = WriteChromeTrace(parsed->trace_out);
+        !trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.ToString().c_str());
+      return 1;
+    }
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "worker failed: %s\n", status.ToString().c_str());
     return 1;

@@ -16,6 +16,7 @@
 #include "eval/experiment.h"
 #include "linalg/backend.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 using namespace fedgta;
@@ -99,6 +100,14 @@ int main(int argc, char** argv) {
     }
     std::printf("trace written to %s (open in chrome://tracing)\n",
                 flags.trace_out.c_str());
+  }
+  if (!flags.timeline_out.empty()) {
+    const Status status = GlobalTimeline().WriteJsonLines(flags.timeline_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("timeline written to %s\n", flags.timeline_out.c_str());
   }
   return 0;
 }

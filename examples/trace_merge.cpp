@@ -1,0 +1,54 @@
+// Merges per-process Chrome trace files into one fleet timeline.
+//
+//   trace_merge --out=merged.json server_trace.json worker0.json worker1.json
+//
+// Each input is a Chrome trace-event file written by WriteChromeTrace
+// (server or worker --trace_out). Workers stamp their spans with the
+// server's trace ids and the NTP-style clock offset negotiated during the
+// handshake, so the merged file opens in chrome://tracing or
+// ui.perfetto.dev as one aligned timeline: the server on pid 1, each
+// worker on its own track, RPC spans nested under the round that issued
+// them (follow the span/parent ids in each event's args).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+using namespace fedgta;
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      std::fputs(
+          "trace_merge — combine per-process Chrome traces\n\n"
+          "  trace_merge --out=merged.json TRACE.json [TRACE.json ...]\n",
+          stdout);
+      return 0;
+    }
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 1;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (out.empty() || inputs.empty()) {
+    std::fputs("usage: trace_merge --out=merged.json TRACE.json [...]\n",
+               stderr);
+    return 1;
+  }
+  if (const Status status = MergeChromeTraces(inputs, out); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("merged %zu trace(s) into %s\n", inputs.size(), out.c_str());
+  return 0;
+}

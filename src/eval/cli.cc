@@ -107,8 +107,10 @@ const FlagDef kFlags[] = {
      [](ExperimentCli& c, const std::string& v) { c.csv = v; }},
     {"metrics_json", kRun | kSrv,
      [](ExperimentCli& c, const std::string& v) { c.metrics_json = v; }},
-    {"trace_out", kRun,
+    {"trace_out", kRun | kSrv | kWrk,
      [](ExperimentCli& c, const std::string& v) { c.trace_out = v; }},
+    {"timeline_out", kRun | kSrv,
+     [](ExperimentCli& c, const std::string& v) { c.timeline_out = v; }},
     // Checkpointing.
     {"checkpoint_dir", kRun,
      [](ExperimentCli& c, const std::string& v) { c.checkpoint_dir = v; }},
@@ -145,6 +147,8 @@ const FlagDef kFlags[] = {
      [](ExperimentCli& c, const std::string& v) {
        c.max_train_requests = ToInt(v);
      }},
+    {"status_port", kSrv,
+     [](ExperimentCli& c, const std::string& v) { c.status_port = ToInt(v); }},
 };
 
 /// Boolean switches (no =value).
@@ -325,6 +329,7 @@ RemoteFedConfig ExperimentCli::ToRemoteConfig() const {
   config.num_workers = workers;
   config.rpc.deadline_ms = deadline_ms;
   config.accept_timeout_ms = accept_timeout_ms;
+  config.status_port = status_port;
   return config;
 }
 
@@ -381,6 +386,9 @@ std::string HelpText(Role role) {
           "                        JSON timeline (open in chrome://tracing "
           "or\n"
           "                        ui.perfetto.dev)\n"
+          "  --timeline_out=PATH   write the live round timeline as JSON "
+          "lines\n"
+          "                        (round starts/ends, per-client fates)\n"
           "  --checkpoint_dir=DIR  write <DIR>/checkpoint.ckpt atomically "
           "every\n"
           "                        --checkpoint_every rounds (with "
@@ -446,7 +454,23 @@ std::string HelpText(Role role) {
           "  --fail_crash=F        injected crash probability (default 0)\n"
           "  --fail_seed=N         failure-injection seed (default "
           "0xFA11)\n"
-          "  --metrics_json=PATH   write the metrics-registry JSON dump\n";
+          "  --metrics_json=PATH   write the metrics-registry JSON dump,\n"
+          "                        including worker.<i>.* / fleet.* rollups\n"
+          "                        merged from the piggybacked worker "
+          "deltas\n"
+          "  --trace_out=PATH      write the server's Chrome trace; combine "
+          "with\n"
+          "                        per-worker --trace_out files via "
+          "trace_merge\n"
+          "  --timeline_out=PATH   write the live round timeline as JSON "
+          "lines\n"
+          "  --status_port=N       serve a line-oriented status endpoint "
+          "(round\n"
+          "                        progress, worker health/lag, latency\n"
+          "                        quantiles); 0 = ephemeral, negative =\n"
+          "                        disabled (default -1). Query with e.g.\n"
+          "                        `nc HOST N` and type: status | metrics |\n"
+          "                        metrics.json | timeline\n";
       break;
     }
     case Role::kWorker: {
@@ -464,7 +488,13 @@ std::string HelpText(Role role) {
           "like\n"
           "                        a killed process (fault-injection "
           "testing;\n"
-          "                        0 = disabled)\n" +
+          "                        0 = disabled)\n"
+          "  --trace_out=PATH      write this worker's Chrome trace; its "
+          "spans\n"
+          "                        carry the server's trace ids and clock "
+          "offset,\n"
+          "                        so trace_merge stitches them under the\n"
+          "                        server's timeline\n" +
           ThreadHelpLines() + BackendHelpLines();
       break;
     }

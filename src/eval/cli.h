@@ -61,10 +61,13 @@ struct ExperimentCli {
   /// Kernel backend name; empty = FEDGTA_BACKEND env / "reference".
   std::string backend;
 
-  // Outputs (run_experiment, server; csv/trace are run_experiment-only).
+  // Outputs (csv is run_experiment-only; trace_out works in every role —
+  // per-process files that trace_merge stitches into one fleet timeline).
   std::string csv;
   std::string metrics_json;
   std::string trace_out;
+  /// Live round timeline JSON-lines dump (run_experiment, server).
+  std::string timeline_out;
 
   // Checkpointing (run_experiment).
   std::string checkpoint_dir;
@@ -81,6 +84,8 @@ struct ExperimentCli {
   int connect_attempts = 20;
   int idle_timeout_ms = 0;
   int max_train_requests = 0;
+  /// Live status endpoint (server): 0 = ephemeral, negative = disabled.
+  int status_port = -1;
 
   // Filled by validation (run_experiment, server).
   ModelType model_type = ModelType::kGamlp;

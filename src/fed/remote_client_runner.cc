@@ -7,6 +7,9 @@
 #include "fed/client.h"
 #include "fed/failure.h"
 #include "fed/strategy.h"
+#include "obs/metrics_delta.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace fedgta {
 namespace {
@@ -33,9 +36,22 @@ Status RemoteClientRunner::Run() {
   FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.rpc.deadline_ms));
 
   net::HelloMsg hello;
+  hello.t_send_us = internal_obs::TraceNowMicros();
   FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, hello));
   net::AssignConfigMsg assign;
   FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(sock, &assign));
+  const int64_t t3 = internal_obs::TraceNowMicros();
+
+  // NTP midpoint from the Hello/AssignConfig ping-pong: t0/t3 on our trace
+  // clock, t1/t2 on the server's. Shifting our trace timestamps by this
+  // offset puts a merged timeline on the server timebase; the process id
+  // keys our spans to a distinct Perfetto track per worker.
+  SetTraceClockOffset(((assign.hello_recv_us - hello.t_send_us) +
+                       (assign.assign_send_us - t3)) /
+                      2);
+  SetTraceProcessId(assign.worker_index + 2);  // server owns pid 1
+  SetTraceProcessName("fedgta_worker_" +
+                      std::to_string(assign.worker_index));
 
   WorkerSetup setup;
   if (Status parsed = SetupFromWireConfig(assign.config, &setup);
@@ -96,12 +112,20 @@ Status RemoteClientRunner::Run() {
   const bool is_fedprox = setup.strategy == "fedprox";
 
   FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.idle_timeout_ms));
+  // Ships registry changes (phase counters, histograms, net totals) on
+  // every response; the server merges them under worker.<id>.* / fleet.*.
+  MetricsDeltaEncoder metrics_encoder(&GlobalMetrics());
   int train_responses = 0;
   while (true) {
     Result<serialize::Reader> reader = net::RecvMessage(sock);
     FEDGTA_RETURN_IF_ERROR(reader.status());
-    Result<net::MsgType> type = net::ReadMsgType(&*reader);
+    // Adopt the request's trace envelope for the whole handling scope:
+    // spans recorded here chain to the server's round span, and the
+    // response envelope echoes the context back.
+    TraceContext request_ctx;
+    Result<net::MsgType> type = net::ReadMsgType(&*reader, &request_ctx);
     FEDGTA_RETURN_IF_ERROR(type.status());
+    ScopedTraceContext adopt(request_ctx);
     switch (*type) {
       case net::MsgType::kTrainRequest: {
         net::TrainRequestMsg req;
@@ -129,36 +153,45 @@ Status RemoteClientRunner::Run() {
                                  ? (setup.local_epochs + 1) / 2
                                  : setup.local_epochs;
           WallTimer timer;
-          Client& client = clients[it->second];
-          client.SetParams(req.weights);
-          TrainHooks hooks;
-          if (is_fedprox) {
-            // The proximal anchor is the download itself (the simulation
-            // anchors on global_params_, which is exactly what the server
-            // sent).
-            const std::vector<float>& anchor = req.weights;
-            const float mu = setup.prox_mu;
-            hooks.grad_hook = [&anchor, mu](std::span<const float> params,
-                                            std::span<float> grads) {
-              FEDGTA_CHECK_EQ(params.size(), anchor.size());
-              for (size_t i = 0; i < grads.size(); ++i) {
-                grads[i] += mu * (params[i] - anchor[i]);
+          {
+            // The phase scope must close before the metrics delta is cut
+            // below — otherwise this request's own remote_train increment
+            // would only ship with the *next* response (and the final
+            // one never).
+            FEDGTA_PHASE_SCOPE("remote_train");
+            Client& client = clients[it->second];
+            client.SetParams(req.weights);
+            TrainHooks hooks;
+            if (is_fedprox) {
+              // The proximal anchor is the download itself (the simulation
+              // anchors on global_params_, which is exactly what the server
+              // sent).
+              const std::vector<float>& anchor = req.weights;
+              const float mu = setup.prox_mu;
+              hooks.grad_hook = [&anchor, mu](std::span<const float> params,
+                                              std::span<float> grads) {
+                FEDGTA_CHECK_EQ(params.size(), anchor.size());
+                for (size_t i = 0; i < grads.size(); ++i) {
+                  grads[i] += mu * (params[i] - anchor[i]);
+                }
+              };
+            }
+            const double loss = client.TrainLocal(epochs, hooks);
+            if (fate == ClientFate::kHealthy) {
+              resp.loss = loss;
+              resp.num_samples = client.num_train();
+              resp.weights = client.GetParams();
+              if (caps.uploads_topology_metrics) {
+                ClientMetrics metrics =
+                    client.ComputeFedGtaMetrics(setup.gta);
+                resp.confidence = metrics.confidence;
+                resp.moments = std::move(metrics.moments);
               }
-            };
-          }
-          const double loss = client.TrainLocal(epochs, hooks);
-          if (fate == ClientFate::kHealthy) {
-            resp.loss = loss;
-            resp.num_samples = client.num_train();
-            resp.weights = client.GetParams();
-            if (caps.uploads_topology_metrics) {
-              ClientMetrics metrics = client.ComputeFedGtaMetrics(setup.gta);
-              resp.confidence = metrics.confidence;
-              resp.moments = std::move(metrics.moments);
             }
           }
           resp.seconds = timer.Seconds();
         }
+        resp.metrics = metrics_encoder.Next();
         FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp));
         ++train_responses;
         if (options_.max_train_requests > 0 &&
@@ -181,16 +214,21 @@ Status RemoteClientRunner::Run() {
                                     "eval request for unhosted client " +
                                     std::to_string(req.client_id)));
         }
-        Client& client = clients[it->second];
-        client.SetParams(req.weights);
         net::EvalResponseMsg resp;
         resp.client_id = req.client_id;
-        if (!client.data().test_idx.empty()) {
-          resp.test_accuracy = client.TestAccuracy();
+        {
+          // Closes before the delta cut, same as remote_train.
+          FEDGTA_PHASE_SCOPE("remote_eval");
+          Client& client = clients[it->second];
+          client.SetParams(req.weights);
+          if (!client.data().test_idx.empty()) {
+            resp.test_accuracy = client.TestAccuracy();
+          }
+          if (!client.data().val_idx.empty()) {
+            resp.val_accuracy = client.ValAccuracy();
+          }
         }
-        if (!client.data().val_idx.empty()) {
-          resp.val_accuracy = client.ValAccuracy();
-        }
+        resp.metrics = metrics_encoder.Next();
         FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp));
         break;
       }

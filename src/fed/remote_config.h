@@ -39,6 +39,11 @@ struct RemoteFedConfig {
   net::RpcOptions rpc;
   /// How long Run() waits for each worker to dial in.
   int accept_timeout_ms = 30000;
+  /// Live status endpoint (net/status.h): bound in Listen(), serving from
+  /// the start of Run() until the coordinator is destroyed. 0 picks an
+  /// ephemeral port (see RemoteCoordinator::status_port()); negative
+  /// disables the endpoint.
+  int status_port = -1;
 };
 
 /// Projects the worker-relevant slice of `config` into the AssignConfig

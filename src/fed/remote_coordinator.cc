@@ -4,9 +4,11 @@
 #include <cmath>
 #include <thread>
 
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "data/registry.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace fedgta {
@@ -53,6 +55,12 @@ Status RemoteCoordinator::Listen(int port) {
       net::ServerSocket::Listen(port, config_.num_workers + 8);
   FEDGTA_RETURN_IF_ERROR(server.status());
   server_ = std::move(*server);
+  // Bind (but do not yet serve) the status endpoint: callers learn the
+  // ephemeral port now and may still fork worker processes safely — the
+  // accept thread only starts inside Run().
+  if (config_.status_port >= 0) {
+    FEDGTA_RETURN_IF_ERROR(status_.Bind(config_.status_port));
+  }
   return OkStatus();
 }
 
@@ -97,6 +105,7 @@ Status RemoteCoordinator::Handshake() {
     net::RpcChannel channel(std::move(*accepted), config_.rpc);
     net::HelloMsg hello;
     FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(channel.socket(), &hello));
+    const int64_t hello_recv_us = internal_obs::TraceNowMicros();
     if (hello.protocol_version != net::kProtocolVersion) {
       net::ErrorMsg err;
       err.message = "protocol version " + std::to_string(net::kProtocolVersion) +
@@ -109,8 +118,15 @@ Status RemoteCoordinator::Handshake() {
     assign.config = wire;
     WorkerLink& link = workers_[static_cast<size_t>(w)];
     assign.client_ids.assign(link.client_ids.begin(), link.client_ids.end());
+    // Clock sync (NTP midpoint): echo when the Hello landed and when this
+    // reply leaves, both on the server trace clock; the worker combines
+    // them with its own send/recv times to shift its trace timebase.
+    assign.hello_recv_us = hello_recv_us;
+    assign.worker_index = w;
+    assign.assign_send_us = internal_obs::TraceNowMicros();
     net::ConfigAckMsg ack;
     FEDGTA_RETURN_IF_ERROR(channel.Call(assign, &ack));
+    GlobalTimeline().Worker(w, "connected");
     if (param_count < 0) param_count = ack.param_count;
     if (ack.param_count != param_count) {
       return FailedPreconditionError(
@@ -134,6 +150,17 @@ Status RemoteCoordinator::Handshake() {
     train_sizes.push_back(shard.num_train());
   }
   strategy_->Initialize(n_clients, train_sizes, init_params);
+
+  // Publish the fleet to the status endpoint (its thread is already
+  // serving; until this point it reports "handshake in progress").
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    fleet_status_.clear();
+    for (const WorkerLink& link : workers_) {
+      fleet_status_.push_back(
+          {link.health, static_cast<int>(link.client_ids.size())});
+    }
+  }
   return OkStatus();
 }
 
@@ -144,18 +171,34 @@ void RemoteCoordinator::Evaluate(double* test_accuracy,
   std::vector<double> val_acc(n, 0.0);
   std::vector<char> evaluated(n, 0);
 
+  // Thread-locals don't cross std::thread creation: capture the round's
+  // context here and re-install it in each eval thread so the requests'
+  // envelopes parent to the round span.
+  const TraceContext eval_ctx = CurrentTraceContext();
   std::vector<std::thread> threads;
   threads.reserve(workers_.size());
   for (size_t w = 0; w < workers_.size(); ++w) {
-    threads.emplace_back([this, w, &test_acc, &val_acc, &evaluated] {
+    threads.emplace_back([this, w, eval_ctx, &test_acc, &val_acc,
+                          &evaluated] {
+      ScopedTraceContext adopt(eval_ctx);
       WorkerLink& link = workers_[w];
       for (int id : link.client_ids) {
-        if (!link.channel.ok()) return;
+        if (!link.channel.ok()) {
+          link.health->healthy.store(false, std::memory_order_relaxed);
+          return;
+        }
         net::EvalRequestMsg req;
         req.client_id = id;
         req.weights = CopyParams(strategy_->ParamsFor(id));
         net::EvalResponseMsg resp;
-        if (!link.channel.Call(req, &resp).ok()) continue;
+        if (!link.channel.Call(req, &resp).ok()) {
+          link.health->healthy.store(false, std::memory_order_relaxed);
+          continue;
+        }
+        link.health->last_response_us.store(internal_obs::TraceNowMicros(),
+                                            std::memory_order_relaxed);
+        link.health->responses.fetch_add(1, std::memory_order_relaxed);
+        fleet_.Apply(static_cast<int>(w), resp.metrics);
         if (resp.client_id != id) continue;
         test_acc[static_cast<size_t>(id)] = resp.test_accuracy;
         val_acc[static_cast<size_t>(id)] = resp.val_accuracy;
@@ -195,6 +238,12 @@ Result<SimulationResult> RemoteCoordinator::Run() {
   if (!server_.valid()) {
     return FailedPreconditionError("call Listen() before Run()");
   }
+  trace_id_ = NewTraceId();
+  // First thread this process creates — anyone forking must have done so
+  // before Run() (the loopback tests rely on this ordering).
+  if (status_.bound()) {
+    status_.Start([this](const std::string& cmd) { return RenderStatus(cmd); });
+  }
   WallTimer setup_timer;
   FEDGTA_RETURN_IF_ERROR(Handshake());
 
@@ -223,9 +272,24 @@ Result<SimulationResult> RemoteCoordinator::Run() {
   Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
   Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
   Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
+  Histogram& round_seconds = metrics.GetHistogram("fed.round.seconds");
+  Counter& bytes_sent_counter = metrics.GetCounter("net.bytes_sent");
+  Counter& bytes_recv_counter = metrics.GetCounter("net.bytes_recv");
+  Timeline& timeline = GlobalTimeline();
 
   for (int round = 1; round <= config_.sim.rounds; ++round) {
+    // The round's distributed identity: every RPC this round issues (from
+    // this thread or a dispatch thread that re-installs the context)
+    // carries {trace_id_, round span, round} in its envelope.
+    TraceContext round_ctx;
+    round_ctx.trace_id = trace_id_;
+    round_ctx.round = round;
+    ScopedTraceContext scoped_round(round_ctx);
     FEDGTA_TRACE_SCOPE("round");
+    const TraceContext dispatch_ctx = CurrentTraceContext();
+    WallTimer round_timer;
+    const int64_t bytes_sent0 = bytes_sent_counter.value();
+    const int64_t bytes_recv0 = bytes_recv_counter.value();
     std::vector<int> participants =
         per_round >= n_clients
             ? [n_clients] {
@@ -238,6 +302,7 @@ Result<SimulationResult> RemoteCoordinator::Run() {
             : rng.SampleWithoutReplacement(n_clients, per_round);
     std::sort(participants.begin(), participants.end());
     const size_t n_part = participants.size();
+    timeline.RoundStart(round, static_cast<int64_t>(n_part));
 
     // Fates are computed here too (FateOf is pure): dropouts are never
     // contacted, so the remote client's RNG streams advance exactly as the
@@ -259,6 +324,9 @@ Result<SimulationResult> RemoteCoordinator::Run() {
     threads.reserve(workers_.size());
     for (size_t w = 0; w < workers_.size(); ++w) {
       threads.emplace_back([&, w] {
+        // Re-install the round context (thread-locals don't inherit), so
+        // every TrainRequest envelope parents to the round span.
+        ScopedTraceContext adopt(dispatch_ctx);
         WorkerLink& link = workers_[w];
         for (size_t i = 0; i < n_part; ++i) {
           const int id = participants[i];
@@ -267,6 +335,7 @@ Result<SimulationResult> RemoteCoordinator::Run() {
           }
           if (fates[i] == ClientFate::kDropout) continue;
           if (!link.channel.ok()) {
+            link.health->healthy.store(false, std::memory_order_relaxed);
             rpc_status[i] = InternalError("worker connection is down");
             continue;
           }
@@ -275,7 +344,15 @@ Result<SimulationResult> RemoteCoordinator::Run() {
           req.client_id = id;
           req.weights = CopyParams(strategy_->ParamsFor(id));
           rpc_status[i] = link.channel.Call(req, &responses[i]);
-          if (rpc_status[i].ok() && responses[i].client_id != id) {
+          if (!rpc_status[i].ok()) {
+            link.health->healthy.store(false, std::memory_order_relaxed);
+            continue;
+          }
+          link.health->last_response_us.store(
+              internal_obs::TraceNowMicros(), std::memory_order_relaxed);
+          link.health->responses.fetch_add(1, std::memory_order_relaxed);
+          fleet_.Apply(static_cast<int>(w), responses[i].metrics);
+          if (responses[i].client_id != id) {
             rpc_status[i] =
                 InternalError("response for a different client id");
           }
@@ -300,12 +377,17 @@ Result<SimulationResult> RemoteCoordinator::Run() {
       const int id = participants[i];
       if (fates[i] == ClientFate::kDropout) {
         ++dropped;
+        timeline.ClientFate(round, id, std::string(ClientFateName(fates[i])),
+                            0.0);
         continue;
       }
       if (!rpc_status[i].ok()) {
         ++dropped;
+        timeline.ClientFate(round, id, "rpc_failed", 0.0);
         continue;
       }
+      timeline.ClientFate(round, id, std::string(ClientFateName(fates[i])),
+                          responses[i].seconds);
       switch (fates[i]) {
         case ClientFate::kHealthy: {
           survivors.push_back(id);
@@ -356,6 +438,11 @@ Result<SimulationResult> RemoteCoordinator::Run() {
     if (dropped > 0) dropped_counter.Increment(dropped);
     if (stragglers > 0) straggler_counter.Increment(stragglers);
     if (crashed > 0) crashed_counter.Increment(crashed);
+    round_seconds.Record(round_timer.Seconds());
+    timeline.RoundEnd(round, client_seconds, server_seconds,
+                      bytes_sent_counter.value() - bytes_sent0,
+                      bytes_recv_counter.value() - bytes_recv0, dropped,
+                      stragglers, crashed);
 
     if (round % config_.sim.eval_every == 0 || round == config_.sim.rounds) {
       RoundStats stats;
@@ -392,6 +479,54 @@ Result<SimulationResult> RemoteCoordinator::Run() {
 
   result.metrics_json = GlobalMetrics().ToJson();
   return result;
+}
+
+std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
+  if (command == "metrics.json") return GlobalMetrics().ToJson();
+  if (command == "metrics") return GlobalMetrics().ToText();
+  if (command == "timeline") return GlobalTimeline().ToJsonLines();
+
+  // Default: the human-readable "status" summary.
+  const int64_t now_us = internal_obs::TraceNowMicros();
+  std::string out = "fedgta server status\n";
+  out += StrFormat("round: %d/%d\n", GlobalTimeline().current_round(),
+                   config_.sim.rounds);
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (fleet_status_.empty()) {
+      out += "workers: handshake in progress\n";
+    } else {
+      out += StrFormat("workers: %zu\n", fleet_status_.size());
+      for (size_t w = 0; w < fleet_status_.size(); ++w) {
+        const FleetStatusEntry& entry = fleet_status_[w];
+        const int64_t last =
+            entry.health->last_response_us.load(std::memory_order_relaxed);
+        const int64_t lag_ms = last > 0 ? (now_us - last) / 1000 : -1;
+        out += StrFormat(
+            "  worker %zu: %s clients=%d responses=%lld lag_ms=%lld\n", w,
+            entry.health->healthy.load(std::memory_order_relaxed)
+                ? "healthy"
+                : "DOWN",
+            entry.num_clients,
+            static_cast<long long>(
+                entry.health->responses.load(std::memory_order_relaxed)),
+            static_cast<long long>(lag_ms));
+      }
+    }
+  }
+  out += "latencies:\n";
+  for (const char* name :
+       {"fed.round.seconds", "net.rpc.seconds", "round.client_seconds",
+        "round.server_seconds", "fleet.phase.remote_train.seconds"}) {
+    const Histogram* h = GlobalMetrics().FindHistogram(name);
+    if (h == nullptr) continue;
+    const Histogram::Snapshot s = h->snapshot();
+    if (s.count == 0) continue;
+    out += StrFormat("  %s: count=%lld p50=%.6f p99=%.6f\n", name,
+                     static_cast<long long>(s.count), s.Quantile(0.5),
+                     s.Quantile(0.99));
+  }
+  return out;
 }
 
 }  // namespace fedgta

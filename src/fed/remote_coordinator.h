@@ -1,11 +1,16 @@
 #ifndef FEDGTA_FED_REMOTE_COORDINATOR_H_
 #define FEDGTA_FED_REMOTE_COORDINATOR_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "fed/remote_config.h"
 #include "net/rpc.h"
+#include "net/status.h"
+#include "obs/metrics_delta.h"
 
 namespace fedgta {
 
@@ -33,20 +38,44 @@ class RemoteCoordinator {
  public:
   explicit RemoteCoordinator(const RemoteFedConfig& config);
 
-  /// Binds the listening socket (port 0 = ephemeral; see port()). Workers
-  /// may start dialing as soon as this returns.
+  /// Binds the listening socket (port 0 = ephemeral; see port()). When
+  /// `config.status_port` >= 0 the status endpoint is bound here too (no
+  /// thread yet — callers may still fork). Workers may start dialing as
+  /// soon as this returns.
   Status Listen(int port);
   int port() const { return server_.port(); }
+  /// Bound status endpoint port; -1 when disabled.
+  int status_port() const { return status_.port(); }
 
   /// Accepts `num_workers` workers, runs the handshake, and drives all
   /// rounds. Returns the same SimulationResult an in-process run would.
+  /// The status endpoint (if bound) starts serving at the top of this call
+  /// and keeps answering until the coordinator is destroyed, so the final
+  /// state stays inspectable after the run.
   Result<SimulationResult> Run();
 
  private:
+  /// Live per-worker signals, updated by the dispatch threads and read by
+  /// the status endpoint — atomics only, no lock on the hot path.
+  struct WorkerHealth {
+    std::atomic<bool> healthy{true};
+    /// Trace-clock time of the last successful response; 0 before any.
+    std::atomic<int64_t> last_response_us{0};
+    std::atomic<int64_t> responses{0};
+  };
+
   struct WorkerLink {
     net::RpcChannel channel;
     /// Hosted client ids, ascending.
     std::vector<int> client_ids;
+    /// Shared with the published fleet status (the endpoint may outlive a
+    /// rebuilt workers_ vector).
+    std::shared_ptr<WorkerHealth> health = std::make_shared<WorkerHealth>();
+  };
+
+  struct FleetStatusEntry {
+    std::shared_ptr<WorkerHealth> health;
+    int num_clients = 0;
   };
 
   Status ValidateConfig() const;
@@ -57,6 +86,8 @@ class RemoteCoordinator {
   /// on its hosting worker; reduction runs in client order. Clients hosted
   /// by dead workers are skipped (with healthy workers: none).
   void Evaluate(double* test_accuracy, double* val_accuracy);
+  /// Renders one status-endpoint reply (runs on the endpoint's thread).
+  std::string RenderStatus(const std::string& command) const;
 
   RemoteFedConfig config_;
   net::ServerSocket server_;
@@ -65,6 +96,17 @@ class RemoteCoordinator {
   std::vector<WorkerLink> workers_;
   /// client id -> hosting worker index (id % num_workers).
   std::vector<int> owner_;
+
+  /// One id per Run(), stamped into every RPC envelope so worker spans
+  /// stitch to this run's timeline.
+  uint64_t trace_id_ = 0;
+  /// Merges piggybacked worker metrics deltas into worker.<id>.* / fleet.*.
+  FleetMetricsMerger fleet_{&GlobalMetrics()};
+  net::StatusServer status_;
+  /// Guards fleet_status_ (published once after the handshake, read by the
+  /// status endpoint thread).
+  mutable std::mutex status_mutex_;
+  std::vector<FleetStatusEntry> fleet_status_;
 };
 
 }  // namespace fedgta

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "fed/executor.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace fedgta {
@@ -280,9 +281,12 @@ SimulationResult Simulation::Run() {
   Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
   Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
   Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
+  Histogram& round_seconds = metrics.GetHistogram("fed.round.seconds");
+  Timeline& timeline = GlobalTimeline();
 
   for (int round = start_round + 1; round <= config_.rounds; ++round) {
     FEDGTA_TRACE_SCOPE("round");
+    WallTimer round_timer;
     // Participant sampling.
     std::vector<int> participants =
         per_round >= n_clients
@@ -293,6 +297,7 @@ SimulationResult Simulation::Run() {
               }()
             : rng.SampleWithoutReplacement(n_clients, per_round);
     std::sort(participants.begin(), participants.end());
+    timeline.RoundStart(round, static_cast<int64_t>(participants.size()));
 
     // Local training: all participants dispatched concurrently onto the
     // shared pool (RoundExecutor), reduced in participant order so the
@@ -324,6 +329,8 @@ SimulationResult Simulation::Run() {
     double loss_sum = 0.0;
     for (size_t i = 0; i < executions.size(); ++i) {
       RoundExecutor::ClientExecution& exec = executions[i];
+      timeline.ClientFate(round, participants[i],
+                          std::string(ClientFateName(exec.fate)), 0.0);
       switch (exec.fate) {
         case ClientFate::kHealthy:
           survivors.push_back(participants[i]);
@@ -374,6 +381,11 @@ SimulationResult Simulation::Run() {
     if (dropped > 0) dropped_counter.Increment(dropped);
     if (stragglers > 0) straggler_counter.Increment(stragglers);
     if (crashed > 0) crashed_counter.Increment(crashed);
+    round_seconds.Record(round_timer.Seconds());
+    // In-process runs move no bytes over the wire.
+    timeline.RoundEnd(round, client_seconds, server_seconds,
+                      /*bytes_sent=*/0, /*bytes_recv=*/0, dropped, stragglers,
+                      crashed);
 
     if (round % config_.eval_every == 0 || round == config_.rounds) {
       RoundStats stats;

@@ -13,18 +13,11 @@ struct FrameHeader {
   uint64_t payload_size;
 };
 
-Counter& BytesSent() {
-  static Counter& c = GlobalMetrics().GetCounter("net.bytes_sent");
-  return c;
-}
-Counter& BytesRecv() {
-  static Counter& c = GlobalMetrics().GetCounter("net.bytes_recv");
-  return c;
-}
-Counter& Messages() {
-  static Counter& c = GlobalMetrics().GetCounter("net.messages");
-  return c;
-}
+// Per-call registry resolution — same rationale as net/rpc.cc: no
+// function-local static pinning a possibly-stale instance.
+Counter& BytesSent() { return GlobalMetrics().GetCounter("net.bytes_sent"); }
+Counter& BytesRecv() { return GlobalMetrics().GetCounter("net.bytes_recv"); }
+Counter& Messages() { return GlobalMetrics().GetCounter("net.messages"); }
 
 }  // namespace
 

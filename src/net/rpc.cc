@@ -10,14 +10,17 @@ namespace fedgta {
 namespace net {
 namespace {
 
+// Resolved through the registry on every call, never cached in a
+// function-local static: a static would pin whichever instance existed at
+// first use, so a consumer that observes the registry after a reset (or a
+// test asserting on a freshly resolved reference) could be looking at a
+// different object than the one the RPC layer keeps writing to.
 Counter& ConnectRetries() {
-  static Counter& c = GlobalMetrics().GetCounter("net.connect_retries");
-  return c;
+  return GlobalMetrics().GetCounter("net.connect_retries");
 }
 
 Histogram& RpcSeconds() {
-  static Histogram& h = GlobalMetrics().GetHistogram("net.rpc.seconds");
-  return h;
+  return GlobalMetrics().GetHistogram("net.rpc.seconds");
 }
 
 void Backoff(int attempt, int base_ms) {
@@ -57,9 +60,11 @@ const char* MsgTypeName(MsgType type) {
 
 void HelloMsg::Encode(serialize::Writer* w) const {
   w->WriteU32(protocol_version);
+  w->WriteI64(t_send_us);
 }
 Status HelloMsg::Decode(serialize::Reader* r) {
-  return r->ReadU32(&protocol_version);
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&protocol_version));
+  return r->ReadI64(&t_send_us);
 }
 
 void WireFedConfig::Encode(serialize::Writer* w) const {
@@ -136,10 +141,16 @@ Status WireFedConfig::Decode(serialize::Reader* rd) {
 void AssignConfigMsg::Encode(serialize::Writer* w) const {
   config.Encode(w);
   w->WriteI32Vec(client_ids);
+  w->WriteI64(hello_recv_us);
+  w->WriteI64(assign_send_us);
+  w->WriteI32(worker_index);
 }
 Status AssignConfigMsg::Decode(serialize::Reader* r) {
   FEDGTA_RETURN_IF_ERROR(config.Decode(r));
-  return r->ReadI32Vec(&client_ids);
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32Vec(&client_ids));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI64(&hello_recv_us));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI64(&assign_send_us));
+  return r->ReadI32(&worker_index);
 }
 
 void ConfigAckMsg::Encode(serialize::Writer* w) const {
@@ -171,6 +182,7 @@ void TrainResponseMsg::Encode(serialize::Writer* w) const {
   w->WriteDouble(confidence);
   w->WriteFloatVec(moments);
   w->WriteDouble(seconds);
+  EncodeMetricsDelta(metrics, w);
 }
 Status TrainResponseMsg::Decode(serialize::Reader* r) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
@@ -180,7 +192,8 @@ Status TrainResponseMsg::Decode(serialize::Reader* r) {
   FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&weights));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&confidence));
   FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&moments));
-  return r->ReadDouble(&seconds);
+  FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&seconds));
+  return DecodeMetricsDelta(r, &metrics);
 }
 
 void EvalRequestMsg::Encode(serialize::Writer* w) const {
@@ -196,11 +209,13 @@ void EvalResponseMsg::Encode(serialize::Writer* w) const {
   w->WriteI32(client_id);
   w->WriteDouble(test_accuracy);
   w->WriteDouble(val_accuracy);
+  EncodeMetricsDelta(metrics, w);
 }
 Status EvalResponseMsg::Decode(serialize::Reader* r) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&test_accuracy));
-  return r->ReadDouble(&val_accuracy);
+  FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&val_accuracy));
+  return DecodeMetricsDelta(r, &metrics);
 }
 
 void ShutdownMsg::Encode(serialize::Writer* /*w*/) const {}
@@ -218,13 +233,18 @@ Result<serialize::Reader> RecvMessage(Socket& sock) {
   return RecvFrame(sock);
 }
 
-Result<MsgType> ReadMsgType(serialize::Reader* reader) {
+Result<MsgType> ReadMsgType(serialize::Reader* reader, TraceContext* ctx) {
   uint32_t raw = 0;
   FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&raw));
   if (raw < static_cast<uint32_t>(MsgType::kHello) ||
       raw > static_cast<uint32_t>(MsgType::kError)) {
     return InvalidArgumentError("unknown message type " + std::to_string(raw));
   }
+  TraceContext envelope;
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU64(&envelope.trace_id));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadU64(&envelope.span_id));
+  FEDGTA_RETURN_IF_ERROR(reader->ReadI32(&envelope.round));
+  if (ctx != nullptr) *ctx = envelope;
   return static_cast<MsgType>(raw);
 }
 

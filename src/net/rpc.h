@@ -9,6 +9,8 @@
 #include "common/serialize.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics_delta.h"
+#include "obs/trace.h"
 
 namespace fedgta {
 namespace net {
@@ -29,12 +31,20 @@ namespace net {
 ///     | <-- Shutdown ---------------- |
 ///     | -- ShutdownAck -------------> |
 ///
-/// Every message is one frame whose payload starts with a u32 MsgType.
-/// Both sides treat any malformed message as a broken peer (error Status),
-/// which the coordinator maps onto the failure model: an unreachable or
-/// timed-out worker is a dropped participant for the round.
+/// Every message is one frame whose payload starts with a u32 MsgType
+/// followed by a trace envelope (trace_id, span_id, round — the sender's
+/// TraceContext; zeros when tracing is off). The receiver adopts the
+/// envelope around its handling scope, so a worker's spans chain to the
+/// server's round span in a merged timeline. Both sides treat any
+/// malformed message as a broken peer (error Status), which the
+/// coordinator maps onto the failure model: an unreachable or timed-out
+/// worker is a dropped participant for the round.
+///
+/// v2: trace envelope after the type tag; Hello/AssignConfig carry clock
+/// sync timestamps + worker index; Train/Eval responses piggyback a
+/// metrics delta.
 
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
 
 enum class MsgType : uint32_t {
   kHello = 1,
@@ -51,10 +61,14 @@ enum class MsgType : uint32_t {
 
 const char* MsgTypeName(MsgType type);
 
-/// Worker -> server, immediately after connecting.
+/// Worker -> server, immediately after connecting. `t_send_us` is the
+/// worker's trace clock at send time — the t0 of the NTP-style offset
+/// estimate the worker computes once AssignConfig echoes the server-side
+/// timestamps back.
 struct HelloMsg {
   static constexpr MsgType kType = MsgType::kHello;
   uint32_t protocol_version = kProtocolVersion;
+  int64_t t_send_us = 0;
 
   void Encode(serialize::Writer* w) const;
   Status Decode(serialize::Reader* r);
@@ -116,6 +130,16 @@ struct AssignConfigMsg {
   static constexpr MsgType kType = MsgType::kAssignConfig;
   WireFedConfig config;
   std::vector<int32_t> client_ids;
+  /// Clock sync: server trace clock when the Hello arrived (t1) and when
+  /// this reply was sent (t2). With the worker's t0 (HelloMsg::t_send_us)
+  /// and its receive time t3, the worker estimates its offset to the
+  /// server clock as ((t1-t0)+(t2-t3))/2 and shifts its trace timestamps
+  /// accordingly, so merged timelines share the server timebase.
+  int64_t hello_recv_us = 0;
+  int64_t assign_send_us = 0;
+  /// This worker's 0-based index in the fleet (stable process identity for
+  /// trace pids and the worker.<id>.* metrics namespace).
+  int32_t worker_index = 0;
 
   void Encode(serialize::Writer* w) const;
   Status Decode(serialize::Reader* r);
@@ -161,6 +185,10 @@ struct TrainResponseMsg {
   double confidence = 0.0;
   std::vector<float> moments;
   double seconds = 0.0;
+  /// Piggybacked worker metrics since the last response (fleet
+  /// aggregation; see obs/metrics_delta.h). Identical on RPC retry, so the
+  /// server-side seq check keeps re-delivery idempotent.
+  MetricsDelta metrics;
 
   void Encode(serialize::Writer* w) const;
   Status Decode(serialize::Reader* r);
@@ -182,6 +210,8 @@ struct EvalResponseMsg {
   int32_t client_id = 0;
   double test_accuracy = 0.0;
   double val_accuracy = 0.0;
+  /// See TrainResponseMsg::metrics.
+  MetricsDelta metrics;
 
   void Encode(serialize::Writer* w) const;
   Status Decode(serialize::Reader* r);
@@ -209,11 +239,16 @@ struct ErrorMsg {
   Status Decode(serialize::Reader* r);
 };
 
-/// Ships one typed message as one frame.
+/// Ships one typed message as one frame, stamping the calling thread's
+/// TraceContext into the envelope (all zeros when no context is active).
 template <typename M>
 Status SendMessage(Socket& sock, const M& msg) {
   serialize::Writer writer;
   writer.WriteU32(static_cast<uint32_t>(M::kType));
+  const TraceContext ctx = CurrentTraceContext();
+  writer.WriteU64(ctx.trace_id);
+  writer.WriteU64(ctx.span_id);
+  writer.WriteI32(ctx.round);
   msg.Encode(&writer);
   return SendFrame(sock, writer);
 }
@@ -222,8 +257,11 @@ Status SendMessage(Socket& sock, const M& msg) {
 /// reads the leading MsgType u32 via ReadMsgType and dispatches.
 Result<serialize::Reader> RecvMessage(Socket& sock);
 
-/// Reads the leading type tag of a received message payload.
-Result<MsgType> ReadMsgType(serialize::Reader* reader);
+/// Reads the leading type tag and trace envelope of a received message
+/// payload. The envelope is always consumed; pass `ctx` to adopt it (via
+/// ScopedTraceContext) around the handling scope.
+Result<MsgType> ReadMsgType(serialize::Reader* reader,
+                            TraceContext* ctx = nullptr);
 
 /// Receives a message that must be of type M. A kError message from the
 /// peer is surfaced as a FailedPrecondition carrying its text; any other

@@ -1,0 +1,65 @@
+#include "net/status.h"
+
+#include <utility>
+
+namespace fedgta {
+namespace net {
+namespace {
+
+// A status request is one short command line; anything longer is a
+// confused client.
+constexpr size_t kMaxRequestBytes = 256;
+// How often the accept loop rechecks the stop flag.
+constexpr int kAcceptTickMs = 200;
+// A connected client that stays silent does not wedge the endpoint.
+constexpr int kClientTimeoutMs = 2000;
+
+}  // namespace
+
+Status StatusServer::Bind(int port) {
+  Result<ServerSocket> server = ServerSocket::Listen(port);
+  FEDGTA_RETURN_IF_ERROR(server.status());
+  server_ = std::move(*server);
+  return OkStatus();
+}
+
+void StatusServer::Start(ReportFn report) {
+  if (running_ || !server_.valid()) return;
+  report_ = std::move(report);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+}
+
+void StatusServer::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  running_ = false;
+  server_.Close();
+}
+
+void StatusServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<Socket> client = server_.Accept(kAcceptTickMs);
+    if (!client.ok()) continue;  // timeout tick or transient accept error
+    Socket sock = std::move(*client);
+    if (!sock.SetRecvTimeout(kClientTimeoutMs).ok()) continue;
+    (void)sock.SetSendTimeout(kClientTimeoutMs);
+    // Read up to one line, byte by byte (requests are tiny; simplicity
+    // over throughput). EOF before a newline still serves what arrived.
+    std::string request;
+    while (request.size() < kMaxRequestBytes) {
+      char c = 0;
+      if (!sock.ReadFull(&c, 1).ok()) break;
+      if (c == '\n') break;
+      if (c != '\r') request.push_back(c);
+    }
+    while (!request.empty() && request.back() == ' ') request.pop_back();
+    const std::string reply = report_ ? report_(request) : std::string();
+    (void)sock.WriteFull(reply.data(), reply.size());
+  }
+}
+
+}  // namespace net
+}  // namespace fedgta

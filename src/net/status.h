@@ -1,0 +1,64 @@
+#ifndef FEDGTA_NET_STATUS_H_
+#define FEDGTA_NET_STATUS_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace fedgta {
+namespace net {
+
+/// Text-protocol status endpoint: one line in (a command), one text blob
+/// out, connection closed. Meant for humans and scripts during a run:
+///
+///   $ echo status | nc localhost 9100
+///
+/// The server process (remote coordinator) renders the reply — current
+/// round, per-worker health/lag, rolling phase latencies, metrics dumps —
+/// this class only owns the socket plumbing.
+///
+/// Bind and thread start are deliberately split: the coordinator binds in
+/// Listen() (so tests learn the ephemeral port and can still fork worker
+/// processes before any thread exists in the parent) and starts the accept
+/// loop at the top of Run().
+class StatusServer {
+ public:
+  /// Renders the reply to one request line (already trimmed). Runs on the
+  /// accept thread; must be thread-safe against the serving process.
+  using ReportFn = std::function<std::string(const std::string& command)>;
+
+  StatusServer() = default;
+  ~StatusServer() { Stop(); }
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Binds the endpoint (port 0 = ephemeral). No thread is created yet.
+  Status Bind(int port);
+  int port() const { return server_.valid() ? server_.port() : -1; }
+  bool bound() const { return server_.valid(); }
+
+  /// Spawns the accept loop. Requires a successful Bind(); no-op if
+  /// already started.
+  void Start(ReportFn report);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  ServerSocket server_;
+  ReportFn report_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+}  // namespace net
+}  // namespace fedgta
+
+#endif  // FEDGTA_NET_STATUS_H_

@@ -104,6 +104,28 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+bool Histogram::Merge(const Snapshot& delta) {
+  if (delta.count == 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (delta.bounds != bounds_ ||
+      delta.bucket_counts.size() != buckets_.size()) {
+    return false;
+  }
+  if (count_ == 0) {
+    min_ = delta.min;
+    max_ = delta.max;
+  } else {
+    min_ = std::min(min_, delta.min);
+    max_ = std::max(max_, delta.max);
+  }
+  count_ += delta.count;
+  sum_ += delta.sum;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += delta.bucket_counts[b];
+  }
+  return true;
+}
+
 int64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;
@@ -274,6 +296,21 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+MetricsSnapshot MetricsRegistry::Capture() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -285,6 +322,18 @@ MetricsRegistry& GlobalMetrics() {
   // Leaked so instrumentation in static destructors stays safe.
   static MetricsRegistry* registry = new MetricsRegistry;
   return *registry;
+}
+
+namespace internal_obs {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal_obs
+
+bool MetricsEnabled() {
+  return internal_obs::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  internal_obs::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace fedgta

@@ -74,6 +74,12 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Folds `delta` (count/sum/buckets add; min/max combine) into this
+  /// histogram. Returns false without modifying anything when the bucket
+  /// bounds differ — fleet merging requires both sides to use the same
+  /// ladder. Empty deltas merge trivially.
+  bool Merge(const Snapshot& delta);
+
   int64_t count() const;
   double sum() const;
   void Reset();
@@ -88,6 +94,14 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Point-in-time copy of every metric in a registry, used as the baseline
+/// for delta encoding (see obs/metrics_delta.h) and for tests.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
 };
 
 /// Thread-safe registry of named metrics. Lookup returns a stable reference:
@@ -120,6 +134,11 @@ class MetricsRegistry {
   /// cumulative bucket table.
   std::string ToJson() const;
 
+  /// Consistent copy of every metric, keyed by name. Individual metrics are
+  /// snapshotted atomically; the set as a whole is not a single atomic cut
+  /// (fine for delta encoding, which tolerates torn-but-monotonic reads).
+  MetricsSnapshot Capture() const;
+
   /// Zeroes every registered metric in place. References stay valid.
   void Reset();
 
@@ -132,6 +151,17 @@ class MetricsRegistry {
 
 /// Process-wide registry used by all built-in instrumentation.
 MetricsRegistry& GlobalMetrics();
+
+/// Kill switch for built-in metrics recording (FEDGTA_PHASE_SCOPE et al.).
+/// On by default; the overhead benchmark turns it off to measure the cost
+/// of instrumentation. Direct registry use is unaffected — only the
+/// instrumentation macros consult this flag.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal_obs {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal_obs
 
 }  // namespace fedgta
 

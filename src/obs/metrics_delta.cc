@@ -1,0 +1,209 @@
+#include "obs/metrics_delta.h"
+
+#include <algorithm>
+
+namespace fedgta {
+namespace {
+
+// Caps a decoded map size: a delta describing more metrics than this is
+// corrupt or hostile, not a real registry.
+constexpr uint32_t kMaxEntries = 1u << 20;
+
+MetricsDelta::HistogramDelta DiffHistogram(const Histogram::Snapshot* from,
+                                           const Histogram::Snapshot& to) {
+  MetricsDelta::HistogramDelta d;
+  d.min = to.min;
+  d.max = to.max;
+  d.bounds = to.bounds;
+  if (from == nullptr || from->bounds != to.bounds) {
+    // New histogram (or rebuilt with different bounds): ship it whole.
+    d.count = to.count;
+    d.sum = to.sum;
+    d.buckets = to.bucket_counts;
+    return d;
+  }
+  d.count = to.count - from->count;
+  d.sum = to.sum - from->sum;
+  d.buckets.resize(to.bucket_counts.size());
+  for (size_t b = 0; b < to.bucket_counts.size(); ++b) {
+    d.buckets[b] = to.bucket_counts[b] - from->bucket_counts[b];
+  }
+  return d;
+}
+
+}  // namespace
+
+MetricsDelta DiffSnapshots(const MetricsSnapshot& from,
+                           const MetricsSnapshot& to) {
+  MetricsDelta delta;
+  for (const auto& [name, value] : to.counters) {
+    const auto it = from.counters.find(name);
+    const int64_t base = it == from.counters.end() ? 0 : it->second;
+    if (value != base) delta.counters[name] = value - base;
+  }
+  for (const auto& [name, value] : to.gauges) {
+    const auto it = from.gauges.find(name);
+    if (it == from.gauges.end() || it->second != value) {
+      delta.gauges[name] = value;
+    }
+  }
+  for (const auto& [name, snap] : to.histograms) {
+    const auto it = from.histograms.find(name);
+    const Histogram::Snapshot* base =
+        it == from.histograms.end() ? nullptr : &it->second;
+    if (base != nullptr && base->count == snap.count &&
+        base->bounds == snap.bounds) {
+      continue;  // no new samples
+    }
+    delta.histograms[name] = DiffHistogram(base, snap);
+  }
+  return delta;
+}
+
+void EncodeMetricsDelta(const MetricsDelta& delta, serialize::Writer* w) {
+  w->WriteU64(delta.seq);
+  w->WriteU32(static_cast<uint32_t>(delta.counters.size()));
+  for (const auto& [name, value] : delta.counters) {
+    w->WriteString(name);
+    w->WriteI64(value);
+  }
+  w->WriteU32(static_cast<uint32_t>(delta.gauges.size()));
+  for (const auto& [name, value] : delta.gauges) {
+    w->WriteString(name);
+    w->WriteDouble(value);
+  }
+  w->WriteU32(static_cast<uint32_t>(delta.histograms.size()));
+  for (const auto& [name, h] : delta.histograms) {
+    w->WriteString(name);
+    w->WriteI64(h.count);
+    w->WriteDouble(h.sum);
+    w->WriteDouble(h.min);
+    w->WriteDouble(h.max);
+    w->WriteDoubleVec(h.bounds);
+    w->WriteI64Vec(h.buckets);
+  }
+}
+
+Status DecodeMetricsDelta(serialize::Reader* r, MetricsDelta* out) {
+  *out = MetricsDelta();
+  FEDGTA_RETURN_IF_ERROR(r->ReadU64(&out->seq));
+  uint32_t n = 0;
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&n));
+  if (n > kMaxEntries) {
+    return InvalidArgumentError("metrics delta counter count out of range");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    int64_t value = 0;
+    FEDGTA_RETURN_IF_ERROR(r->ReadString(&name));
+    FEDGTA_RETURN_IF_ERROR(r->ReadI64(&value));
+    out->counters[std::move(name)] = value;
+  }
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&n));
+  if (n > kMaxEntries) {
+    return InvalidArgumentError("metrics delta gauge count out of range");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    double value = 0.0;
+    FEDGTA_RETURN_IF_ERROR(r->ReadString(&name));
+    FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&value));
+    out->gauges[std::move(name)] = value;
+  }
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&n));
+  if (n > kMaxEntries) {
+    return InvalidArgumentError("metrics delta histogram count out of range");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    MetricsDelta::HistogramDelta h;
+    FEDGTA_RETURN_IF_ERROR(r->ReadString(&name));
+    FEDGTA_RETURN_IF_ERROR(r->ReadI64(&h.count));
+    FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&h.sum));
+    FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&h.min));
+    FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&h.max));
+    FEDGTA_RETURN_IF_ERROR(r->ReadDoubleVec(&h.bounds));
+    FEDGTA_RETURN_IF_ERROR(r->ReadI64Vec(&h.buckets));
+    if (h.buckets.size() != h.bounds.size() + 1) {
+      return InvalidArgumentError("metrics delta histogram shape mismatch: " +
+                                  name);
+    }
+    out->histograms[std::move(name)] = std::move(h);
+  }
+  return OkStatus();
+}
+
+void ApplySnapshotDelta(MetricsSnapshot* snap, const MetricsDelta& delta) {
+  for (const auto& [name, value] : delta.counters) {
+    snap->counters[name] += value;
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    snap->gauges[name] = value;
+  }
+  for (const auto& [name, h] : delta.histograms) {
+    Histogram::Snapshot& s = snap->histograms[name];
+    if (s.bounds.empty()) {
+      s.bounds = h.bounds;
+      s.bucket_counts.assign(h.buckets.size(), 0);
+    }
+    if (s.count == 0) {
+      s.min = h.min;
+      s.max = h.max;
+    } else {
+      s.min = std::min(s.min, h.min);
+      s.max = std::max(s.max, h.max);
+    }
+    s.count += h.count;
+    s.sum += h.sum;
+    for (size_t b = 0; b < s.bucket_counts.size() && b < h.buckets.size();
+         ++b) {
+      s.bucket_counts[b] += h.buckets[b];
+    }
+  }
+}
+
+MetricsDelta MetricsDeltaEncoder::Next() {
+  MetricsSnapshot now = registry_->Capture();
+  MetricsDelta delta = DiffSnapshots(last_, now);
+  delta.seq = ++seq_;
+  last_ = std::move(now);
+  return delta;
+}
+
+bool FleetMetricsMerger::Apply(int worker_id, const MetricsDelta& delta) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t& last = last_seq_[worker_id];
+    if (delta.seq <= last) return false;  // retry re-delivery or reordering
+    last = delta.seq;
+  }
+  const std::string worker_ns =
+      "worker." + std::to_string(worker_id) + ".";
+  for (const auto& [name, value] : delta.counters) {
+    target_->GetCounter(worker_ns + name).Increment(value);
+    target_->GetCounter("fleet." + name).Increment(value);
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    target_->GetGauge(worker_ns + name).Set(value);
+  }
+  for (const auto& [name, h] : delta.histograms) {
+    Histogram::Snapshot as_snapshot;
+    as_snapshot.count = h.count;
+    as_snapshot.sum = h.sum;
+    as_snapshot.min = h.min;
+    as_snapshot.max = h.max;
+    as_snapshot.bounds = h.bounds;
+    as_snapshot.bucket_counts = h.buckets;
+    const bool worker_ok =
+        target_->GetHistogram(worker_ns + name, h.bounds)
+            .Merge(as_snapshot);
+    const bool fleet_ok =
+        target_->GetHistogram("fleet." + name, h.bounds).Merge(as_snapshot);
+    if (!worker_ok || !fleet_ok) {
+      target_->GetCounter("obs.fleet.merge_errors").Increment();
+    }
+  }
+  return true;
+}
+
+}  // namespace fedgta

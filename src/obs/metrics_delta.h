@@ -1,0 +1,101 @@
+#ifndef FEDGTA_OBS_METRICS_DELTA_H_
+#define FEDGTA_OBS_METRICS_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+
+/// Delta-encoded metrics update: what changed in a registry since the last
+/// snapshot. Workers piggyback one of these on every TrainResponse /
+/// EvalResponse so the server can maintain a fleet-wide registry without a
+/// separate metrics RPC. Counters and histograms carry increments; gauges
+/// are last-write-wins and carry absolute values.
+struct MetricsDelta {
+  /// Monotonic per-sender sequence number. The merger drops deltas whose
+  /// seq is not greater than the last applied one, which makes re-delivery
+  /// after an RPC retry idempotent (the retried response carries the same
+  /// delta with the same seq).
+  uint64_t seq = 0;
+
+  std::map<std::string, int64_t> counters;  // increments since last delta
+  std::map<std::string, double> gauges;     // absolute values
+
+  /// Histogram increment: bucket counts and count/sum are deltas; min/max
+  /// are the sender's running absolutes (a min only ever decreases, so the
+  /// absolute merges correctly under std::min/std::max).
+  struct HistogramDelta {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1, overflow last
+  };
+  std::map<std::string, HistogramDelta> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Changes from `from` to `to`: counters with nonzero difference, gauges
+/// with a different (or new) value, histograms whose count advanced.
+MetricsDelta DiffSnapshots(const MetricsSnapshot& from,
+                           const MetricsSnapshot& to);
+
+/// Wire format (appended to `w`; the caller owns the enclosing envelope).
+void EncodeMetricsDelta(const MetricsDelta& delta, serialize::Writer* w);
+Status DecodeMetricsDelta(serialize::Reader* r, MetricsDelta* out);
+
+/// Replays `delta` onto a snapshot — the inverse of DiffSnapshots, used to
+/// verify round-trips in tests: Apply(from, Diff(from, to)) == to for every
+/// metric present in the delta.
+void ApplySnapshotDelta(MetricsSnapshot* snap, const MetricsDelta& delta);
+
+/// Produces successive deltas of one registry: each Next() captures the
+/// registry, diffs against the previous capture, and stamps an increasing
+/// seq. One encoder per worker process; not thread-safe (the worker serve
+/// loop is single-threaded at response-assembly time).
+class MetricsDeltaEncoder {
+ public:
+  explicit MetricsDeltaEncoder(MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  MetricsDelta Next();
+
+ private:
+  MetricsRegistry* registry_;
+  MetricsSnapshot last_;
+  uint64_t seq_ = 0;
+};
+
+/// Merges per-worker deltas into a target registry under two namespaces:
+/// `worker.<id>.<name>` (that worker's view) and `fleet.<name>` (sum over
+/// workers). Gauges are per-worker only — a fleet-wide last-write-wins
+/// value is meaningless. Stale or duplicate deltas (seq <= last applied
+/// for that worker) are dropped, so RPC retries never double-count.
+/// Histogram merges with mismatched bucket bounds are counted in
+/// `obs.fleet.merge_errors` and skipped. Thread-safe.
+class FleetMetricsMerger {
+ public:
+  explicit FleetMetricsMerger(MetricsRegistry* target) : target_(target) {}
+
+  /// Returns true when the delta was applied, false when dropped as stale.
+  bool Apply(int worker_id, const MetricsDelta& delta);
+
+ private:
+  MetricsRegistry* target_;
+  std::mutex mutex_;
+  std::map<int, uint64_t> last_seq_;
+};
+
+}  // namespace fedgta
+
+#endif  // FEDGTA_OBS_METRICS_DELTA_H_

@@ -31,6 +31,7 @@ class PhaseScope {
   PhaseScope(PhaseStats& stats, const char* name)
       : stats_(stats), trace_(name) {}
   ~PhaseScope() {
+    if (!MetricsEnabled()) return;
     stats_.calls.Increment();
     stats_.seconds.Record(timer_.Seconds());
   }

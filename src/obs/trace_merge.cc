@@ -1,0 +1,89 @@
+// Merges per-process Chrome trace files produced by WriteChromeTrace into
+// one timeline. The writer emits exactly one JSON event per line between a
+// fixed header and footer, so the merge is line-based: keep every event
+// line, drop per-file trailing commas, and re-join with commas so the
+// output is again valid JSON. This deliberately does NOT parse JSON — it
+// only understands our own writer's layout.
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace fedgta {
+namespace {
+
+constexpr char kHeader[] = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+
+// Reads all of `path`, appends the event lines (everything between header
+// and footer, trailing commas stripped) to `lines`.
+Status AppendEventLines(const std::string& path,
+                        std::vector<std::string>* lines) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return NotFoundError("trace input not readable: " + path);
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  bool saw_header = false;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == kHeader) {
+      saw_header = true;
+      continue;
+    }
+    if (line == "]}") continue;  // footer
+    if (line.back() == ',') line.pop_back();
+    if (line.empty() || line.front() != '{') {
+      return InvalidArgumentError("unrecognized trace line in " + path +
+                                  ": " + line);
+    }
+    lines->push_back(std::move(line));
+  }
+  if (!saw_header) {
+    return InvalidArgumentError("not a fedgta chrome trace: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status MergeChromeTraces(const std::vector<std::string>& inputs,
+                         const std::string& output) {
+  if (inputs.empty()) {
+    return InvalidArgumentError("trace merge needs at least one input");
+  }
+  std::vector<std::string> lines;
+  for (const std::string& input : inputs) {
+    FEDGTA_RETURN_IF_ERROR(AppendEventLines(input, &lines));
+  }
+  std::FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open merged trace output: " + output);
+  }
+  std::fprintf(f, "%s\n", kHeader);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(f, "%s%s\n", lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  if (std::fclose(f) != 0) {
+    return InternalError("error writing merged trace: " + output);
+  }
+  return OkStatus();
+}
+
+}  // namespace fedgta

@@ -8,6 +8,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,21 +20,33 @@
 
 #include "fed/remote_coordinator.h"
 #include "fed/simulation.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 namespace fedgta {
 namespace {
 
-pid_t SpawnWorker(int port, int max_train_requests = 0) {
+pid_t SpawnWorker(int port, int max_train_requests = 0,
+                  const std::string& trace_out = "") {
   const std::string port_flag = "--port=" + std::to_string(port);
   const std::string chaos_flag =
       "--max_train_requests=" + std::to_string(max_train_requests);
+  const std::string trace_flag = "--trace_out=" + trace_out;
   const pid_t pid = fork();
   if (pid == 0) {
-    execl(FEDGTA_WORKER_BINARY, FEDGTA_WORKER_BINARY, "--host=127.0.0.1",
-          port_flag.c_str(), "--connect_attempts=60", "--deadline_ms=60000",
-          "--num_threads=2", chaos_flag.c_str(),
-          static_cast<char*>(nullptr));
+    if (trace_out.empty()) {
+      execl(FEDGTA_WORKER_BINARY, FEDGTA_WORKER_BINARY, "--host=127.0.0.1",
+            port_flag.c_str(), "--connect_attempts=60", "--deadline_ms=60000",
+            "--num_threads=2", chaos_flag.c_str(),
+            static_cast<char*>(nullptr));
+    } else {
+      execl(FEDGTA_WORKER_BINARY, FEDGTA_WORKER_BINARY, "--host=127.0.0.1",
+            port_flag.c_str(), "--connect_attempts=60", "--deadline_ms=60000",
+            "--num_threads=2", chaos_flag.c_str(), trace_flag.c_str(),
+            static_cast<char*>(nullptr));
+    }
     _exit(127);  // exec failed
   }
   return pid;
@@ -170,6 +187,148 @@ TEST(LoopbackTest, NonRemotableStrategyIsRejectedBeforeAcceptingWorkers) {
   const Result<SimulationResult> result = coordinator.Run();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+int64_t CounterValue(const std::string& name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+std::string QueryStatus(int port, const std::string& command) {
+  Result<net::Socket> conn = net::Connect("127.0.0.1", port, 2000);
+  EXPECT_TRUE(conn.ok()) << conn.status();
+  if (!conn.ok()) return "";
+  const std::string line = command + "\n";
+  EXPECT_TRUE(conn->WriteFull(line.data(), line.size()).ok());
+  std::string reply;
+  char byte = 0;
+  while (conn->ReadFull(&byte, 1).ok()) reply.push_back(byte);
+  return reply;
+}
+
+TEST(LoopbackTest, ObservabilityPlaneStitchesTracesMetricsAndStatus) {
+  RemoteFedConfig config = BaseConfig();
+  config.split.num_clients = 6;
+  config.num_workers = 3;
+  config.sim.rounds = 2;
+  config.status_port = 0;
+
+  const std::string dir = testing::TempDir();
+  const std::string server_trace = dir + "/fedgta_lb_server_trace.json";
+  const std::string merged = dir + "/fedgta_lb_merged_trace.json";
+  std::vector<std::string> worker_traces;
+  for (int w = 0; w < config.num_workers; ++w) {
+    worker_traces.push_back(dir + "/fedgta_lb_worker_trace_" +
+                            std::to_string(w) + ".json");
+  }
+
+  // The registry is process-global and cumulative across tests: everything
+  // below is asserted as a diff against these baselines.
+  const int64_t fleet_train0 =
+      CounterValue("fleet.phase.remote_train.calls");
+  std::vector<int64_t> worker_train0;
+  for (int w = 0; w < config.num_workers; ++w) {
+    worker_train0.push_back(CounterValue(
+        "worker." + std::to_string(w) + ".phase.remote_train.calls"));
+  }
+
+  ClearTrace();
+  SetTraceProcessId(1);
+  SetTraceProcessName("fedgta_server");
+  EnableTracing();
+
+  RemoteCoordinator coordinator(config);
+  ASSERT_TRUE(coordinator.Listen(0).ok());
+  ASSERT_GT(coordinator.status_port(), 0);
+  std::vector<pid_t> pids;
+  for (int w = 0; w < config.num_workers; ++w) {
+    pids.push_back(SpawnWorker(coordinator.port(), /*max_train_requests=*/0,
+                               worker_traces[static_cast<size_t>(w)]));
+  }
+  Result<SimulationResult> remote = coordinator.Run();
+  for (pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  DisableTracing();
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  // --- Fleet metrics: the server-side rollups are exact. -------------------
+  // 2 rounds x 6 clients = 12 train requests across the fleet; each worker
+  // piggybacked its phase counter increments on the responses.
+  const int rounds_x_clients = config.sim.rounds * config.split.num_clients;
+  EXPECT_EQ(CounterValue("fleet.phase.remote_train.calls") - fleet_train0,
+            rounds_x_clients);
+  int64_t worker_sum = 0;
+  for (int w = 0; w < config.num_workers; ++w) {
+    worker_sum +=
+        CounterValue("worker." + std::to_string(w) +
+                     ".phase.remote_train.calls") -
+        worker_train0[static_cast<size_t>(w)];
+  }
+  EXPECT_EQ(worker_sum, rounds_x_clients);
+  EXPECT_EQ(CounterValue("obs.fleet.merge_errors"), 0);
+
+  // --- Status endpoint: still serving after Run() returns. -----------------
+  const std::string status = QueryStatus(coordinator.status_port(), "status");
+  EXPECT_NE(status.find("fedgta server status"), std::string::npos) << status;
+  EXPECT_NE(status.find("round: 2/2"), std::string::npos) << status;
+  EXPECT_NE(status.find("workers: 3"), std::string::npos) << status;
+  const std::string timeline_reply =
+      QueryStatus(coordinator.status_port(), "timeline");
+  EXPECT_NE(timeline_reply.find("\"round_end\""), std::string::npos);
+  const std::string metrics_reply =
+      QueryStatus(coordinator.status_port(), "metrics.json");
+  EXPECT_NE(metrics_reply.find("fleet.phase.remote_train.calls"),
+            std::string::npos);
+
+  // --- Merged trace: worker spans stitch into the server timeline. ---------
+  ASSERT_TRUE(WriteChromeTrace(server_trace).ok());
+  std::vector<std::string> inputs = {server_trace};
+  for (const std::string& t : worker_traces) inputs.push_back(t);
+  ASSERT_TRUE(MergeChromeTraces(inputs, merged).ok());
+
+  std::ifstream in(merged);
+  ASSERT_TRUE(in.good());
+  int remote_train_spans = 0;
+  std::map<std::string, std::set<std::string>> pids_by_trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"name\": \"remote_train\"") != std::string::npos) {
+      ++remote_train_spans;
+    }
+    const size_t trace_pos = line.find("\"trace_id\": \"");
+    const size_t pid_pos = line.find("\"pid\": ");
+    if (trace_pos == std::string::npos || pid_pos == std::string::npos) {
+      continue;
+    }
+    const size_t trace_begin = trace_pos + 13;
+    const std::string trace_id =
+        line.substr(trace_begin, line.find('"', trace_begin) - trace_begin);
+    const size_t pid_begin = pid_pos + 7;  // strlen("\"pid\": ")
+    const std::string pid =
+        line.substr(pid_begin, line.find(',', pid_begin) - pid_begin);
+    pids_by_trace[trace_id].insert(pid);
+  }
+  // One span per remote training execution, recorded inside the workers and
+  // present in the merged file.
+  EXPECT_EQ(remote_train_spans, rounds_x_clients);
+  // The run's trace id appears on the server (pid 1) and at least one
+  // worker process (pid >= 2): the cross-process stitch worked.
+  bool stitched = false;
+  for (const auto& [trace_id, trace_pids] : pids_by_trace) {
+    if (trace_pids.size() >= 2) stitched = true;
+  }
+  EXPECT_TRUE(stitched) << "no trace id spans more than one process";
+
+  // --- Determinism: observability must not perturb the computation. --------
+  const SimulationResult local = RunInProcess(config);
+  ExpectBitIdentical(*remote, local);
+
+  std::remove(server_trace.c_str());
+  std::remove(merged.c_str());
+  for (const std::string& t : worker_traces) std::remove(t.c_str());
 }
 
 TEST(LoopbackTest, KilledWorkerDegradesToDroppedClients) {

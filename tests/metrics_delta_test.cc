@@ -1,0 +1,260 @@
+// Contract tests for the piggybacked metrics plane (obs/metrics_delta.h):
+// snapshot diffing, the wire round-trip, the idempotent fleet merge, and
+// histogram bucket addition — the pieces that keep worker.<id>.* / fleet.*
+// rollups exact under RPC retries.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "obs/metrics.h"
+#include "obs/metrics_delta.h"
+
+namespace fedgta {
+namespace {
+
+MetricsDelta RoundTrip(const MetricsDelta& delta) {
+  serialize::Writer w;
+  EncodeMetricsDelta(delta, &w);
+  serialize::Reader r(w.payload());
+  MetricsDelta out;
+  EXPECT_TRUE(DecodeMetricsDelta(&r, &out).ok());
+  EXPECT_TRUE(r.AtEnd());
+  return out;
+}
+
+TEST(MetricsDeltaTest, DiffThenApplyReproducesSnapshot) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.calls").Increment(3);
+  reg.GetGauge("g").Set(1.5);
+  Histogram& h = reg.GetHistogram("h.seconds", {0.1, 1.0});
+  h.Record(0.05);
+  const MetricsSnapshot from = reg.Capture();
+
+  reg.GetCounter("a.calls").Increment(4);
+  reg.GetCounter("b.calls").Increment(1);  // new since `from`
+  reg.GetGauge("g").Set(-2.0);
+  h.Record(0.5);
+  h.Record(10.0);  // overflow bucket
+  const MetricsSnapshot to = reg.Capture();
+
+  const MetricsDelta delta = DiffSnapshots(from, to);
+  EXPECT_EQ(delta.counters.at("a.calls"), 4);
+  EXPECT_EQ(delta.counters.at("b.calls"), 1);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("g"), -2.0);
+  ASSERT_TRUE(delta.histograms.count("h.seconds"));
+  EXPECT_EQ(delta.histograms.at("h.seconds").count, 2);
+
+  MetricsSnapshot replay = from;
+  ApplySnapshotDelta(&replay, delta);
+  EXPECT_EQ(replay.counters, to.counters);
+  EXPECT_EQ(replay.gauges, to.gauges);
+  ASSERT_TRUE(replay.histograms.count("h.seconds"));
+  const Histogram::Snapshot& got = replay.histograms.at("h.seconds");
+  const Histogram::Snapshot& want = to.histograms.at("h.seconds");
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_EQ(got.bucket_counts, want.bucket_counts);
+}
+
+TEST(MetricsDeltaTest, UnchangedMetricsStayOutOfTheDelta) {
+  MetricsRegistry reg;
+  reg.GetCounter("steady.calls").Increment(5);
+  reg.GetGauge("steady.value").Set(3.0);
+  reg.GetHistogram("steady.seconds").Record(1.0);
+  const MetricsSnapshot snap = reg.Capture();
+  const MetricsDelta delta = DiffSnapshots(snap, snap);
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST(MetricsDeltaTest, WireRoundTripPreservesEverything) {
+  MetricsDelta delta;
+  delta.seq = 42;
+  delta.counters["net.bytes_sent"] = 123456789;
+  delta.counters["negative.adjustment"] = -7;
+  delta.gauges["temp"] = 0.25;
+  MetricsDelta::HistogramDelta h;
+  h.count = 3;
+  h.sum = 1.75;
+  h.min = 0.25;
+  h.max = 1.0;
+  h.bounds = {0.5, 1.0};
+  h.buckets = {1, 2, 0};
+  delta.histograms["lat"] = h;
+
+  const MetricsDelta out = RoundTrip(delta);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.counters, delta.counters);
+  EXPECT_EQ(out.gauges, delta.gauges);
+  ASSERT_TRUE(out.histograms.count("lat"));
+  EXPECT_EQ(out.histograms.at("lat").count, 3);
+  EXPECT_DOUBLE_EQ(out.histograms.at("lat").sum, 1.75);
+  EXPECT_EQ(out.histograms.at("lat").bounds, h.bounds);
+  EXPECT_EQ(out.histograms.at("lat").buckets, h.buckets);
+}
+
+TEST(MetricsDeltaTest, DecodeRejectsBucketBoundsMismatch) {
+  MetricsDelta delta;
+  delta.seq = 1;
+  MetricsDelta::HistogramDelta h;
+  h.count = 1;
+  h.bounds = {0.5};
+  h.buckets = {1};  // must be bounds.size() + 1 == 2
+  delta.histograms["bad"] = h;
+  serialize::Writer w;
+  EncodeMetricsDelta(delta, &w);
+  serialize::Reader r(w.payload());
+  MetricsDelta out;
+  EXPECT_FALSE(DecodeMetricsDelta(&r, &out).ok());
+}
+
+TEST(MetricsDeltaEncoderTest, SuccessiveDeltasCarryOnlyIncrements) {
+  MetricsRegistry reg;
+  MetricsDeltaEncoder encoder(&reg);
+
+  reg.GetCounter("phase.train.calls").Increment(2);
+  MetricsDelta first = encoder.Next();
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(first.counters.at("phase.train.calls"), 2);
+
+  // Nothing changed: the next delta is empty (but still sequenced).
+  MetricsDelta second = encoder.Next();
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_TRUE(second.empty());
+
+  reg.GetCounter("phase.train.calls").Increment(3);
+  MetricsDelta third = encoder.Next();
+  EXPECT_EQ(third.counters.at("phase.train.calls"), 3);
+}
+
+TEST(FleetMetricsMergerTest, BuildsWorkerAndFleetNamespaces) {
+  MetricsRegistry target;
+  FleetMetricsMerger merger(&target);
+
+  MetricsDelta d0;
+  d0.seq = 1;
+  d0.counters["phase.train.calls"] = 4;
+  d0.gauges["queue"] = 2.0;
+  EXPECT_TRUE(merger.Apply(0, d0));
+
+  MetricsDelta d1;
+  d1.seq = 1;
+  d1.counters["phase.train.calls"] = 6;
+  EXPECT_TRUE(merger.Apply(1, d1));
+
+  EXPECT_EQ(target.FindCounter("worker.0.phase.train.calls")->value(), 4);
+  EXPECT_EQ(target.FindCounter("worker.1.phase.train.calls")->value(), 6);
+  EXPECT_EQ(target.FindCounter("fleet.phase.train.calls")->value(), 10);
+  // Gauges land per-worker only: a fleet-wide last-write-wins is
+  // meaningless.
+  EXPECT_DOUBLE_EQ(target.FindGauge("worker.0.queue")->value(), 2.0);
+  EXPECT_EQ(target.FindGauge("fleet.queue"), nullptr);
+}
+
+TEST(FleetMetricsMergerTest, DuplicateSeqIsDroppedNotDoubleCounted) {
+  MetricsRegistry target;
+  FleetMetricsMerger merger(&target);
+  MetricsDelta d;
+  d.seq = 7;
+  d.counters["net.rpcs"] = 5;
+  EXPECT_TRUE(merger.Apply(3, d));
+  // Same delta re-delivered after an RPC retry: dropped.
+  EXPECT_FALSE(merger.Apply(3, d));
+  d.seq = 6;  // stale too
+  EXPECT_FALSE(merger.Apply(3, d));
+  EXPECT_EQ(target.FindCounter("fleet.net.rpcs")->value(), 5);
+  // A genuinely newer delta still lands.
+  d.seq = 8;
+  EXPECT_TRUE(merger.Apply(3, d));
+  EXPECT_EQ(target.FindCounter("fleet.net.rpcs")->value(), 10);
+  // Per-worker seq spaces are independent.
+  d.seq = 7;
+  EXPECT_TRUE(merger.Apply(4, d));
+}
+
+TEST(FleetMetricsMergerTest, HistogramBucketsMergeExactly) {
+  MetricsRegistry target;
+  FleetMetricsMerger merger(&target);
+
+  MetricsDelta d;
+  d.seq = 1;
+  MetricsDelta::HistogramDelta h;
+  h.count = 2;
+  h.sum = 0.6;
+  h.min = 0.1;
+  h.max = 0.5;
+  h.bounds = {0.25, 1.0};
+  h.buckets = {1, 1, 0};
+  d.histograms["lat.seconds"] = h;
+  ASSERT_TRUE(merger.Apply(0, d));
+
+  d.seq = 2;
+  h.count = 1;
+  h.sum = 2.0;
+  h.min = 0.1;  // sender absolutes
+  h.max = 2.0;
+  h.buckets = {0, 0, 1};
+  d.histograms["lat.seconds"] = h;
+  ASSERT_TRUE(merger.Apply(0, d));
+
+  const Histogram* fleet = target.FindHistogram("fleet.lat.seconds");
+  ASSERT_NE(fleet, nullptr);
+  const Histogram::Snapshot s = fleet->snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 2.6);
+  EXPECT_DOUBLE_EQ(s.min, 0.1);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  ASSERT_EQ(s.bucket_counts.size(), 3u);
+  EXPECT_EQ(s.bucket_counts[0], 1);
+  EXPECT_EQ(s.bucket_counts[1], 1);
+  EXPECT_EQ(s.bucket_counts[2], 1);
+}
+
+TEST(FleetMetricsMergerTest, BoundsMismatchIsCountedAndSkipped) {
+  MetricsRegistry target;
+  FleetMetricsMerger merger(&target);
+
+  MetricsDelta d;
+  d.seq = 1;
+  MetricsDelta::HistogramDelta h;
+  h.count = 1;
+  h.bounds = {1.0};
+  h.buckets = {1, 0};
+  d.histograms["lat"] = h;
+  ASSERT_TRUE(merger.Apply(0, d));
+
+  // Same name, different bounds: the merge is refused, not corrupted.
+  d.seq = 2;
+  h.bounds = {2.0};
+  d.histograms["lat"] = h;
+  ASSERT_TRUE(merger.Apply(0, d));
+
+  EXPECT_EQ(target.FindHistogram("fleet.lat")->count(), 1);
+  const Counter* errors = target.FindCounter("obs.fleet.merge_errors");
+  ASSERT_NE(errors, nullptr);
+  EXPECT_GE(errors->value(), 1);
+}
+
+TEST(HistogramMergeTest, RefusesMismatchedBoundsWithoutModification) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  Histogram other({1.0, 3.0});
+  other.Record(0.5);
+  EXPECT_FALSE(h.Merge(other.snapshot()));
+  EXPECT_EQ(h.count(), 1);  // untouched
+
+  Histogram same({1.0, 2.0});
+  same.Record(1.5);
+  EXPECT_TRUE(h.Merge(same.snapshot()));
+  EXPECT_EQ(h.count(), 2);
+  // Merging an empty snapshot is a no-op that still succeeds.
+  EXPECT_TRUE(h.Merge(Histogram({9.0}).snapshot()));
+  EXPECT_EQ(h.count(), 2);
+}
+
+}  // namespace
+}  // namespace fedgta

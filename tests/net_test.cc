@@ -8,7 +8,9 @@
 #include "net/frame.h"
 #include "net/rpc.h"
 #include "net/socket.h"
+#include "net/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedgta {
 namespace net {
@@ -313,6 +315,132 @@ TEST(RpcTest, ConnectWithRetryCountsRetriesAndGivesUp) {
   Result<Socket> conn = ConnectWithRetry("127.0.0.1", dead_port, options);
   EXPECT_FALSE(conn.ok());
   EXPECT_GE(retries.value() - before, 2);
+}
+
+TEST(RpcTest, EnvelopeCarriesTheSendersTraceContext) {
+  Loop loop = MakeLoop();
+  TraceContext ctx;
+  ctx.trace_id = 0x1234ABCDu;
+  ctx.span_id = 0x42u;
+  ctx.round = 9;
+  std::thread sender([&] {
+    ScopedTraceContext install(ctx);
+    HelloMsg hello;
+    ASSERT_TRUE(SendMessage(loop.peer, hello).ok());
+  });
+  Result<serialize::Reader> reader = RecvMessage(loop.client);
+  sender.join();
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  TraceContext got;
+  Result<MsgType> type = ReadMsgType(&*reader, &got);
+  ASSERT_TRUE(type.ok()) << type.status();
+  EXPECT_EQ(*type, MsgType::kHello);
+  EXPECT_EQ(got.trace_id, ctx.trace_id);
+  EXPECT_EQ(got.span_id, ctx.span_id);
+  EXPECT_EQ(got.round, 9);
+  // The envelope is consumed even when the caller does not ask for it —
+  // the payload that follows must decode either way.
+  HelloMsg hello;
+  EXPECT_TRUE(hello.Decode(&*reader).ok());
+  EXPECT_TRUE(reader->AtEnd());
+}
+
+TEST(RpcTest, EnvelopeIsConsumedWithoutAContextPointer) {
+  Loop loop = MakeLoop();
+  std::thread sender([&] {
+    HelloMsg hello;
+    ASSERT_TRUE(SendMessage(loop.peer, hello).ok());
+  });
+  Result<serialize::Reader> reader = RecvMessage(loop.client);
+  sender.join();
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  Result<MsgType> type = ReadMsgType(&*reader);
+  ASSERT_TRUE(type.ok()) << type.status();
+  HelloMsg hello;
+  EXPECT_TRUE(hello.Decode(&*reader).ok());
+  EXPECT_TRUE(reader->AtEnd());
+}
+
+TEST(RpcTest, HelloAssignClockStampsRoundTrip) {
+  Loop loop = MakeLoop();
+  std::thread sender([&] {
+    AssignConfigMsg assign;
+    assign.hello_recv_us = 111;
+    assign.assign_send_us = 222;
+    assign.worker_index = 3;
+    ASSERT_TRUE(SendMessage(loop.peer, assign).ok());
+  });
+  AssignConfigMsg got;
+  const Status received = ExpectMessage(loop.client, &got);
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received;
+  EXPECT_EQ(got.hello_recv_us, 111);
+  EXPECT_EQ(got.assign_send_us, 222);
+  EXPECT_EQ(got.worker_index, 3);
+}
+
+TEST(RpcTest, TrainResponsePiggybacksAMetricsDelta) {
+  Loop loop = MakeLoop();
+  std::thread sender([&] {
+    TrainResponseMsg resp;
+    resp.client_id = 4;
+    resp.metrics.seq = 17;
+    resp.metrics.counters["phase.remote_train.calls"] = 2;
+    ASSERT_TRUE(SendMessage(loop.peer, resp).ok());
+  });
+  TrainResponseMsg got;
+  const Status received = ExpectMessage(loop.client, &got);
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received;
+  EXPECT_EQ(got.client_id, 4);
+  EXPECT_EQ(got.metrics.seq, 17u);
+  EXPECT_EQ(got.metrics.counters.at("phase.remote_train.calls"), 2);
+}
+
+TEST(StatusServerTest, ServesLineRequestsUntilStopped) {
+  StatusServer status;
+  ASSERT_TRUE(status.Bind(0).ok());
+  ASSERT_TRUE(status.bound());
+  ASSERT_GT(status.port(), 0);
+  status.Start([](const std::string& request) {
+    return "echo:" + request + "\n";
+  });
+
+  const auto query = [&](const std::string& request) {
+    Result<Socket> conn = Connect("127.0.0.1", status.port(), 2000);
+    EXPECT_TRUE(conn.ok()) << conn.status();
+    const std::string line = request + "\n";
+    EXPECT_TRUE(conn->WriteFull(line.data(), line.size()).ok());
+    std::string reply;
+    char byte = 0;
+    while (conn->ReadFull(&byte, 1).ok()) reply.push_back(byte);
+    return reply;
+  };
+
+  EXPECT_EQ(query("status"), "echo:status\n");
+  // CRLF clients (telnet-style) get the same answer.
+  Result<Socket> crlf = Connect("127.0.0.1", status.port(), 2000);
+  ASSERT_TRUE(crlf.ok());
+  const std::string line = "metrics\r\n";
+  ASSERT_TRUE(crlf->WriteFull(line.data(), line.size()).ok());
+  std::string reply;
+  char byte = 0;
+  while (crlf->ReadFull(&byte, 1).ok()) reply.push_back(byte);
+  EXPECT_EQ(reply, "echo:metrics\n");
+
+  status.Stop();
+  // After Stop the port no longer accepts.
+  Result<Socket> dead = Connect("127.0.0.1", status.port(), 200);
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST(StatusServerTest, UnboundServerIsInertAndStopIsIdempotent) {
+  StatusServer status;
+  EXPECT_FALSE(status.bound());
+  EXPECT_EQ(status.port(), -1);
+  status.Start([](const std::string&) { return std::string(); });  // no-op
+  status.Stop();
+  status.Stop();
 }
 
 TEST(RpcTest, MessageBytesAreCountedByTheFrameLayer) {

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace fedgta {
@@ -353,6 +354,192 @@ TEST(TraceTest, EventsFromWorkerThreadsAreCollected) {
   }
   EXPECT_EQ(found, 64);
   ClearTrace();
+}
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            std::string_view name) {
+  for (const TraceEvent& e : events) {
+    if (std::string_view(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceContextTest, NestedScopesChainParentSpans) {
+  ClearTrace();
+  EnableTracing();
+  TraceContext ctx;
+  ctx.trace_id = 0xABCDu;
+  ctx.round = 7;
+  {
+    ScopedTraceContext install(ctx);
+    FEDGTA_TRACE_SCOPE("ctx_outer");
+    FEDGTA_TRACE_SCOPE("ctx_inner");
+  }
+  DisableTracing();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  const TraceEvent* outer = FindEvent(events, "ctx_outer");
+  const TraceEvent* inner = FindEvent(events, "ctx_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->trace_id, 0xABCDu);
+  EXPECT_EQ(inner->trace_id, 0xABCDu);
+  EXPECT_EQ(outer->round, 7);
+  EXPECT_EQ(inner->round, 7);
+  // The inner span's parent is the outer span; the outer span's parent is
+  // whatever the installed context carried (here: none).
+  EXPECT_NE(outer->span_id, 0u);
+  EXPECT_NE(inner->span_id, 0u);
+  EXPECT_NE(outer->span_id, inner->span_id);
+  EXPECT_EQ(inner->parent_span, outer->span_id);
+  EXPECT_EQ(outer->parent_span, 0u);
+  ClearTrace();
+}
+
+TEST(TraceContextTest, ScopedInstallRestoresPreviousContext) {
+  TraceContext ctx;
+  ctx.trace_id = 1;
+  ctx.round = 3;
+  {
+    ScopedTraceContext install(ctx);
+    EXPECT_EQ(CurrentTraceContext().trace_id, 1u);
+    EXPECT_EQ(CurrentTraceContext().round, 3);
+    TraceContext deeper;
+    deeper.trace_id = 2;
+    {
+      ScopedTraceContext install2(deeper);
+      EXPECT_EQ(CurrentTraceContext().trace_id, 2u);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, 1u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+}
+
+TEST(TraceContextTest, NewTraceIdsAreNonZeroAndDistinct) {
+  const uint64_t a = NewTraceId();
+  const uint64_t b = NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceContextTest, ChromeOutputCarriesContextPidAndOffset) {
+  ClearTrace();
+  SetTraceProcessId(5);
+  SetTraceProcessName("obs_test_proc");
+  SetTraceClockOffset(1000000);
+  EnableTracing();
+  TraceContext ctx;
+  ctx.trace_id = 0xBEEFu;
+  ctx.round = 2;
+  {
+    ScopedTraceContext install(ctx);
+    FEDGTA_TRACE_SCOPE("offset_span");
+  }
+  DisableTracing();
+  const std::string path = testing::TempDir() + "/fedgta_obs_ctx_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_TRUE(JsonValidator(content).Valid()) << content;
+  EXPECT_NE(content.find("\"pid\": 5"), std::string::npos);
+  EXPECT_NE(content.find("obs_test_proc"), std::string::npos);
+  EXPECT_NE(content.find("\"trace_id\": \"beef\""), std::string::npos);
+  EXPECT_NE(content.find("\"round\": 2"), std::string::npos);
+  // The offset shifts the emitted timestamps onto the server timebase; the
+  // raw in-memory event keeps the local clock.
+  const TraceEvent* e = FindEvent(CollectTraceEvents(), "offset_span");
+  ASSERT_NE(e, nullptr);
+  const std::string shifted =
+      "\"ts\": " + std::to_string(e->ts_us + 1000000);
+  EXPECT_NE(content.find(shifted), std::string::npos) << content;
+  std::remove(path.c_str());
+  SetTraceClockOffset(0);
+  SetTraceProcessId(1);
+  SetTraceProcessName("fedgta");
+  ClearTrace();
+}
+
+TEST(TraceMergeTest, CombinesFilesIntoOneValidTrace) {
+  const std::string dir = testing::TempDir();
+  const std::string a = dir + "/fedgta_merge_a.json";
+  const std::string b = dir + "/fedgta_merge_b.json";
+  const std::string out = dir + "/fedgta_merge_out.json";
+
+  ClearTrace();
+  SetTraceProcessId(1);
+  SetTraceProcessName("server");
+  EnableTracing();
+  {
+    FEDGTA_TRACE_SCOPE("server_span");
+  }
+  DisableTracing();
+  ASSERT_TRUE(WriteChromeTrace(a).ok());
+
+  ClearTrace();
+  SetTraceProcessId(2);
+  SetTraceProcessName("worker");
+  EnableTracing();
+  {
+    FEDGTA_TRACE_SCOPE("worker_span");
+  }
+  DisableTracing();
+  ASSERT_TRUE(WriteChromeTrace(b).ok());
+  SetTraceProcessId(1);
+  SetTraceProcessName("fedgta");
+  ClearTrace();
+
+  ASSERT_TRUE(MergeChromeTraces({a, b}, out).ok());
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_TRUE(JsonValidator(content).Valid()) << content;
+  EXPECT_NE(content.find("\"server_span\""), std::string::npos);
+  EXPECT_NE(content.find("\"worker_span\""), std::string::npos);
+  EXPECT_NE(content.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"pid\": 2"), std::string::npos);
+
+  EXPECT_FALSE(MergeChromeTraces({dir + "/fedgta_missing.json"}, out).ok());
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(TimelineTest, RecordsRoundsAndRendersValidJsonLines) {
+  Timeline timeline;
+  timeline.RoundStart(1, 4);
+  timeline.ClientFate(1, 0, "healthy", 0.5);
+  timeline.ClientFate(1, 1, "dropout", 0.0);
+  timeline.RoundEnd(1, 0.25, 0.05, 1024, 2048, 1, 0, 0);
+  timeline.RoundStart(2, 4);
+  EXPECT_EQ(timeline.current_round(), 2);
+  ASSERT_GE(timeline.size(), 5u);
+
+  const std::string lines = timeline.ToJsonLines();
+  std::stringstream stream(lines);
+  std::string line;
+  int n_lines = 0;
+  while (std::getline(stream, line)) {
+    ++n_lines;
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  }
+  EXPECT_GE(n_lines, 5);
+  EXPECT_NE(lines.find("\"round_start\""), std::string::npos);
+  EXPECT_NE(lines.find("\"round_end\""), std::string::npos);
+  EXPECT_NE(lines.find("\"client_fate\""), std::string::npos);
+  EXPECT_NE(lines.find("\"dropout\""), std::string::npos);
+}
+
+TEST(TimelineTest, CapacityBoundDropsOldestAndCounts) {
+  Timeline timeline(/*capacity=*/4);
+  for (int round = 1; round <= 6; ++round) timeline.RoundStart(round, 1);
+  EXPECT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline.dropped_events(), 2);
+  // The newest events survive.
+  EXPECT_EQ(timeline.current_round(), 6);
+  EXPECT_EQ(timeline.Events().front().round, 3);
 }
 
 }  // namespace
