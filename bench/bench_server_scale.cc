@@ -1,0 +1,282 @@
+// Server-plane scaling benchmark: per-round Eq. 6+7 server time versus
+// participant count, comparing the seed's scalar path against the GEMM
+// similarity plane (exact sweep and LSH-pruned candidate generation) with
+// the deduplicated parallel Eq. 7. Writes BENCH_server_scale.json — the
+// artifact behind the ≥5× 10k-participant server speedup claim (DESIGN.md
+// §5h) — and hard-fails if the aggregation sets diverge between modes or
+// the 10k speedup drops below 5×.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fedgta_metrics.h"
+#include "core/similarity.h"
+#include "linalg/backend.h"
+#include "linalg/ops.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace {
+
+// --- Verbatim replica of the seed's scalar server path (pre-plane) ---
+
+// Seed MomentSimilarityMatrix: full clients² buffer, one scalar
+// CosineSimilarity per pair (which re-derives both norms per call).
+Matrix SeedSimilarityMatrix(const std::vector<std::vector<float>>& moments,
+                            const std::vector<int>& participants) {
+  const int n = static_cast<int>(moments.size());
+  Matrix sim(n, n);
+  for (size_t a = 0; a < participants.size(); ++a) {
+    const int i = participants[a];
+    sim(i, i) = 1.0f;
+    for (size_t b = a + 1; b < participants.size(); ++b) {
+      const int j = participants[b];
+      const float s = static_cast<float>(
+          CosineSimilarity(moments[static_cast<size_t>(i)],
+                           moments[static_cast<size_t>(j)]));
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+std::vector<std::vector<int>> SeedBuildSets(
+    const std::vector<std::vector<float>>& moments,
+    const std::vector<int>& participants, double epsilon) {
+  const Matrix sim = SeedSimilarityMatrix(moments, participants);
+  std::vector<std::vector<int>> sets(moments.size());
+  for (int i : participants) {
+    auto& set = sets[static_cast<size_t>(i)];
+    set.push_back(i);
+    for (int j : participants) {
+      if (j == i) continue;
+      if (sim(i, j) >= static_cast<float>(epsilon)) set.push_back(j);
+    }
+  }
+  return sets;
+}
+
+// Seed Eq. 7: one serial weight-vector accumulation per client, no dedup.
+void SeedAggregate(const std::vector<ClientMetrics>& metrics,
+                   const std::vector<std::vector<float>>& params,
+                   const std::vector<int>& participants,
+                   const std::vector<std::vector<int>>& sets,
+                   std::vector<std::vector<float>>* personalized) {
+  for (int i : participants) {
+    const auto& set = sets[static_cast<size_t>(i)];
+    double weight_sum = 0.0;
+    for (int j : set) weight_sum += metrics[static_cast<size_t>(j)].confidence;
+    auto& out = (*personalized)[static_cast<size_t>(i)];
+    out.assign(params[static_cast<size_t>(set.front())].size(), 0.0f);
+    for (int j : set) {
+      const float w =
+          weight_sum > 0.0
+              ? static_cast<float>(
+                    metrics[static_cast<size_t>(j)].confidence / weight_sum)
+              : 1.0f / static_cast<float>(set.size());
+      Axpy(w, params[static_cast<size_t>(j)], out);
+    }
+  }
+}
+
+// --- Synthetic round: tight clusters, wide ε margins ---
+
+constexpr int kClusters = 32;
+constexpr int kMomentDim = 150;  // k=5 hops × K=3 orders × 10 classes
+constexpr int kParamDim = 2000;
+constexpr double kEpsilon = 0.9;
+
+struct Round {
+  std::vector<ClientMetrics> metrics;
+  std::vector<std::vector<float>> params;
+  std::vector<int64_t> train_sizes;
+  std::vector<int> participants;
+};
+
+Round MakeRound(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> centers(kClusters);
+  for (auto& c : centers) {
+    c.resize(kMomentDim);
+    for (float& x : c) x = rng.Normal();
+  }
+  Round round;
+  round.metrics.resize(static_cast<size_t>(n));
+  round.params.resize(static_cast<size_t>(n));
+  round.train_sizes.assign(static_cast<size_t>(n), 100);
+  round.participants.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& m = round.metrics[static_cast<size_t>(i)];
+    const auto& c = centers[static_cast<size_t>(i % kClusters)];
+    m.moments.resize(kMomentDim);
+    for (int j = 0; j < kMomentDim; ++j) {
+      m.moments[static_cast<size_t>(j)] =
+          c[static_cast<size_t>(j)] + 0.01f * rng.Normal();
+    }
+    m.confidence = 0.5 + 0.3 * rng.Uniform();
+    auto& p = round.params[static_cast<size_t>(i)];
+    p.resize(kParamDim);
+    for (float& x : p) x = rng.Normal();
+    round.participants[static_cast<size_t>(i)] = i;
+  }
+  return round;
+}
+
+int64_t CounterValue(const char* name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  int64_t pairs_exact = 0;
+  int64_t pairs_pruned = 0;
+  int64_t unique_sets = 0;
+  std::vector<std::vector<int>> sets;
+};
+
+ArmResult RunPlaneArm(const Round& round, SimilarityMode mode) {
+  FedGtaOptions options;
+  options.epsilon = kEpsilon;
+  options.similarity.mode = mode;
+  const int n = static_cast<int>(round.metrics.size());
+  std::vector<std::vector<float>> personalized(static_cast<size_t>(n));
+  const int64_t exact0 = CounterValue("fedgta.similarity.pairs_exact");
+  const int64_t pruned0 = CounterValue("fedgta.similarity.pairs_pruned");
+  const int64_t unique0 = CounterValue("fedgta.aggregation.unique_sets");
+  ArmResult arm;
+  WallTimer timer;
+  FedGtaAggregate(round.metrics, round.params, round.train_sizes,
+                  round.participants, options, &personalized, &arm.sets);
+  arm.seconds = timer.Seconds();
+  arm.pairs_exact = CounterValue("fedgta.similarity.pairs_exact") - exact0;
+  arm.pairs_pruned = CounterValue("fedgta.similarity.pairs_pruned") - pruned0;
+  arm.unique_sets = CounterValue("fedgta.aggregation.unique_sets") - unique0;
+  return arm;
+}
+
+ArmResult RunSeedArm(const Round& round) {
+  const int n = static_cast<int>(round.metrics.size());
+  std::vector<std::vector<float>> moments(static_cast<size_t>(n));
+  std::vector<std::vector<float>> personalized(static_cast<size_t>(n));
+  ArmResult arm;
+  WallTimer timer;
+  for (int i : round.participants) {
+    moments[static_cast<size_t>(i)] =
+        round.metrics[static_cast<size_t>(i)].moments;
+  }
+  arm.sets = SeedBuildSets(moments, round.participants, kEpsilon);
+  SeedAggregate(round.metrics, round.params, round.participants, arm.sets,
+                &personalized);
+  arm.seconds = timer.Seconds();
+  arm.pairs_exact =
+      static_cast<int64_t>(n) * (n - 1);  // every ordered pair, scalar
+  arm.unique_sets = n;                    // one weight vector per client
+  return arm;
+}
+
+struct SweepPoint {
+  int participants = 0;
+  ArmResult seed;
+  ArmResult exact;
+  ArmResult lsh;
+};
+
+void Run(const char* out_path) {
+  // Default to the fastest available kernel backend; FEDGTA_BACKEND still
+  // overrides for backend-sweep CI runs.
+  if (std::getenv("FEDGTA_BACKEND") == nullptr) {
+    for (const char* name : {"simd", "blocked"}) {
+      if (linalg::FindBackend(name) != nullptr) {
+        FEDGTA_CHECK(linalg::SetActiveBackend(name).ok());
+        break;
+      }
+    }
+  }
+  const std::string backend(linalg::ActiveBackend().name());
+
+  std::vector<SweepPoint> points;
+  for (int n : {1000, 10000}) {
+    std::printf("== %d participants (backend=%s) ==\n", n, backend.c_str());
+    std::fflush(stdout);
+    const Round round = MakeRound(n, /*seed=*/0xC0FFEE + n);
+    SweepPoint point;
+    point.participants = n;
+    point.seed = RunSeedArm(round);
+    point.exact = RunPlaneArm(round, SimilarityMode::kExact);
+    point.lsh = RunPlaneArm(round, SimilarityMode::kLsh);
+
+    // Parity across all three arms: identical Eq. 6 sets.
+    FEDGTA_CHECK(point.exact.sets == point.seed.sets)
+        << "exact-plane sets diverge from seed scalar sets at n=" << n;
+    FEDGTA_CHECK(point.lsh.sets == point.exact.sets)
+        << "lsh sets diverge from exact sets at n=" << n;
+
+    std::printf(
+        "  seed   %8.3f s\n  exact  %8.3f s (%.1fx)\n  lsh    %8.3f s "
+        "(%.1fx, pruned %lld/%lld pairs, %lld unique sets)\n",
+        point.seed.seconds, point.exact.seconds,
+        point.seed.seconds / point.exact.seconds, point.lsh.seconds,
+        point.seed.seconds / point.lsh.seconds,
+        static_cast<long long>(point.lsh.pairs_pruned),
+        static_cast<long long>(point.lsh.pairs_pruned +
+                               point.lsh.pairs_exact),
+        static_cast<long long>(point.lsh.unique_sets));
+    std::fflush(stdout);
+    points.push_back(std::move(point));
+  }
+
+  const SweepPoint& at10k = points.back();
+  const double best_seconds =
+      std::min(at10k.exact.seconds, at10k.lsh.seconds);
+  const double speedup_10k = at10k.seed.seconds / best_seconds;
+  FEDGTA_CHECK_GE(speedup_10k, 5.0)
+      << "10k-participant server plane speedup regressed below 5x";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s, skipping JSON dump\n", out_path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"backend\": \"%s\",\n  \"epsilon\": %.2f,\n"
+               "  \"clusters\": %d,\n  \"moment_dim\": %d,\n"
+               "  \"param_dim\": %d,\n  \"sweep\": [\n",
+               backend.c_str(), kEpsilon, kClusters, kMomentDim, kParamDim);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"participants\": %d, \"seed_scalar_seconds\": %.4f,\n"
+        "     \"exact_seconds\": %.4f, \"lsh_seconds\": %.4f,\n"
+        "     \"speedup_exact\": %.2f, \"speedup_lsh\": %.2f,\n"
+        "     \"lsh_pairs_pruned\": %lld, \"lsh_pairs_exact\": %lld,\n"
+        "     \"unique_sets\": %lld, \"sets_match\": true}%s\n",
+        p.participants, p.seed.seconds, p.exact.seconds, p.lsh.seconds,
+        p.seed.seconds / p.exact.seconds, p.seed.seconds / p.lsh.seconds,
+        static_cast<long long>(p.lsh.pairs_pruned),
+        static_cast<long long>(p.lsh.pairs_exact),
+        static_cast<long long>(p.lsh.unique_sets),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_10k\": %.2f\n}\n", speedup_10k);
+  std::fclose(f);
+  std::printf("server scale sweep written to %s (10k speedup %.1fx)\n",
+              out_path, speedup_10k);
+}
+
+}  // namespace
+}  // namespace fedgta
+
+int main() {
+  std::printf("== FedGTA server plane scaling (Eq. 6 + Eq. 7) ==\n");
+  fedgta::Run("BENCH_server_scale.json");
+  return 0;
+}

@@ -1,13 +1,17 @@
 #include "core/fedgta_metrics.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "core/label_propagation.h"
 #include "core/moments.h"
 #include "core/similarity.h"
 #include "core/smoothing_confidence.h"
 #include "graph/normalized_adjacency.h"
 #include "linalg/ops.h"
+#include "obs/metrics.h"
 
 namespace fedgta {
 
@@ -39,6 +43,19 @@ std::vector<float> PropagatedFeatureMoments(const CsrMatrix& op,
   NormalizeL2(feature_moments);
   return feature_moments;
 }
+
+// FNV-1a over the members of a canonical (sorted) aggregation set, for the
+// Eq. (7) dedup map.
+struct SetHash {
+  size_t operator()(const std::vector<int>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
 
 }  // namespace
 
@@ -122,42 +139,98 @@ void FedGtaAggregate(const std::vector<ClientMetrics>& metrics,
     for (int i : participants) {
       moments[static_cast<size_t>(i)] = metrics[static_cast<size_t>(i)].moments;
     }
-    double epsilon = options.epsilon;
     if (options.adaptive_epsilon) {
       // Adaptive-ε extension: threshold at the round's similarity quantile
-      // so the set sizes track the actual client heterogeneity.
-      const Matrix sim = MomentSimilarityMatrix(moments, participants);
-      epsilon = SimilarityQuantile(sim, participants,
-                                   options.adaptive_quantile);
+      // so the set sizes track the actual client heterogeneity. The quantile
+      // needs every pairwise value, so this path computes the full exact
+      // block once and derives both the threshold and the sets from it.
+      const SimilarityBlock block =
+          ComputeSimilarityBlock(moments, participants);
+      const double epsilon =
+          SimilarityQuantile(block, options.adaptive_quantile);
+      sets = SetsFromSimilarityBlock(block,
+                                     static_cast<int>(metrics.size()),
+                                     epsilon);
+    } else {
+      sets = BuildAggregationSets(moments, participants, options.epsilon,
+                                  options.similarity);
     }
-    sets = BuildAggregationSets(moments, participants, epsilon);
   }
 
-  // Eq. (7): confidence-weighted aggregation within each set.
-  for (int i : participants) {
-    const auto& set = sets[static_cast<size_t>(i)];
-    FEDGTA_CHECK(!set.empty());
-    double weight_sum = 0.0;
-    for (int j : set) {
-      weight_sum += options.disable_confidence
-                        ? static_cast<double>(
-                              std::max<int64_t>(1, train_sizes[static_cast<size_t>(j)]))
-                        : metrics[static_cast<size_t>(j)].confidence;
-    }
-    auto& out = (*personalized)[static_cast<size_t>(i)];
-    out.assign(params[static_cast<size_t>(set.front())].size(), 0.0f);
-    for (int j : set) {
-      const double weight =
-          options.disable_confidence
-              ? static_cast<double>(
-                    std::max<int64_t>(1, train_sizes[static_cast<size_t>(j)]))
-              : metrics[static_cast<size_t>(j)].confidence;
-      const float w = weight_sum > 0.0
-                          ? static_cast<float>(weight / weight_sum)
-                          : 1.0f / static_cast<float>(set.size());
-      Axpy(w, params[static_cast<size_t>(j)], out);
+  // Eq. (7): confidence-weighted aggregation within each set. Clients whose
+  // aggregation sets contain the same members get the same personalized
+  // weights, so group participants by canonical (sorted) set membership and
+  // compute each group's weight vector once. Accumulation runs in canonical
+  // member order — fixed by the set contents, not by which client asked —
+  // so the result is identical for every group member and invariant to the
+  // thread count (groups write disjoint `personalized` entries).
+  struct SetGroup {
+    std::vector<int> canonical;
+    std::vector<int> clients;
+  };
+  std::vector<SetGroup> groups;
+  {
+    std::unordered_map<std::vector<int>, size_t, SetHash> index;
+    index.reserve(participants.size());
+    for (int i : participants) {
+      const auto& set = sets[static_cast<size_t>(i)];
+      FEDGTA_CHECK(!set.empty());
+      std::vector<int> canonical = set;
+      std::sort(canonical.begin(), canonical.end());
+      auto [it, inserted] =
+          index.try_emplace(std::move(canonical), groups.size());
+      if (inserted) {
+        groups.push_back(SetGroup{it->first, {}});
+      }
+      groups[it->second].clients.push_back(i);
     }
   }
+  {
+    MetricsRegistry& obs = GlobalMetrics();
+    obs.GetCounter("fedgta.aggregation.unique_sets")
+        .Increment(static_cast<int64_t>(groups.size()));
+    const int64_t reused =
+        static_cast<int64_t>(participants.size()) -
+        static_cast<int64_t>(groups.size());
+    if (reused > 0) {
+      obs.GetCounter("fedgta.aggregation.dedup_reused").Increment(reused);
+    }
+  }
+  ParallelForChunked(
+      0, static_cast<int64_t>(groups.size()),
+      [&](int64_t lo, int64_t hi) {
+        std::vector<float> out;
+        for (int64_t g = lo; g < hi; ++g) {
+          const auto& set = groups[static_cast<size_t>(g)].canonical;
+          double weight_sum = 0.0;
+          for (int j : set) {
+            weight_sum +=
+                options.disable_confidence
+                    ? static_cast<double>(std::max<int64_t>(
+                          1, train_sizes[static_cast<size_t>(j)]))
+                    : metrics[static_cast<size_t>(j)].confidence;
+          }
+          out.assign(params[static_cast<size_t>(set.front())].size(), 0.0f);
+          for (int j : set) {
+            const double weight =
+                options.disable_confidence
+                    ? static_cast<double>(std::max<int64_t>(
+                          1, train_sizes[static_cast<size_t>(j)]))
+                    : metrics[static_cast<size_t>(j)].confidence;
+            const float w = weight_sum > 0.0
+                                ? static_cast<float>(weight / weight_sum)
+                                : 1.0f / static_cast<float>(set.size());
+            Axpy(w, params[static_cast<size_t>(j)], out);
+          }
+          const auto& clients = groups[static_cast<size_t>(g)].clients;
+          for (size_t c = 0; c + 1 < clients.size(); ++c) {
+            (*personalized)[static_cast<size_t>(clients[c])] = out;
+          }
+          (*personalized)[static_cast<size_t>(clients.back())] =
+              std::move(out);
+        }
+      },
+      /*min_chunk=*/1);
   if (aggregation_sets_out != nullptr) *aggregation_sets_out = std::move(sets);
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/similarity.h"
 #include "graph/graph.h"
 #include "linalg/csr.h"
 #include "linalg/matrix.h"
@@ -42,6 +43,11 @@ struct FedGtaOptions {
   /// adaptive aggregation mechanism", paper §5).
   bool adaptive_epsilon = false;
   double adaptive_quantile = 0.5;
+
+  /// Server similarity plane (Eq. 6 evaluation strategy). Adaptive-ε always
+  /// computes the full exact block — the quantile needs every pair — so the
+  /// mode only affects fixed-ε rounds.
+  SimilarityPlaneOptions similarity;
 };
 
 /// Everything a client uploads to the FedGTA server besides its weights

@@ -1,34 +1,339 @@
 #include "core/similarity.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "linalg/backend.h"
 #include "linalg/ops.h"
+#include "obs/metrics.h"
 #include "obs/phase.h"
 
 namespace fedgta {
 
-Matrix MomentSimilarityMatrix(const std::vector<std::vector<float>>& moments,
-                              const std::vector<int>& participants) {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void RecordSetStats(const SimilarityStats& stats) {
+  MetricsRegistry& metrics = GlobalMetrics();
+  if (stats.pairs_exact > 0) {
+    metrics.GetCounter("fedgta.similarity.pairs_exact")
+        .Increment(stats.pairs_exact);
+  }
+  if (stats.pairs_pruned > 0) {
+    metrics.GetCounter("fedgta.similarity.pairs_pruned")
+        .Increment(stats.pairs_pruned);
+  }
+  metrics
+      .GetCounter(std::string("fedgta.similarity.mode.") +
+                  std::string(SimilarityModeName(stats.mode_used)))
+      .Increment();
+}
+
+/// Row panel height for the exact sweep: bounds the transient block buffer
+/// to ~8 MiB regardless of the participant count.
+int64_t SweepPanelRows(int64_t p) {
+  return std::clamp<int64_t>((int64_t{1} << 21) / std::max<int64_t>(1, p),
+                             16, std::max<int64_t>(1, p));
+}
+
+/// Exact Eq. 6: sweep the cosine block in row panels through the backend
+/// GEMM; per-element values are bit-identical to the one-shot full block
+/// (chunk-invariance contract of GemmRows).
+std::vector<std::vector<int>> SetsViaExactSweep(
+    const Matrix& normalized, const std::vector<int>& participants,
+    int num_clients, double epsilon, SimilarityStats* stats) {
   FEDGTA_PHASE_SCOPE("similarity");
+  const int64_t p = normalized.rows();
+  const float eps = static_cast<float>(epsilon);
+  std::vector<std::vector<int>> sets(static_cast<size_t>(num_clients));
+  const int64_t panel = SweepPanelRows(p);
+  Matrix block;
+  for (int64_t r0 = 0; r0 < p; r0 += panel) {
+    const int64_t r1 = std::min<int64_t>(p, r0 + panel);
+    block.EnsureShape(r1 - r0, p);
+    GemmRowBlockABt(normalized, r0, r1, normalized, &block);
+    ParallelForChunked(
+        r0, r1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t a = lo; a < hi; ++a) {
+            const float* row = block.data() + (a - r0) * p;
+            auto& set = sets[static_cast<size_t>(
+                participants[static_cast<size_t>(a)])];
+            set.push_back(participants[static_cast<size_t>(a)]);
+            for (int64_t b = 0; b < p; ++b) {
+              if (b == a) continue;
+              if (row[b] >= eps) {
+                set.push_back(participants[static_cast<size_t>(b)]);
+              }
+            }
+          }
+        },
+        /*min_chunk=*/1);
+  }
+  stats->pairs_exact += p * (p - 1);
+  stats->mode_used = SimilarityMode::kExact;
+  return sets;
+}
+
+/// LSH Eq. 6: pack sign-random-projection signatures, prune pairs whose
+/// Hamming-estimated angle exceeds acos(ε)/π + margin, and exact-check the
+/// survivors through the same backend GEMM kernel as the exact sweep (the
+/// per-element accumulation order over the moment dimension is fixed by
+/// the backend, so surviving pairs get bit-identical similarity values).
+std::vector<std::vector<int>> SetsViaLsh(const Matrix& normalized,
+                                         const std::vector<int>& participants,
+                                         int num_clients, double epsilon,
+                                         const SimilarityPlaneOptions& plane,
+                                         SimilarityStats* stats) {
+  const int64_t p = normalized.rows();
+  const int64_t d = normalized.cols();
+  const float eps = static_cast<float>(epsilon);
+  const int64_t words =
+      std::max<int64_t>(1, (plane.lsh_signature_bits + 63) / 64);
+  const int64_t bits = words * 64;
+
+  // The prune threshold in Hamming bits. A keep-limit >= 1 keeps every
+  // pair (ε <= -1 admits everything; the screen must not prune).
+  const double t_eps = std::acos(std::clamp(epsilon, -1.0, 1.0)) / kPi;
+  const double keep_limit = t_eps + plane.lsh_margin;
+  const int64_t h_max =
+      keep_limit >= 1.0
+          ? bits
+          : static_cast<int64_t>(keep_limit * static_cast<double>(bits));
+
+  std::vector<uint64_t> sig(static_cast<size_t>(p * words), 0);
+  {
+    FEDGTA_PHASE_SCOPE("similarity_candidates");
+    // Shared random hyperplanes: one projection GEMM, then sign-pack. The
+    // plane depends only on (seed, moment dimension), so every round with
+    // the same upload shape reuses the same hash family.
+    Rng rng(plane.lsh_seed);
+    Matrix planes(d, bits);
+    planes.GaussianInit(rng, 1.0f);
+    const Matrix proj = MatMul(normalized, planes);
+    ParallelForChunked(0, p, [&](int64_t lo, int64_t hi) {
+      for (int64_t a = lo; a < hi; ++a) {
+        const float* row = proj.data() + a * bits;
+        uint64_t* out = sig.data() + a * words;
+        for (int64_t w = 0; w < words; ++w) {
+          uint64_t word = 0;
+          const float* src = row + w * 64;
+          for (int64_t l = 0; l < 64; ++l) {
+            if (src[l] >= 0.0f) word |= uint64_t{1} << l;
+          }
+          out[w] = word;
+        }
+      }
+    });
+  }
+
+  FEDGTA_PHASE_SCOPE("similarity");
+  std::vector<std::vector<int>> sets(static_cast<size_t>(num_clients));
+  std::atomic<int64_t> pruned{0};
+  std::atomic<int64_t> exact{0};
+  ParallelForChunked(
+      0, p,
+      [&](int64_t lo, int64_t hi) {
+        int64_t local_pruned = 0;
+        int64_t local_exact = 0;
+        std::vector<int64_t> cand;
+        Matrix gathered;
+        Matrix sims;
+        for (int64_t a = lo; a < hi; ++a) {
+          const int i = participants[static_cast<size_t>(a)];
+          auto& set = sets[static_cast<size_t>(i)];
+          set.push_back(i);
+          cand.clear();
+          const uint64_t* sa = sig.data() + a * words;
+          for (int64_t b = 0; b < p; ++b) {
+            if (b == a) continue;
+            const uint64_t* sb = sig.data() + b * words;
+            int64_t h = 0;
+            for (int64_t w = 0; w < words; ++w) {
+              h += std::popcount(sa[w] ^ sb[w]);
+            }
+            if (h > h_max) {
+              ++local_pruned;
+            } else {
+              cand.push_back(b);
+            }
+          }
+          local_exact += static_cast<int64_t>(cand.size());
+          if (cand.empty()) continue;
+          const int64_t c = static_cast<int64_t>(cand.size());
+          gathered.EnsureShape(c, d);
+          for (int64_t idx = 0; idx < c; ++idx) {
+            std::memcpy(gathered.data() + idx * d,
+                        normalized.data() + cand[static_cast<size_t>(idx)] * d,
+                        static_cast<size_t>(d) * sizeof(float));
+          }
+          sims.EnsureShape(1, c);
+          linalg::GemmCall call;
+          call.a = {normalized.data() + a * d, d, 1};
+          call.b = {gathered.data(), 1, d};  // transposed gathered view
+          call.m = 1;
+          call.n = c;
+          call.k = d;
+          call.alpha = 1.0f;
+          call.beta = 0.0f;
+          call.c = sims.data();
+          linalg::ActiveBackend().GemmRows(call, 0, 1);
+          for (int64_t idx = 0; idx < c; ++idx) {
+            if (sims.data()[idx] >= eps) {
+              set.push_back(participants[static_cast<size_t>(
+                  cand[static_cast<size_t>(idx)])]);
+            }
+          }
+        }
+        pruned.fetch_add(local_pruned, std::memory_order_relaxed);
+        exact.fetch_add(local_exact, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/1);
+  stats->pairs_pruned += pruned.load(std::memory_order_relaxed);
+  stats->pairs_exact += exact.load(std::memory_order_relaxed);
+  stats->mode_used = SimilarityMode::kLsh;
+  return sets;
+}
+
+double QuantileOfPairValues(std::vector<float>* values, double q) {
+  if (values->empty()) return 0.0;
+  const size_t idx = std::min(
+      values->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values->size())));
+  // Same element the historical full std::sort selected, at O(n²) instead
+  // of O(n² log n): nth_element places values[idx] in its sorted position.
+  std::nth_element(values->begin(),
+                   values->begin() + static_cast<int64_t>(idx),
+                   values->end());
+  return (*values)[idx];
+}
+
+}  // namespace
+
+bool ParseSimilarityMode(std::string_view name, SimilarityMode* mode) {
+  FEDGTA_CHECK(mode != nullptr);
+  if (name == "exact") {
+    *mode = SimilarityMode::kExact;
+  } else if (name == "auto") {
+    *mode = SimilarityMode::kAuto;
+  } else if (name == "lsh") {
+    *mode = SimilarityMode::kLsh;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view SimilarityModeName(SimilarityMode mode) {
+  switch (mode) {
+    case SimilarityMode::kExact:
+      return "exact";
+    case SimilarityMode::kAuto:
+      return "auto";
+    case SimilarityMode::kLsh:
+      return "lsh";
+  }
+  return "exact";
+}
+
+Matrix StackNormalizedMoments(const std::vector<std::vector<float>>& moments,
+                              const std::vector<int>& participants) {
+  const int64_t p = static_cast<int64_t>(participants.size());
   const int n = static_cast<int>(moments.size());
-  Matrix sim(n, n);
+  int64_t d = 0;
   for (size_t a = 0; a < participants.size(); ++a) {
     const int i = participants[a];
     FEDGTA_CHECK(i >= 0 && i < n);
-    sim(i, i) = 1.0f;
-    for (size_t b = a + 1; b < participants.size(); ++b) {
-      const int j = participants[b];
-      FEDGTA_CHECK_EQ(moments[static_cast<size_t>(i)].size(),
-                      moments[static_cast<size_t>(j)].size());
-      const float s = static_cast<float>(
-          CosineSimilarity(moments[static_cast<size_t>(i)],
-                           moments[static_cast<size_t>(j)]));
-      sim(i, j) = s;
-      sim(j, i) = s;
+    const auto& m = moments[static_cast<size_t>(i)];
+    if (a == 0) {
+      d = static_cast<int64_t>(m.size());
+    } else {
+      FEDGTA_CHECK_EQ(m.size(), static_cast<size_t>(d));
     }
   }
-  return sim;
+  Matrix stacked(p, d);
+  ParallelForChunked(0, p, [&](int64_t lo, int64_t hi) {
+    for (int64_t a = lo; a < hi; ++a) {
+      const auto& src =
+          moments[static_cast<size_t>(participants[static_cast<size_t>(a)])];
+      float* dst = stacked.data() + a * d;
+      double sq = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        sq += static_cast<double>(src[static_cast<size_t>(j)]) *
+              static_cast<double>(src[static_cast<size_t>(j)]);
+      }
+      const double norm = std::sqrt(sq);
+      if (norm > 0.0) {
+        for (int64_t j = 0; j < d; ++j) {
+          dst[j] =
+              static_cast<float>(src[static_cast<size_t>(j)] / norm);
+        }
+      } else {
+        std::fill(dst, dst + d, 0.0f);
+      }
+    }
+  });
+  return stacked;
+}
+
+SimilarityBlock ComputeSimilarityBlock(
+    const std::vector<std::vector<float>>& moments,
+    const std::vector<int>& participants) {
+  FEDGTA_PHASE_SCOPE("similarity");
+  SimilarityBlock block;
+  block.participants = participants;
+  const Matrix normalized = StackNormalizedMoments(moments, participants);
+  const int64_t p = normalized.rows();
+  block.values.EnsureShape(p, p);
+  GemmRowBlockABt(normalized, 0, p, normalized, &block.values);
+  // Historical convention: participants have a unit diagonal even when
+  // their moment vector is all-zero.
+  for (int64_t a = 0; a < p; ++a) block.values(a, a) = 1.0f;
+  return block;
+}
+
+std::vector<std::vector<int>> SetsFromSimilarityBlock(
+    const SimilarityBlock& block, int num_clients, double epsilon) {
+  const int64_t p = block.values.rows();
+  const float eps = static_cast<float>(epsilon);
+  std::vector<std::vector<int>> sets(static_cast<size_t>(num_clients));
+  for (int64_t a = 0; a < p; ++a) {
+    const int i = block.participants[static_cast<size_t>(a)];
+    FEDGTA_CHECK(i >= 0 && i < num_clients);
+    auto& set = sets[static_cast<size_t>(i)];
+    set.push_back(i);
+    for (int64_t b = 0; b < p; ++b) {
+      if (b == a) continue;
+      if (block.values(a, b) >= eps) {
+        set.push_back(block.participants[static_cast<size_t>(b)]);
+      }
+    }
+  }
+  SimilarityStats stats;
+  stats.pairs_exact = p * (p - 1);
+  stats.mode_used = SimilarityMode::kExact;
+  RecordSetStats(stats);
+  return sets;
+}
+
+double SimilarityQuantile(const SimilarityBlock& block, double q) {
+  FEDGTA_CHECK_GE(q, 0.0);
+  FEDGTA_CHECK_LE(q, 1.0);
+  const int64_t p = block.values.rows();
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(p * (p - 1) / 2));
+  for (int64_t a = 0; a < p; ++a) {
+    for (int64_t b = a + 1; b < p; ++b) {
+      values.push_back(block.values(a, b));
+    }
+  }
+  return QuantileOfPairValues(&values, q);
 }
 
 double SimilarityQuantile(const Matrix& similarity,
@@ -41,26 +346,56 @@ double SimilarityQuantile(const Matrix& similarity,
       values.push_back(similarity(participants[a], participants[b]));
     }
   }
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const size_t idx = std::min(
-      values.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(values.size())));
-  return values[idx];
+  return QuantileOfPairValues(&values, q);
+}
+
+Matrix MomentSimilarityMatrix(const std::vector<std::vector<float>>& moments,
+                              const std::vector<int>& participants) {
+  const int n = static_cast<int>(moments.size());
+  const SimilarityBlock block = ComputeSimilarityBlock(moments, participants);
+  Matrix sim(n, n);
+  const int64_t p = block.values.rows();
+  for (int64_t a = 0; a < p; ++a) {
+    const int i = block.participants[static_cast<size_t>(a)];
+    for (int64_t b = 0; b < p; ++b) {
+      sim(i, block.participants[static_cast<size_t>(b)]) =
+          block.values(a, b);
+    }
+  }
+  return sim;
 }
 
 std::vector<std::vector<int>> BuildAggregationSets(
     const std::vector<std::vector<float>>& moments,
     const std::vector<int>& participants, double epsilon) {
-  const Matrix sim = MomentSimilarityMatrix(moments, participants);
-  std::vector<std::vector<int>> sets(moments.size());
-  for (int i : participants) {
-    auto& set = sets[static_cast<size_t>(i)];
-    set.push_back(i);
-    for (int j : participants) {
-      if (j == i) continue;
-      if (sim(i, j) >= static_cast<float>(epsilon)) set.push_back(j);
-    }
+  SimilarityPlaneOptions exact;
+  return BuildAggregationSets(moments, participants, epsilon, exact);
+}
+
+std::vector<std::vector<int>> BuildAggregationSets(
+    const std::vector<std::vector<float>>& moments,
+    const std::vector<int>& participants, double epsilon,
+    const SimilarityPlaneOptions& plane, SimilarityStats* stats) {
+  const Matrix normalized = StackNormalizedMoments(moments, participants);
+  const int64_t p = normalized.rows();
+  SimilarityMode mode = plane.mode;
+  if (mode == SimilarityMode::kAuto) {
+    mode = p >= plane.auto_lsh_min_participants ? SimilarityMode::kLsh
+                                                : SimilarityMode::kExact;
+  }
+  SimilarityStats local;
+  const int num_clients = static_cast<int>(moments.size());
+  std::vector<std::vector<int>> sets =
+      mode == SimilarityMode::kLsh
+          ? SetsViaLsh(normalized, participants, num_clients, epsilon, plane,
+                       &local)
+          : SetsViaExactSweep(normalized, participants, num_clients, epsilon,
+                              &local);
+  RecordSetStats(local);
+  if (stats != nullptr) {
+    stats->pairs_exact += local.pairs_exact;
+    stats->pairs_pruned += local.pairs_pruned;
+    stats->mode_used = local.mode_used;
   }
   return sets;
 }

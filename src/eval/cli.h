@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/similarity.h"
 #include "data/registry.h"
 #include "eval/experiment.h"
 #include "fed/remote_client_runner.h"
@@ -47,6 +48,8 @@ struct ExperimentCli {
   double epsilon = 0.3;
   bool adaptive_epsilon = false;
   bool feature_moments = false;
+  /// Eq. 6 evaluation strategy: exact | auto | lsh (DESIGN.md §5h).
+  std::string similarity_mode = "exact";
   uint64_t seed = 42;
 
   // Failure injection (run_experiment, server).
@@ -90,6 +93,7 @@ struct ExperimentCli {
   // Filled by validation (run_experiment, server).
   ModelType model_type = ModelType::kGamlp;
   SplitMethod split_method = SplitMethod::kLouvain;
+  SimilarityMode similarity_mode_parsed = SimilarityMode::kExact;
 
   /// Strategy options assembled from the flags above.
   StrategyOptions ToStrategyOptions() const;

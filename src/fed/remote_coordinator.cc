@@ -526,6 +526,21 @@ std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
                      static_cast<long long>(s.count), s.Quantile(0.5),
                      s.Quantile(0.99));
   }
+  // Similarity/aggregation plane counters (DESIGN.md §5h) — present once
+  // the first FedGTA aggregation has run.
+  {
+    std::string plane;
+    for (const char* name :
+         {"fedgta.similarity.pairs_exact", "fedgta.similarity.pairs_pruned",
+          "fedgta.aggregation.unique_sets",
+          "fedgta.aggregation.dedup_reused"}) {
+      const Counter* c = GlobalMetrics().FindCounter(name);
+      if (c == nullptr) continue;
+      plane += StrFormat("  %s: %lld\n", name,
+                         static_cast<long long>(c->value()));
+    }
+    if (!plane.empty()) out += "similarity:\n" + plane;
+  }
   return out;
 }
 

@@ -50,6 +50,42 @@ void Gemm(const Matrix& a, Transpose trans_a, const Matrix& b,
       /*min_chunk=*/std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, n * ka)));
 }
 
+void GemmRowBlockABt(const Matrix& a, int64_t row_begin, int64_t row_end,
+                     const Matrix& b, Matrix* c) {
+  FEDGTA_PHASE_SCOPE("gemm");
+  FEDGTA_CHECK(c != nullptr);
+  FEDGTA_CHECK(row_begin >= 0 && row_begin <= row_end &&
+               row_end <= a.rows());
+  FEDGTA_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = row_end - row_begin;
+  const int64_t n = b.rows();
+  const int64_t k = a.cols();
+  FEDGTA_CHECK_EQ(c->rows(), m);
+  FEDGTA_CHECK_EQ(c->cols(), n);
+  if (m == 0 || n == 0) return;
+
+  linalg::GemmCall call;
+  call.a = {a.data() + row_begin * k, k, 1};
+  call.b = {b.data(), 1, k};  // transposed view, as MatMul(.., kYes) builds
+  call.m = m;
+  call.n = n;
+  call.k = k;
+  call.alpha = 1.0f;
+  call.beta = 0.0f;
+  call.c = c->data();
+
+  const linalg::Backend& backend = linalg::ActiveBackend();
+  if (m * n * k < (1 << 16)) {
+    backend.GemmRows(call, 0, m);
+    return;
+  }
+  ParallelForChunked(
+      0, m,
+      [&](int64_t lo, int64_t hi) { backend.GemmRows(call, lo, hi); },
+      /*min_chunk=*/std::max<int64_t>(
+          1, (1 << 15) / std::max<int64_t>(1, n * k)));
+}
+
 Matrix MatMul(const Matrix& a, const Matrix& b, Transpose trans_a,
               Transpose trans_b) {
   const int64_t m = trans_a == Transpose::kNo ? a.rows() : a.cols();

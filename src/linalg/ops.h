@@ -23,6 +23,15 @@ Matrix MatMul(const Matrix& a, const Matrix& b,
               Transpose trans_a = Transpose::kNo,
               Transpose trans_b = Transpose::kNo);
 
+/// C = A[row_begin:row_end, :] * Bᵀ where A and B share a column count and
+/// C is (row_end - row_begin) x B.rows(). The server similarity plane uses
+/// this to sweep a cosine block in row panels without materializing the
+/// full participants² matrix. Same backend dispatch, chunking, and
+/// per-element determinism contract as Gemm — the value of C(i, j) is
+/// bit-identical to the corresponding element of MatMul(A, B, kNo, kYes).
+void GemmRowBlockABt(const Matrix& a, int64_t row_begin, int64_t row_end,
+                     const Matrix& b, Matrix* c);
+
 /// Adds row-vector `bias` (length cols) to every row of `m`.
 void AddRowBroadcast(const Matrix& bias, Matrix* m);
 

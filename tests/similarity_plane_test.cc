@@ -1,0 +1,371 @@
+// Tests of the server similarity/aggregation plane (DESIGN.md §5h): the
+// GEMM-backed Eq. 6 block, the LSH candidate prescreen's exact-set parity,
+// the nth_element quantile rewrite, and the deduplicated parallel Eq. 7.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/fedgta_metrics.h"
+#include "core/similarity.h"
+#include "linalg/ops.h"
+#include "obs/metrics.h"
+
+namespace fedgta {
+namespace {
+
+// Synthetic moment table: `clusters` well-separated directions in d dims,
+// each client a small perturbation of its cluster center. Intra-cluster
+// cosine stays near 1, inter-cluster near 0 — so Eq. 6 sets are stable
+// under any correct similarity evaluation.
+std::vector<std::vector<float>> ClusteredMoments(int n, int clusters, int d,
+                                                 uint64_t seed,
+                                                 float noise = 0.05f) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> centers(static_cast<size_t>(clusters));
+  for (auto& c : centers) {
+    c.resize(static_cast<size_t>(d));
+    for (float& x : c) x = rng.Normal();
+  }
+  std::vector<std::vector<float>> moments(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& c = centers[static_cast<size_t>(i % clusters)];
+    auto& m = moments[static_cast<size_t>(i)];
+    m.resize(static_cast<size_t>(d));
+    for (int j = 0; j < d; ++j) {
+      m[static_cast<size_t>(j)] =
+          c[static_cast<size_t>(j)] + noise * rng.Normal();
+    }
+  }
+  return moments;
+}
+
+std::vector<int> AllParticipants(int n) {
+  std::vector<int> participants(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) participants[static_cast<size_t>(i)] = i;
+  return participants;
+}
+
+int64_t CounterValue(const char* name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(SimilarityModeTest, ParsesAllNamesAndRejectsUnknown) {
+  SimilarityMode mode = SimilarityMode::kLsh;
+  EXPECT_TRUE(ParseSimilarityMode("exact", &mode));
+  EXPECT_EQ(mode, SimilarityMode::kExact);
+  EXPECT_TRUE(ParseSimilarityMode("auto", &mode));
+  EXPECT_EQ(mode, SimilarityMode::kAuto);
+  EXPECT_TRUE(ParseSimilarityMode("lsh", &mode));
+  EXPECT_EQ(mode, SimilarityMode::kLsh);
+  EXPECT_FALSE(ParseSimilarityMode("cosine", &mode));
+  EXPECT_FALSE(ParseSimilarityMode("", &mode));
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kExact), "exact");
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kAuto), "auto");
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kLsh), "lsh");
+}
+
+TEST(SimilarityBlockTest, MatchesScalarCosine) {
+  const auto moments = ClusteredMoments(17, 4, 23, /*seed=*/7);
+  const auto participants = AllParticipants(17);
+  const SimilarityBlock block = ComputeSimilarityBlock(moments, participants);
+  ASSERT_EQ(block.values.rows(), 17);
+  ASSERT_EQ(block.values.cols(), 17);
+  for (int a = 0; a < 17; ++a) {
+    EXPECT_FLOAT_EQ(block.values(a, a), 1.0f);
+    for (int b = 0; b < 17; ++b) {
+      if (a == b) continue;
+      const double expected = CosineSimilarity(
+          moments[static_cast<size_t>(a)], moments[static_cast<size_t>(b)]);
+      EXPECT_NEAR(block.values(a, b), expected, 1e-5)
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(SimilarityBlockTest, LegacyMatrixScattersTheBlock) {
+  const int n = 12;
+  const auto moments = ClusteredMoments(n, 3, 10, /*seed=*/11);
+  std::vector<int> participants = {1, 3, 4, 8, 11};
+  const SimilarityBlock block = ComputeSimilarityBlock(moments, participants);
+  const Matrix legacy = MomentSimilarityMatrix(moments, participants);
+  ASSERT_EQ(legacy.rows(), n);
+  ASSERT_EQ(legacy.cols(), n);
+  std::vector<bool> in(static_cast<size_t>(n), false);
+  for (int i : participants) in[static_cast<size_t>(i)] = true;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (in[static_cast<size_t>(i)] && in[static_cast<size_t>(j)]) {
+        const auto a = std::find(participants.begin(), participants.end(), i) -
+                       participants.begin();
+        const auto b = std::find(participants.begin(), participants.end(), j) -
+                       participants.begin();
+        EXPECT_EQ(legacy(i, j), block.values(a, b));
+      } else {
+        EXPECT_EQ(legacy(i, j), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(SimilarityQuantileTest, NthElementMatchesFullSortReference) {
+  const auto moments = ClusteredMoments(23, 5, 14, /*seed=*/3);
+  const auto participants = AllParticipants(23);
+  const SimilarityBlock block = ComputeSimilarityBlock(moments, participants);
+  // Reference: the historical full-sort selection.
+  std::vector<float> values;
+  for (int a = 0; a < 23; ++a) {
+    for (int b = a + 1; b < 23; ++b) values.push_back(block.values(a, b));
+  }
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::vector<float> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    EXPECT_EQ(SimilarityQuantile(block, q), sorted[idx]) << "q=" << q;
+  }
+}
+
+TEST(SimilarityQuantileTest, BlockAndLegacyOverloadsAgree) {
+  const auto moments = ClusteredMoments(15, 4, 9, /*seed=*/29);
+  const auto participants = AllParticipants(15);
+  const SimilarityBlock block = ComputeSimilarityBlock(moments, participants);
+  const Matrix legacy = MomentSimilarityMatrix(moments, participants);
+  for (double q : {0.0, 0.3, 0.5, 0.95}) {
+    EXPECT_EQ(SimilarityQuantile(block, q),
+              SimilarityQuantile(legacy, participants, q));
+  }
+}
+
+TEST(SimilarityQuantileTest, EmptyAndSingleParticipantReturnZero) {
+  const auto moments = ClusteredMoments(3, 1, 5, /*seed=*/1);
+  for (const std::vector<int>& participants :
+       {std::vector<int>{}, std::vector<int>{2}}) {
+    const SimilarityBlock block =
+        ComputeSimilarityBlock(moments, participants);
+    EXPECT_EQ(SimilarityQuantile(block, 0.5), 0.0);
+  }
+}
+
+// The tentpole parity contract: LSH-pruned set building returns exactly the
+// exact oracle's sets — same members, same order — because survivors are
+// exact-checked through the same GEMM kernel and the prescreen margin makes
+// false negatives vanishingly unlikely (deterministic here: fixed seeds).
+TEST(SimilarityParityTest, LshSetsMatchExactOracle) {
+  for (uint64_t seed : {5ull, 77ull, 991ull}) {
+    for (int n : {8, 60, 300}) {
+      for (double epsilon : {0.1, 0.3, 0.8}) {
+        const auto moments =
+            ClusteredMoments(n, std::max(2, n / 8), 31, seed, 0.15f);
+        const auto participants = AllParticipants(n);
+        const auto exact =
+            BuildAggregationSets(moments, participants, epsilon);
+        SimilarityPlaneOptions plane;
+        plane.mode = SimilarityMode::kLsh;
+        SimilarityStats stats;
+        const auto lsh = BuildAggregationSets(moments, participants, epsilon,
+                                              plane, &stats);
+        EXPECT_EQ(exact, lsh)
+            << "n=" << n << " epsilon=" << epsilon << " seed=" << seed;
+        EXPECT_EQ(stats.mode_used, SimilarityMode::kLsh);
+        EXPECT_EQ(stats.pairs_exact + stats.pairs_pruned,
+                  static_cast<int64_t>(n) * (n - 1));
+      }
+    }
+  }
+}
+
+TEST(SimilarityParityTest, LshPrunesPairsOnSeparatedClusters) {
+  // Orthogonal-ish clusters at a high threshold: most cross-cluster pairs
+  // have Hamming distance far above the screen and must be pruned.
+  const int n = 120;
+  const auto moments = ClusteredMoments(n, 8, 64, /*seed=*/13, 0.02f);
+  const auto participants = AllParticipants(n);
+  SimilarityPlaneOptions plane;
+  plane.mode = SimilarityMode::kLsh;
+  SimilarityStats stats;
+  const auto lsh =
+      BuildAggregationSets(moments, participants, 0.9, plane, &stats);
+  EXPECT_EQ(lsh, BuildAggregationSets(moments, participants, 0.9));
+  EXPECT_GT(stats.pairs_pruned, 0);
+}
+
+TEST(SimilarityParityTest, AutoModeSwitchesOnParticipantCount) {
+  const auto moments = ClusteredMoments(20, 4, 16, /*seed=*/21);
+  SimilarityPlaneOptions plane;
+  plane.mode = SimilarityMode::kAuto;
+  plane.auto_lsh_min_participants = 12;
+
+  SimilarityStats small_stats;
+  std::vector<int> small(8);
+  for (int i = 0; i < 8; ++i) small[static_cast<size_t>(i)] = i;
+  (void)BuildAggregationSets(moments, small, 0.3, plane, &small_stats);
+  EXPECT_EQ(small_stats.mode_used, SimilarityMode::kExact);
+
+  SimilarityStats large_stats;
+  (void)BuildAggregationSets(moments, AllParticipants(20), 0.3, plane,
+                             &large_stats);
+  EXPECT_EQ(large_stats.mode_used, SimilarityMode::kLsh);
+}
+
+// End-to-end Eq. 6+7: with LSH sets equal to exact sets, the personalized
+// weights must be bit-identical — same sets, same canonical accumulation.
+TEST(FedGtaAggregatePlaneTest, ExactAndLshWeightsBitIdentical) {
+  const int n = 64;
+  const int dim = 300;
+  Rng rng(99);
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n));
+  std::vector<std::vector<float>> params(static_cast<size_t>(n));
+  std::vector<int64_t> train_sizes(static_cast<size_t>(n));
+  const auto moments = ClusteredMoments(n, 6, 24, /*seed=*/41, 0.05f);
+  for (int i = 0; i < n; ++i) {
+    metrics[static_cast<size_t>(i)].moments = moments[static_cast<size_t>(i)];
+    metrics[static_cast<size_t>(i)].confidence = 0.5 + 0.01 * i;
+    params[static_cast<size_t>(i)].resize(static_cast<size_t>(dim));
+    for (float& x : params[static_cast<size_t>(i)]) x = rng.Normal();
+    train_sizes[static_cast<size_t>(i)] = 10 + i;
+  }
+  const auto participants = AllParticipants(n);
+
+  FedGtaOptions exact_options;
+  exact_options.epsilon = 0.4;
+  std::vector<std::vector<float>> exact_out(static_cast<size_t>(n));
+  std::vector<std::vector<int>> exact_sets;
+  FedGtaAggregate(metrics, params, train_sizes, participants, exact_options,
+                  &exact_out, &exact_sets);
+
+  FedGtaOptions lsh_options = exact_options;
+  lsh_options.similarity.mode = SimilarityMode::kLsh;
+  std::vector<std::vector<float>> lsh_out(static_cast<size_t>(n));
+  std::vector<std::vector<int>> lsh_sets;
+  FedGtaAggregate(metrics, params, train_sizes, participants, lsh_options,
+                  &lsh_out, &lsh_sets);
+
+  EXPECT_EQ(exact_sets, lsh_sets);
+  EXPECT_EQ(exact_out, lsh_out);  // bitwise: float vectors compared exactly
+}
+
+// Dedup correctness: the grouped Eq. 7 must produce exactly what a naive
+// per-client canonical-order accumulation produces, and clients sharing a
+// set must share bit-identical weights.
+TEST(FedGtaAggregatePlaneTest, DedupMatchesNaiveCanonicalReference) {
+  const int n = 30;
+  const int dim = 50;
+  Rng rng(123);
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n));
+  std::vector<std::vector<float>> params(static_cast<size_t>(n));
+  std::vector<int64_t> train_sizes(static_cast<size_t>(n));
+  // Three tight clusters -> exactly three distinct aggregation sets, each
+  // shared by 10 clients.
+  const auto moments = ClusteredMoments(n, 3, 12, /*seed=*/55, 0.01f);
+  for (int i = 0; i < n; ++i) {
+    metrics[static_cast<size_t>(i)].moments = moments[static_cast<size_t>(i)];
+    metrics[static_cast<size_t>(i)].confidence = 1.0 + 0.1 * (i % 7);
+    params[static_cast<size_t>(i)].resize(static_cast<size_t>(dim));
+    for (float& x : params[static_cast<size_t>(i)]) x = rng.Normal();
+    train_sizes[static_cast<size_t>(i)] = 5 + i;
+  }
+  const auto participants = AllParticipants(n);
+
+  FedGtaOptions options;
+  options.epsilon = 0.8;
+  const int64_t unique_before =
+      CounterValue("fedgta.aggregation.unique_sets");
+  std::vector<std::vector<float>> out(static_cast<size_t>(n));
+  std::vector<std::vector<int>> sets;
+  FedGtaAggregate(metrics, params, train_sizes, participants, options, &out,
+                  &sets);
+  EXPECT_EQ(CounterValue("fedgta.aggregation.unique_sets") - unique_before,
+            3);
+
+  for (int i : participants) {
+    std::vector<int> canonical = sets[static_cast<size_t>(i)];
+    std::sort(canonical.begin(), canonical.end());
+    double weight_sum = 0.0;
+    for (int j : canonical) {
+      weight_sum += metrics[static_cast<size_t>(j)].confidence;
+    }
+    std::vector<float> expected(static_cast<size_t>(dim), 0.0f);
+    for (int j : canonical) {
+      const float w = static_cast<float>(
+          metrics[static_cast<size_t>(j)].confidence / weight_sum);
+      Axpy(w, params[static_cast<size_t>(j)], expected);
+    }
+    EXPECT_EQ(out[static_cast<size_t>(i)], expected) << "client " << i;
+  }
+  // Clients in the same cluster share the set, hence identical weights.
+  EXPECT_EQ(out[0], out[3]);
+  EXPECT_EQ(out[1], out[4]);
+}
+
+TEST(FedGtaAggregatePlaneTest, ResultsInvariantToThreadCount) {
+  const int n = 48;
+  const int dim = 80;
+  Rng rng(7);
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n));
+  std::vector<std::vector<float>> params(static_cast<size_t>(n));
+  std::vector<int64_t> train_sizes(static_cast<size_t>(n), 10);
+  const auto moments = ClusteredMoments(n, 5, 20, /*seed=*/77, 0.1f);
+  for (int i = 0; i < n; ++i) {
+    metrics[static_cast<size_t>(i)].moments = moments[static_cast<size_t>(i)];
+    metrics[static_cast<size_t>(i)].confidence = 0.3 + 0.02 * i;
+    params[static_cast<size_t>(i)].resize(static_cast<size_t>(dim));
+    for (float& x : params[static_cast<size_t>(i)]) x = rng.Normal();
+  }
+  const auto participants = AllParticipants(n);
+  FedGtaOptions options;
+  options.epsilon = 0.3;
+
+  std::vector<std::vector<std::vector<float>>> runs;
+  for (int threads : {1, 4}) {
+    SetGlobalThreadPoolSize(threads);
+    std::vector<std::vector<float>> out(static_cast<size_t>(n));
+    FedGtaAggregate(metrics, params, train_sizes, participants, options,
+                    &out);
+    runs.push_back(std::move(out));
+  }
+  SetGlobalThreadPoolSize(1);
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+// Satellite regression: adaptive-ε must compute the similarity block once
+// (the seed computed it twice — once for the quantile, once for the sets).
+TEST(FedGtaAggregatePlaneTest, AdaptiveEpsilonComputesSimilarityOnce) {
+  const int n = 16;
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n));
+  std::vector<std::vector<float>> params(static_cast<size_t>(n));
+  std::vector<int64_t> train_sizes(static_cast<size_t>(n), 4);
+  const auto moments = ClusteredMoments(n, 4, 10, /*seed=*/31);
+  for (int i = 0; i < n; ++i) {
+    metrics[static_cast<size_t>(i)].moments = moments[static_cast<size_t>(i)];
+    metrics[static_cast<size_t>(i)].confidence = 1.0;
+    params[static_cast<size_t>(i)] = {1.0f, 2.0f};
+  }
+  FedGtaOptions options;
+  options.adaptive_epsilon = true;
+  options.adaptive_quantile = 0.5;
+
+  const int64_t calls_before = CounterValue("phase.similarity.calls");
+  std::vector<std::vector<float>> out(static_cast<size_t>(n));
+  FedGtaAggregate(metrics, params, train_sizes, AllParticipants(n), options,
+                  &out);
+  EXPECT_EQ(CounterValue("phase.similarity.calls") - calls_before, 1);
+}
+
+TEST(FedGtaAggregatePlaneTest, PairCountersAccumulateInRegistry) {
+  const int n = 10;
+  const auto moments = ClusteredMoments(n, 2, 8, /*seed=*/63);
+  const int64_t exact_before = CounterValue("fedgta.similarity.pairs_exact");
+  (void)BuildAggregationSets(moments, AllParticipants(n), 0.3);
+  EXPECT_EQ(CounterValue("fedgta.similarity.pairs_exact") - exact_before,
+            static_cast<int64_t>(n) * (n - 1));
+}
+
+}  // namespace
+}  // namespace fedgta
