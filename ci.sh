@@ -11,10 +11,12 @@
 # The sanitizer runs are observability for memory and threading bugs the way
 # the metrics registry is observability for latency: every tier-1 test
 # executes under AddressSanitizer and UndefinedBehaviorSanitizer, and the
-# suites that exercise the parallel round executor, the TCP transport, and
-# the observability plane (status socket, fleet metrics merge, cross-process
-# trace stitching) — fed_test, linalg_test, common_test, obs_test, net_test,
-# loopback_test — additionally run under ThreadSanitizer.
+# suites that exercise the parallel round executor, the async update queue,
+# the TCP transport, and the observability plane (status socket, fleet
+# metrics merge, cross-process trace stitching) additionally run under
+# ThreadSanitizer. The TSan list is not hardcoded here: any test registered
+# with the fast_tsan label (tests/CMakeLists.txt) is picked up by the
+# `ctest -L tsan` selection automatically.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,14 +50,14 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFEDGTA_SANITIZE=thread
-  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
-    --target fed_test linalg_test common_test obs_test net_test loopback_test
+  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS"
 
   export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
   # Force a multi-threaded pool so the round executor actually runs
   # clients concurrently under TSan, whatever the CI machine reports.
   export FEDGTA_NUM_THREADS=4
-  for t in fed_test linalg_test common_test obs_test net_test loopback_test; do
-    "$TSAN_BUILD_DIR/tests/$t"
-  done
+  # The threading-sensitive suites select themselves via the fast_tsan
+  # ctest label — a new concurrency test only has to register with that
+  # label to be raced under TSan here.
+  ctest --test-dir "$TSAN_BUILD_DIR" -L tsan --output-on-failure -j"$JOBS"
 fi

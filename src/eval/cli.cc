@@ -96,6 +96,17 @@ const FlagDef kFlags[] = {
      [](ExperimentCli& c, const std::string& v) {
        c.fail_seed = ToUint64(v);
      }},
+    // Async runtime.
+    {"staleness_tau", kRun | kSrv,
+     [](ExperimentCli& c, const std::string& v) {
+       c.staleness_tau = ToInt(v);
+       c.staleness_tau_given = true;
+     }},
+    {"staleness_decay", kRun | kSrv,
+     [](ExperimentCli& c, const std::string& v) {
+       c.staleness_decay = ToDouble(v);
+       c.staleness_decay_given = true;
+     }},
     // Runtime.
     {"num_threads", kRun | kSrv | kWrk,
      [](ExperimentCli& c, const std::string& v) {
@@ -166,6 +177,7 @@ const SwitchDef kSwitches[] = {
     {"--feature-moments", kRun,
      [](ExperimentCli& c) { c.feature_moments = true; }},
     {"--resume", kRun, [](ExperimentCli& c) { c.resume = true; }},
+    {"--async", kRun | kSrv, [](ExperimentCli& c) { c.async_mode = true; }},
 };
 
 std::string JoinBackends() {
@@ -185,6 +197,24 @@ std::string BackendHelpLines() {
          "                        else reference). Results agree across\n"
          "                        backends to float tolerance; runs are\n"
          "                        bit-reproducible within one backend\n";
+}
+
+std::string AsyncHelpLines() {
+  return "  --async               bounded-staleness async runtime: updates\n"
+         "                        stream into a server-side queue and "
+         "injected\n"
+         "                        stragglers arrive 1-3 rounds late instead "
+         "of\n"
+         "                        being discarded (DESIGN.md §5i)\n"
+         "  --staleness_tau=N     admit updates at most N rounds stale; "
+         "older\n"
+         "                        ones are dropped and counted (requires\n"
+         "                        --async; default 0, which is bit-identical\n"
+         "                        to the synchronous run)\n"
+         "  --staleness_decay=F   scale an admitted update's confidence and\n"
+         "                        data-size weight by F^staleness, F in (0, "
+         "1]\n"
+         "                        (requires --async; default 0.5)\n";
 }
 
 std::string ThreadHelpLines() {
@@ -236,6 +266,25 @@ Status Validate(Role role, ExperimentCli* cli) {
   if (role == Role::kServer && cli->workers < 1) {
     return Invalid("--workers must be >= 1");
   }
+  if (!cli->async_mode &&
+      (cli->staleness_tau_given || cli->staleness_decay_given)) {
+    return Invalid("--staleness_tau/--staleness_decay require --async");
+  }
+  if (cli->async_mode) {
+    if (cli->staleness_tau < 0) {
+      return Invalid("--staleness_tau must be >= 0");
+    }
+    if (!(cli->staleness_decay > 0.0 && cli->staleness_decay <= 1.0)) {
+      return Invalid("--staleness_decay must be in (0, 1]");
+    }
+    if (role == Role::kRunExperiment &&
+        (!cli->checkpoint_dir.empty() || cli->resume ||
+         cli->halt_after_round > 0)) {
+      return Invalid(
+          "--async does not support checkpointing (--checkpoint_dir, "
+          "--resume, --halt_after_round)");
+    }
+  }
 
   if (role == Role::kRunExperiment) {
     if (cli->resume && cli->checkpoint_dir.empty()) {
@@ -269,8 +318,15 @@ Status Validate(Role role, ExperimentCli* cli) {
     return Invalid("unknown dataset: " + cli->dataset + " (try --help)");
   }
   // Validate the strategy name before paying for dataset generation.
-  if (!MakeStrategy(cli->strategy, cli->ToStrategyOptions()).ok()) {
+  Result<std::unique_ptr<Strategy>> strategy_probe =
+      MakeStrategy(cli->strategy, cli->ToStrategyOptions());
+  if (!strategy_probe.ok()) {
     return Invalid("unknown strategy: " + cli->strategy + " (try --help)");
+  }
+  if (cli->async_mode && !(*strategy_probe)->Capabilities().async_capable) {
+    return Invalid("--async requires an async-capable strategy; '" +
+                   cli->strategy +
+                   "' assumes strict round alignment (see DESIGN.md §5i)");
   }
   return OkStatus();
 }
@@ -308,6 +364,9 @@ ExperimentConfig ExperimentCli::ToExperimentConfig() const {
   config.sim.failure.straggler_rate = fail_straggler;
   config.sim.failure.crash_rate = fail_crash;
   config.sim.failure.seed = fail_seed;
+  config.sim.async = async_mode;
+  config.sim.staleness_tau = staleness_tau;
+  config.sim.staleness_decay = staleness_decay;
   config.repeats = repeats;
   config.seed = seed;
   config.strategy_options = ToStrategyOptions();
@@ -334,6 +393,9 @@ RemoteFedConfig ExperimentCli::ToRemoteConfig() const {
   config.sim.failure.straggler_rate = fail_straggler;
   config.sim.failure.crash_rate = fail_crash;
   config.sim.failure.seed = fail_seed;
+  config.sim.async = async_mode;
+  config.sim.staleness_tau = staleness_tau;
+  config.sim.staleness_decay = staleness_decay;
   config.num_workers = workers;
   config.rpc.deadline_ms = deadline_ms;
   config.accept_timeout_ms = accept_timeout_ms;
@@ -430,7 +492,8 @@ std::string HelpText(Role role) {
           "discarded\n"
           "  --fail_seed=N         failure-injection seed, independent of "
           "--seed\n"
-          "                        (default 0xFA11)\n";
+          "                        (default 0xFA11)\n" +
+          AsyncHelpLines();
       break;
     }
     case Role::kServer: {
@@ -470,7 +533,8 @@ std::string HelpText(Role role) {
           "0)\n"
           "  --fail_crash=F        injected crash probability (default 0)\n"
           "  --fail_seed=N         failure-injection seed (default "
-          "0xFA11)\n"
+          "0xFA11)\n" +
+          AsyncHelpLines() +
           "  --metrics_json=PATH   write the metrics-registry JSON dump,\n"
           "                        including worker.<i>.* / fleet.* rollups\n"
           "                        merged from the piggybacked worker "

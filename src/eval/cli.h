@@ -58,6 +58,15 @@ struct ExperimentCli {
   double fail_crash = 0.0;
   uint64_t fail_seed = 0xFA11;
 
+  // Async runtime (run_experiment, server; DESIGN.md §5i). The staleness
+  // knobs only make sense under --async, so their *_given markers let
+  // validation reject them otherwise.
+  bool async_mode = false;
+  int staleness_tau = 0;
+  bool staleness_tau_given = false;
+  double staleness_decay = 0.5;
+  bool staleness_decay_given = false;
+
   // Runtime (all roles).
   int num_threads = 0;  // 0 = FEDGTA_NUM_THREADS env / hardware default
   bool num_threads_given = false;

@@ -1,7 +1,10 @@
 #ifndef FEDGTA_FED_EXECUTOR_H_
 #define FEDGTA_FED_EXECUTOR_H_
 
+#include <condition_variable>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "fed/client.h"
@@ -66,6 +69,89 @@ class RoundExecutor {
       const std::vector<TrainHooks>& hooks,
       const FailurePlan* failures = nullptr, int round = 0);
 };
+
+/// One client update flowing through the async runtime.
+struct AsyncUpdate {
+  /// Round whose weights this update was trained from.
+  int dispatch_round = 0;
+  /// First round at which the update may be admitted. Equal to
+  /// `dispatch_round` for updates that arrive on time (their staleness at a
+  /// later drain is real wall-clock lateness); `dispatch_round + delay` for
+  /// injected stragglers, whose lateness is virtual so the schedule stays a
+  /// pure function of (seed, round, client).
+  int arrival_round = 0;
+  LocalResult result;
+};
+
+/// Server-side update queue of the async federation runtime (DESIGN.md §5i)
+/// — the single component both the in-process oracle (Simulation::RunAsync)
+/// and the distributed coordinator feed.
+///
+/// Producers (worker feed threads, or the in-process round loop) push
+/// completed updates; every dispatched unit of work must eventually be
+/// either Push()ed or MarkAccounted()ed (dropout, crash, transport
+/// failure), so the bounded-staleness wait rule — "round t may aggregate
+/// once every update dispatched at rounds <= t - tau is accounted for" —
+/// can be expressed as WaitDispatchedThrough(t - tau).
+///
+/// DrainRound applies the admission rule: an update drained at round t with
+/// staleness s = t - dispatch_round is admitted iff s <= tau, else dropped
+/// and counted (`fed.async.stale_dropped`). When one client has several
+/// admissible updates in a drain, only the freshest survives
+/// (`fed.async.superseded`); admitted updates come back sorted by client id
+/// so downstream reductions stay deterministic. All methods are
+/// thread-safe.
+class AsyncUpdateQueue {
+ public:
+  AsyncUpdateQueue();
+
+  /// Declares `count` units of work dispatched at `round`.
+  void MarkDispatched(int round, int count);
+  /// Accounts one dispatched unit that will never produce an update
+  /// (dropout, crash, RPC failure).
+  void MarkAccounted(int round);
+  /// Delivers one completed update (accounts its dispatch slot).
+  void Push(AsyncUpdate update);
+
+  /// Blocks until every unit dispatched at rounds <= `round` is accounted
+  /// for. Rounds never dispatched are trivially satisfied; `round` past the
+  /// last dispatch waits for everything in flight.
+  void WaitDispatchedThrough(int round);
+
+  struct Drain {
+    /// Admitted updates, freshest-per-client, ascending client id.
+    std::vector<AsyncUpdate> admitted;
+    int64_t stale_dropped = 0;
+    int64_t superseded = 0;
+    int64_t undelivered = 0;
+  };
+
+  /// Removes every received update with arrival_round <= `round` and
+  /// applies the admission rule at staleness bound `tau`. With
+  /// `final_round` set the whole buffer is drained: updates whose arrival
+  /// round lies past the end of the run are discarded as undelivered
+  /// (`fed.async.undelivered`) rather than stale — they are not late, the
+  /// run simply ended first.
+  Drain DrainRound(int round, int tau, bool final_round);
+
+  /// Received-but-undrained updates (the `fed.async.queue_depth` gauge).
+  size_t depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable accounted_cv_;
+  /// dispatch round -> dispatched-but-unaccounted count.
+  std::map<int, int> outstanding_;
+  std::vector<AsyncUpdate> received_;
+};
+
+/// Applies the staleness discount of the async runtime to an admitted
+/// update: the FedGTA Eq. 7 confidence H and the data-size weight every
+/// averaging strategy uses are both scaled by decay^staleness, so a late
+/// update still contributes but cannot outvote fresh ones. Exactly a no-op
+/// at staleness 0 — the tau=0 path stays bit-identical to the synchronous
+/// runtime.
+void ApplyStalenessDiscount(int staleness, double decay, LocalResult* result);
 
 }  // namespace fedgta
 

@@ -60,4 +60,14 @@ ClientFate FailurePlan::FateOf(int round, int client_id) const {
   return ClientFate::kHealthy;
 }
 
+int FailurePlan::StragglerDelay(int round, int client_id) const {
+  // Independent draw from FateOf: a distinct seed tweak keeps the delay
+  // uncorrelated with the fate decision for the same (round, client).
+  const uint64_t key = Mix64(
+      (config_.seed ^ 0x57A661E5ULL) ^
+      Mix64(static_cast<uint64_t>(round) * 0x10001ULL +
+            static_cast<uint64_t>(client_id)));
+  return 1 + static_cast<int>(key % 3);
+}
+
 }  // namespace fedgta

@@ -51,6 +51,15 @@ class FailurePlan {
 
   ClientFate FateOf(int round, int client_id) const;
 
+  /// Rounds of virtual lateness a straggler's update carries in the async
+  /// runtime: an update trained at round r becomes deliverable at round
+  /// r + StragglerDelay(r, c). Pure in (seed, round, client) like FateOf —
+  /// both the server's admission bookkeeping and a test recomputing the
+  /// expected stale-drop count see the same schedule. Range [1, 3]:
+  /// always late by at least one round, never by more than the deepest
+  /// bounded-staleness window the experiments exercise.
+  int StragglerDelay(int round, int client_id) const;
+
   const FailureConfig& config() const { return config_; }
 
  private:

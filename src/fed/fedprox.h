@@ -19,7 +19,8 @@ class FedProxStrategy : public Strategy {
   /// The proximal anchor is the downloaded global weights, so the grad hook
   /// is a pure function of the download — remotable.
   StrategyCapabilities Capabilities() const override {
-    return {.remote_executable = true, .needs_server_state = false};
+    return {.remote_executable = true, .needs_server_state = false,
+            .async_capable = true};
   }
 
  private:

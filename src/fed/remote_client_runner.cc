@@ -145,6 +145,7 @@ Status RemoteClientRunner::Run() {
                                     : ClientFate::kHealthy;
         net::TrainResponseMsg resp;
         resp.client_id = req.client_id;
+        resp.round = req.round;
         resp.fate = static_cast<uint32_t>(fate);
         if (fate != ClientFate::kDropout) {
           // Crash truncation mirrors RoundExecutor: ceil(epochs / 2) local
@@ -177,7 +178,12 @@ Status RemoteClientRunner::Run() {
               };
             }
             const double loss = client.TrainLocal(epochs, hooks);
-            if (fate == ClientFate::kHealthy) {
+            // In async mode a straggler's update is late, not lost: ship
+            // the full payload and let the server's bounded-staleness
+            // queue decide admission (sync keeps the empty-payload
+            // discard, matching the simulation).
+            if (fate == ClientFate::kHealthy ||
+                (setup.async && fate == ClientFate::kStraggler)) {
               resp.loss = loss;
               resp.num_samples = client.num_train();
               resp.weights = client.GetParams();

@@ -51,6 +51,9 @@ net::WireFedConfig ToWireConfig(const RemoteFedConfig& config) {
   wire.fail_straggler = config.sim.failure.straggler_rate;
   wire.fail_crash = config.sim.failure.crash_rate;
   wire.fail_seed = config.sim.failure.seed;
+  wire.async = config.sim.async;
+  wire.staleness_tau = config.sim.staleness_tau;
+  wire.staleness_decay = config.sim.staleness_decay;
   return wire;
 }
 
@@ -99,6 +102,21 @@ Status SetupFromWireConfig(const net::WireFedConfig& wire,
         "' mutates per-client server state inside TrainClient and cannot "
         "run on remote workers (see DESIGN.md §5e)");
   }
+  if (wire.async) {
+    if (!(*probe)->Capabilities().async_capable) {
+      return FailedPreconditionError(
+          "strategy '" + wire.strategy +
+          "' is not async-capable: its aggregation assumes strict round "
+          "alignment (see DESIGN.md §5i)");
+    }
+    if (wire.staleness_tau < 0) {
+      return InvalidArgumentError("staleness_tau must be >= 0, got " +
+                                  std::to_string(wire.staleness_tau));
+    }
+    if (!(wire.staleness_decay > 0.0 && wire.staleness_decay <= 1.0)) {
+      return InvalidArgumentError("staleness_decay must be in (0, 1]");
+    }
+  }
 
   setup->model.type = *model_type;
   setup->model.hidden = wire.hidden;
@@ -123,6 +141,7 @@ Status SetupFromWireConfig(const net::WireFedConfig& wire,
   setup->failure.seed = wire.fail_seed;
   setup->local_epochs = wire.local_epochs;
   setup->batch_size = wire.batch_size;
+  setup->async = wire.async;
 
   SplitConfig split;
   split.method = *split_method;

@@ -64,6 +64,9 @@ struct WorkerSetup {
   FailureConfig failure;
   int local_epochs = 3;
   int batch_size = 0;
+  /// Async runtime: stragglers ship their full (late) payload instead of an
+  /// empty one — the server's bounded-staleness queue decides admission.
+  bool async = false;
 };
 
 /// Parses and validates a wire config, then materializes the deterministic

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <thread>
 
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "data/registry.h"
+#include "fed/executor.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -45,6 +48,15 @@ Status RemoteCoordinator::ValidateConfig() const {
   if (config_.sim.rounds < 1 || config_.sim.local_epochs < 1) {
     return InvalidArgumentError("rounds and local_epochs must be >= 1");
   }
+  if (config_.sim.async) {
+    if (config_.sim.staleness_tau < 0) {
+      return InvalidArgumentError("staleness_tau must be >= 0");
+    }
+    if (!(config_.sim.staleness_decay > 0.0 &&
+          config_.sim.staleness_decay <= 1.0)) {
+      return InvalidArgumentError("staleness_decay must be in (0, 1]");
+    }
+  }
   FEDGTA_RETURN_IF_ERROR(GetDatasetSpec(config_.dataset).status());
   return OkStatus();
 }
@@ -73,6 +85,12 @@ Status RemoteCoordinator::Handshake() {
         "strategy '" + config_.strategy +
         "' mutates per-client server state inside TrainClient and cannot "
         "run on remote workers (see DESIGN.md §5e)");
+  }
+  if (config_.sim.async && !(*strategy)->Capabilities().async_capable) {
+    return FailedPreconditionError(
+        "strategy '" + config_.strategy +
+        "' is not async-capable: its aggregation assumes strict round "
+        "alignment (see DESIGN.md §5i)");
   }
   strategy_ = std::move(*strategy);
 
@@ -249,6 +267,19 @@ Result<SimulationResult> RemoteCoordinator::Run() {
 
   SimulationResult result;
   result.setup_seconds = setup_timer.Seconds();
+
+  if (config_.sim.async) {
+    FEDGTA_RETURN_IF_ERROR(RunAsyncRounds(&result));
+    for (WorkerLink& link : workers_) {
+      if (!link.channel.ok()) continue;
+      net::ShutdownMsg shutdown;
+      if (!net::SendMessage(link.channel.socket(), shutdown).ok()) continue;
+      net::ShutdownAckMsg ack;
+      (void)net::ExpectMessage(link.channel.socket(), &ack);
+    }
+    result.metrics_json = GlobalMetrics().ToJson();
+    return result;
+  }
 
   Rng rng(config_.seed ^ 0x517u);
   double best_val = -1.0;
@@ -481,6 +512,313 @@ Result<SimulationResult> RemoteCoordinator::Run() {
   return result;
 }
 
+namespace {
+
+/// One enqueued train dispatch of the async runtime. Weights are
+/// snapshotted at enqueue time — the update trains from the server state of
+/// its dispatch round even if aggregation has since moved on.
+struct FeedCommand {
+  int round = 0;
+  int client_id = 0;
+  ClientFate fate = ClientFate::kHealthy;
+  std::vector<float> weights;
+};
+
+/// Bounded per-worker command queue between the round loop (producer) and
+/// one feed thread (consumer). The bound is backpressure only — the wait
+/// rule in RunAsyncRounds is what actually limits in-flight work.
+struct WorkerFeed {
+  static constexpr size_t kMaxDepth = 128;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<FeedCommand> queue;
+  bool stop = false;
+};
+
+}  // namespace
+
+Status RemoteCoordinator::RunAsyncRounds(SimulationResult* result) {
+  Rng rng(config_.seed ^ 0x517u);
+  double best_val = -1.0;
+
+  FailurePlan plan(config_.sim.failure);
+  const bool failures = config_.sim.failure.enabled();
+  const int tau = config_.sim.staleness_tau;
+  const double decay = config_.sim.staleness_decay;
+
+  const int n_clients = data_.num_clients();
+  const int per_round = std::max(
+      1,
+      static_cast<int>(std::lround(config_.sim.participation * n_clients)));
+
+  MetricsRegistry& metrics = GlobalMetrics();
+  Histogram& round_client_seconds =
+      metrics.GetHistogram("round.client_seconds");
+  Histogram& round_server_seconds =
+      metrics.GetHistogram("round.server_seconds");
+  Counter& rounds_completed = metrics.GetCounter("rounds.completed");
+  Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
+  Counter& download_floats = metrics.GetCounter("comm.download_floats");
+  Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
+  Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
+  Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
+  Histogram& round_seconds = metrics.GetHistogram("fed.round.seconds");
+  Counter& bytes_sent_counter = metrics.GetCounter("net.bytes_sent");
+  Counter& bytes_recv_counter = metrics.GetCounter("net.bytes_recv");
+  Timeline& timeline = GlobalTimeline();
+
+  AsyncUpdateQueue queue;
+  std::vector<WorkerFeed> feeds(workers_.size());
+  // RPC failures surface asynchronously on the feed threads; the round loop
+  // folds the running total's per-round delta into its dropped count.
+  std::atomic<int64_t> rpc_failures{0};
+
+  TraceContext run_ctx;
+  run_ctx.trace_id = trace_id_;
+
+  // One feed thread per worker: commands on one connection stay strictly
+  // sequential (request/response protocol) and in round order; workers
+  // stream concurrently. Every command is terminally accounted to the
+  // update queue — Push for updates that exist (healthy, and stragglers:
+  // late, not lost), MarkAccounted for crashes and transport failures — so
+  // the round loop's wait rule always terminates.
+  std::vector<std::thread> feeders;
+  feeders.reserve(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    feeders.emplace_back([&, w] {
+      WorkerFeed& feed = feeds[w];
+      WorkerLink& link = workers_[w];
+      while (true) {
+        FeedCommand cmd;
+        {
+          std::unique_lock<std::mutex> lock(feed.mutex);
+          feed.cv.wait(lock,
+                       [&feed] { return feed.stop || !feed.queue.empty(); });
+          if (feed.queue.empty()) return;  // stop requested, queue drained
+          cmd = std::move(feed.queue.front());
+          feed.queue.pop_front();
+          feed.cv.notify_all();  // wake a producer blocked on the bound
+        }
+        TraceContext cmd_ctx = run_ctx;
+        cmd_ctx.round = cmd.round;
+        ScopedTraceContext adopt(cmd_ctx);
+        net::TrainResponseMsg resp;
+        Status rpc = link.channel.ok()
+                         ? OkStatus()
+                         : InternalError("worker connection is down");
+        if (rpc.ok()) {
+          net::TrainRequestMsg req;
+          req.round = cmd.round;
+          req.client_id = cmd.client_id;
+          req.weights = std::move(cmd.weights);
+          rpc = link.channel.Call(req, &resp);
+        }
+        if (rpc.ok() &&
+            (resp.client_id != cmd.client_id || resp.round != cmd.round)) {
+          rpc = InternalError("response for a different dispatch");
+        }
+        if (!rpc.ok()) {
+          link.health->healthy.store(false, std::memory_order_relaxed);
+          rpc_failures.fetch_add(1, std::memory_order_relaxed);
+          timeline.ClientFate(cmd.round, cmd.client_id, "rpc_failed", 0.0);
+          queue.MarkAccounted(cmd.round);
+          continue;
+        }
+        link.health->last_response_us.store(internal_obs::TraceNowMicros(),
+                                            std::memory_order_relaxed);
+        link.health->responses.fetch_add(1, std::memory_order_relaxed);
+        fleet_.Apply(static_cast<int>(w), resp.metrics);
+        timeline.ClientFate(cmd.round, cmd.client_id,
+                            std::string(ClientFateName(cmd.fate)),
+                            resp.seconds);
+        if (cmd.fate == ClientFate::kCrash) {
+          // Trained (truncated) remotely, nothing uploaded — same as sync.
+          queue.MarkAccounted(cmd.round);
+          continue;
+        }
+        AsyncUpdate update;
+        update.dispatch_round = cmd.round;
+        // Injected stragglers carry a *virtual* arrival round
+        // (StragglerDelay is pure), so admission decisions stay
+        // plan-computable; on-time updates become deliverable immediately
+        // and any staleness they accrue is real drain-timing lateness.
+        update.arrival_round =
+            cmd.fate == ClientFate::kStraggler
+                ? cmd.round + plan.StragglerDelay(cmd.round, cmd.client_id)
+                : cmd.round;
+        update.result.client_id = cmd.client_id;
+        update.result.params = std::move(resp.weights);
+        update.result.num_samples = resp.num_samples;
+        update.result.loss = resp.loss;
+        update.result.metrics.confidence = resp.confidence;
+        update.result.metrics.moments = std::move(resp.moments);
+        queue.Push(std::move(update));
+      }
+    });
+  }
+
+  int64_t rpc_failures_seen = 0;
+  for (int round = 1; round <= config_.sim.rounds; ++round) {
+    TraceContext round_ctx = run_ctx;
+    round_ctx.round = round;
+    ScopedTraceContext scoped_round(round_ctx);
+    FEDGTA_TRACE_SCOPE("round");
+    WallTimer round_timer;
+    const int64_t bytes_sent0 = bytes_sent_counter.value();
+    const int64_t bytes_recv0 = bytes_recv_counter.value();
+
+    // Participant sampling: byte-for-byte the synchronous loop's.
+    std::vector<int> participants =
+        per_round >= n_clients
+            ? [n_clients] {
+                std::vector<int> all(static_cast<size_t>(n_clients));
+                for (int i = 0; i < n_clients; ++i) {
+                  all[static_cast<size_t>(i)] = i;
+                }
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(n_clients, per_round);
+    std::sort(participants.begin(), participants.end());
+    timeline.RoundStart(round, static_cast<int64_t>(participants.size()));
+
+    WallTimer client_timer;
+    queue.MarkDispatched(round, static_cast<int>(participants.size()));
+    int64_t dropped = 0;
+    int64_t stragglers = 0;
+    int64_t crashed = 0;
+    for (int id : participants) {
+      const ClientFate fate =
+          failures ? plan.FateOf(round, id) : ClientFate::kHealthy;
+      if (fate == ClientFate::kDropout) {
+        // Never contacted — identical to the sync path, so the remote
+        // client's RNG streams stay aligned with the in-process executor.
+        ++dropped;
+        timeline.ClientFate(round, id, std::string(ClientFateName(fate)),
+                            0.0);
+        queue.MarkAccounted(round);
+        continue;
+      }
+      if (fate == ClientFate::kStraggler) ++stragglers;
+      if (fate == ClientFate::kCrash) ++crashed;
+      FeedCommand cmd;
+      cmd.round = round;
+      cmd.client_id = id;
+      cmd.fate = fate;
+      cmd.weights = CopyParams(strategy_->ParamsFor(id));
+      const size_t owner = static_cast<size_t>(owner_[static_cast<size_t>(id)]);
+      WorkerFeed& feed = feeds[owner];
+      std::unique_lock<std::mutex> lock(feed.mutex);
+      feed.cv.wait(lock, [&feed] {
+        return feed.queue.size() < WorkerFeed::kMaxDepth;
+      });
+      feed.queue.push_back(std::move(cmd));
+      feed.cv.notify_all();
+    }
+
+    // Bounded-staleness wait rule: aggregate only once everything
+    // dispatched at rounds <= t - tau is accounted for. Eval rounds (and
+    // the final round) wait for the full current round too: the feed
+    // threads are then parked on empty queues, so the eval threads may
+    // safely reuse the worker channels.
+    const bool eval_round =
+        round % config_.sim.eval_every == 0 || round == config_.sim.rounds;
+    queue.WaitDispatchedThrough(eval_round ? round : round - tau);
+    const double client_seconds = client_timer.Seconds();
+
+    AsyncUpdateQueue::Drain drain = queue.DrainRound(
+        round, tau, /*final_round=*/round == config_.sim.rounds);
+
+    std::vector<int> admitted_ids;
+    std::vector<LocalResult> results;
+    admitted_ids.reserve(drain.admitted.size());
+    results.reserve(drain.admitted.size());
+    double loss_sum = 0.0;
+    for (AsyncUpdate& u : drain.admitted) {
+      ApplyStalenessDiscount(round - u.dispatch_round, decay, &u.result);
+      admitted_ids.push_back(u.result.client_id);
+      loss_sum += u.result.loss;
+      results.push_back(std::move(u.result));
+    }
+
+    WallTimer server_timer;
+    {
+      FEDGTA_TRACE_SCOPE("server_step");
+      if (!admitted_ids.empty()) strategy_->Aggregate(admitted_ids, results);
+    }
+    const double server_seconds = server_timer.Seconds();
+
+    // Transport failures observed since the last round land here, mirroring
+    // the sync path's dropped mapping (with tau = 0 the wait above is a
+    // full barrier, so the attribution is exact).
+    const int64_t rpc_failures_now =
+        rpc_failures.load(std::memory_order_relaxed);
+    dropped += rpc_failures_now - rpc_failures_seen;
+    rpc_failures_seen = rpc_failures_now;
+
+    result->total_client_seconds += client_seconds;
+    result->total_server_seconds += server_seconds;
+    const Strategy::CommunicationStats comm =
+        strategy_->RoundCommunication(results);
+    result->total_upload_floats += comm.upload_floats;
+    result->total_download_floats += comm.download_floats;
+    result->total_dropped_clients += dropped;
+    result->total_straggler_clients += stragglers;
+    result->total_crashed_clients += crashed;
+    result->total_admitted_updates +=
+        static_cast<int64_t>(drain.admitted.size());
+    result->total_stale_dropped_updates += drain.stale_dropped;
+
+    round_client_seconds.Record(client_seconds);
+    round_server_seconds.Record(server_seconds);
+    rounds_completed.Increment();
+    upload_floats.Increment(comm.upload_floats);
+    download_floats.Increment(comm.download_floats);
+    if (dropped > 0) dropped_counter.Increment(dropped);
+    if (stragglers > 0) straggler_counter.Increment(stragglers);
+    if (crashed > 0) crashed_counter.Increment(crashed);
+    round_seconds.Record(round_timer.Seconds());
+    timeline.AsyncAdmission(round,
+                            static_cast<int64_t>(drain.admitted.size()),
+                            drain.stale_dropped,
+                            static_cast<int64_t>(queue.depth()));
+    timeline.RoundEnd(round, client_seconds, server_seconds,
+                      bytes_sent_counter.value() - bytes_sent0,
+                      bytes_recv_counter.value() - bytes_recv0, dropped,
+                      stragglers, crashed);
+
+    if (eval_round) {
+      RoundStats stats;
+      stats.round = round;
+      stats.train_loss =
+          admitted_ids.empty()
+              ? 0.0
+              : loss_sum / static_cast<double>(admitted_ids.size());
+      stats.client_seconds = result->total_client_seconds;
+      stats.server_seconds = result->total_server_seconds;
+      stats.upload_floats = result->total_upload_floats;
+      stats.download_floats = result->total_download_floats;
+      stats.dropped_clients = result->total_dropped_clients;
+      stats.straggler_clients = result->total_straggler_clients;
+      stats.crashed_clients = result->total_crashed_clients;
+      Evaluate(&stats.test_accuracy, &stats.val_accuracy);
+      if (stats.val_accuracy > best_val) {
+        best_val = stats.val_accuracy;
+        result->best_test_accuracy = stats.test_accuracy;
+      }
+      result->final_test_accuracy = stats.test_accuracy;
+      result->curve.push_back(stats);
+    }
+  }
+
+  for (WorkerFeed& feed : feeds) {
+    std::lock_guard<std::mutex> lock(feed.mutex);
+    feed.stop = true;
+    feed.cv.notify_all();
+  }
+  for (std::thread& t : feeders) t.join();
+  return OkStatus();
+}
+
 std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
   if (command == "metrics.json") return GlobalMetrics().ToJson();
   if (command == "metrics") return GlobalMetrics().ToText();
@@ -540,6 +878,28 @@ std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
                          static_cast<long long>(c->value()));
     }
     if (!plane.empty()) out += "similarity:\n" + plane;
+  }
+  // Async runtime plane (DESIGN.md §5i) — present when running --async.
+  if (config_.sim.async) {
+    std::string plane;
+    for (const char* name :
+         {"fed.async.admitted", "fed.async.stale_dropped",
+          "fed.async.superseded", "fed.async.undelivered"}) {
+      const Counter* c = GlobalMetrics().FindCounter(name);
+      if (c == nullptr) continue;
+      plane += StrFormat("  %s: %lld\n", name,
+                         static_cast<long long>(c->value()));
+    }
+    if (const Gauge* g = GlobalMetrics().FindGauge("fed.async.queue_depth");
+        g != nullptr) {
+      plane += StrFormat("  fed.async.queue_depth: %.0f\n", g->value());
+    }
+    if (!plane.empty()) {
+      out += StrFormat("async (tau=%d, decay=%.2f):\n",
+                       config_.sim.staleness_tau,
+                       config_.sim.staleness_decay) +
+             plane;
+    }
   }
   return out;
 }

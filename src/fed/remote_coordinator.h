@@ -34,6 +34,17 @@ namespace fedgta {
 /// FateOf schedule: dropouts are never contacted, stragglers/crashed
 /// clients train remotely (fully / truncated) and their uploads are
 /// discarded here.
+///
+/// Async runtime (config.sim.async; DESIGN.md §5i): instead of the hard
+/// round barrier, train requests are enqueued onto per-worker feed threads
+/// and completed updates stream into an AsyncUpdateQueue; round t
+/// aggregates after WaitDispatchedThrough(t - staleness_tau), admitting
+/// updates at most `staleness_tau` rounds stale (discounted by
+/// `staleness_decay`^staleness) and dropping older ones. Injected
+/// stragglers deliver their (late) payload StragglerDelay rounds after
+/// dispatch rather than being discarded. With staleness_tau = 0 the wait
+/// rule degenerates to the full barrier and the run is bit-identical to
+/// the synchronous path — the in-process Simulation stays the oracle.
 class RemoteCoordinator {
  public:
   explicit RemoteCoordinator(const RemoteFedConfig& config);
@@ -82,6 +93,10 @@ class RemoteCoordinator {
   /// Accepts workers, exchanges Hello/AssignConfig/ConfigAck, initializes
   /// the strategy from the reported common init weights.
   Status Handshake();
+  /// The async round loop (see class comment). Called by Run() after the
+  /// handshake when `config.sim.async` is set; fills `result`'s curve and
+  /// totals in place of the synchronous loop.
+  Status RunAsyncRounds(SimulationResult* result);
   /// Distributed mirror of Simulation::Evaluate: every client is evaluated
   /// on its hosting worker; reduction runs in client order. Clients hosted
   /// by dead workers are skipped (with healthy workers: none).

@@ -237,6 +237,26 @@ Status Simulation::LoadCheckpoint(const std::string& path) {
 }
 
 SimulationResult Simulation::Run() {
+  if (config_.async) {
+    // The async runtime holds stale updates across round boundaries with no
+    // serialized representation, so checkpoint/resume (and the test-only
+    // halt that exists for it) is rejected rather than silently lossy. FGL
+    // wrappers assume strict round alignment of their pseudo-label /
+    // mending state and are out of scope for the async path (DESIGN.md
+    // §5i), as is any strategy that has not opted into async aggregation.
+    FEDGTA_CHECK(config_.checkpoint_dir.empty() && !config_.resume &&
+                 config_.halt_after_round == 0)
+        << "async mode does not support checkpointing";
+    FEDGTA_CHECK(config_.fgl == FglModel::kNone)
+        << "async mode does not support FGL model wrappers";
+    FEDGTA_CHECK(strategy_->Capabilities().async_capable)
+        << "strategy '" << strategy_->name() << "' is not async-capable";
+    FEDGTA_CHECK_GE(config_.staleness_tau, 0);
+    FEDGTA_CHECK(config_.staleness_decay > 0.0 &&
+                 config_.staleness_decay <= 1.0)
+        << "staleness_decay must be in (0, 1]";
+    return RunAsync();
+  }
   SimulationResult result;
   Rng rng(config_.seed ^ 0x517u);
   int start_round = 0;
@@ -292,7 +312,9 @@ SimulationResult Simulation::Run() {
         per_round >= n_clients
             ? [n_clients] {
                 std::vector<int> all(static_cast<size_t>(n_clients));
-                for (int i = 0; i < n_clients; ++i) all[static_cast<size_t>(i)] = i;
+                for (int i = 0; i < n_clients; ++i) {
+                  all[static_cast<size_t>(i)] = i;
+                }
                 return all;
               }()
             : rng.SampleWithoutReplacement(n_clients, per_round);
@@ -422,6 +444,181 @@ SimulationResult Simulation::Run() {
                                << " failed: " << saved;
     }
     if (halting) break;
+  }
+  result.metrics_json = metrics.ToJson();
+  return result;
+}
+
+SimulationResult Simulation::RunAsync() {
+  SimulationResult result;
+  result.setup_seconds = setup_seconds_;
+  Rng rng(config_.seed ^ 0x517u);
+  double best_val = -1.0;
+
+  const FailurePlan* failures = nullptr;
+  FailurePlan plan(config_.failure);
+  if (config_.failure.enabled()) failures = &plan;
+
+  const int n_clients = static_cast<int>(clients_.size());
+  const int per_round = std::max(
+      1, static_cast<int>(std::lround(config_.participation * n_clients)));
+
+  MetricsRegistry& metrics = GlobalMetrics();
+  Histogram& round_client_seconds =
+      metrics.GetHistogram("round.client_seconds");
+  Histogram& round_server_seconds =
+      metrics.GetHistogram("round.server_seconds");
+  Counter& rounds_completed = metrics.GetCounter("rounds.completed");
+  Counter& upload_floats = metrics.GetCounter("comm.upload_floats");
+  Counter& download_floats = metrics.GetCounter("comm.download_floats");
+  Counter& dropped_counter = metrics.GetCounter("fed.round.dropped_clients");
+  Counter& straggler_counter = metrics.GetCounter("fed.round.stragglers");
+  Counter& crashed_counter = metrics.GetCounter("fed.round.crashed_clients");
+  Histogram& round_seconds = metrics.GetHistogram("fed.round.seconds");
+  Timeline& timeline = GlobalTimeline();
+
+  AsyncUpdateQueue queue;
+  const std::vector<TrainHooks> no_hooks;  // FGL is rejected in async mode
+
+  for (int round = 1; round <= config_.rounds; ++round) {
+    FEDGTA_TRACE_SCOPE("round");
+    WallTimer round_timer;
+    // Participant sampling: byte-for-byte the synchronous loop's, so the
+    // tau=0 run consumes the identical RNG stream.
+    std::vector<int> participants =
+        per_round >= n_clients
+            ? [n_clients] {
+                std::vector<int> all(static_cast<size_t>(n_clients));
+                for (int i = 0; i < n_clients; ++i) {
+                  all[static_cast<size_t>(i)] = i;
+                }
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(n_clients, per_round);
+    std::sort(participants.begin(), participants.end());
+    timeline.RoundStart(round, static_cast<int64_t>(participants.size()));
+
+    WallTimer client_timer;
+    std::vector<RoundExecutor::ClientExecution> executions =
+        RoundExecutor::TrainRound(*strategy_, clients_, participants,
+                                  config_.local_epochs, no_hooks, failures,
+                                  round);
+    const double client_seconds = client_timer.Seconds();
+
+    // Feed the update queue. Training still ran under the per-round barrier
+    // above — asynchrony here is pure bookkeeping: a straggler's update is
+    // pushed with a virtual arrival round StragglerDelay rounds out instead
+    // of being discarded, so every admission decision is a function of
+    // (seed, round, client) and the oracle is deterministic for any tau.
+    queue.MarkDispatched(round, static_cast<int>(participants.size()));
+    int64_t dropped = 0;
+    int64_t stragglers = 0;
+    int64_t crashed = 0;
+    for (size_t i = 0; i < executions.size(); ++i) {
+      RoundExecutor::ClientExecution& exec = executions[i];
+      timeline.ClientFate(round, participants[i],
+                          std::string(ClientFateName(exec.fate)), 0.0);
+      switch (exec.fate) {
+        case ClientFate::kHealthy:
+          queue.Push({round, round, std::move(exec.result)});
+          break;
+        case ClientFate::kStraggler:
+          ++stragglers;
+          queue.Push({round,
+                      round + failures->StragglerDelay(round, participants[i]),
+                      std::move(exec.result)});
+          break;
+        case ClientFate::kDropout:
+          ++dropped;
+          queue.MarkAccounted(round);
+          break;
+        case ClientFate::kCrash:
+          ++crashed;
+          queue.MarkAccounted(round);
+          break;
+      }
+    }
+
+    // Bounded-staleness wait rule. Trivially satisfied here (TrainRound is
+    // a barrier) but kept so the oracle exercises the exact protocol the
+    // distributed coordinator's correctness rests on.
+    queue.WaitDispatchedThrough(round - config_.staleness_tau);
+
+    AsyncUpdateQueue::Drain drain = queue.DrainRound(
+        round, config_.staleness_tau, /*final_round=*/round == config_.rounds);
+
+    std::vector<int> admitted_ids;
+    std::vector<LocalResult> results;
+    admitted_ids.reserve(drain.admitted.size());
+    results.reserve(drain.admitted.size());
+    double loss_sum = 0.0;
+    for (AsyncUpdate& u : drain.admitted) {
+      ApplyStalenessDiscount(round - u.dispatch_round, config_.staleness_decay,
+                             &u.result);
+      admitted_ids.push_back(u.result.client_id);
+      loss_sum += u.result.loss;
+      results.push_back(std::move(u.result));
+    }
+
+    WallTimer server_timer;
+    {
+      FEDGTA_TRACE_SCOPE("server_step");
+      if (!admitted_ids.empty()) strategy_->Aggregate(admitted_ids, results);
+    }
+    const double server_seconds = server_timer.Seconds();
+
+    result.total_client_seconds += client_seconds;
+    result.total_server_seconds += server_seconds;
+    const Strategy::CommunicationStats comm =
+        strategy_->RoundCommunication(results);
+    result.total_upload_floats += comm.upload_floats;
+    result.total_download_floats += comm.download_floats;
+    result.total_dropped_clients += dropped;
+    result.total_straggler_clients += stragglers;
+    result.total_crashed_clients += crashed;
+    result.total_admitted_updates +=
+        static_cast<int64_t>(drain.admitted.size());
+    result.total_stale_dropped_updates += drain.stale_dropped;
+
+    round_client_seconds.Record(client_seconds);
+    round_server_seconds.Record(server_seconds);
+    rounds_completed.Increment();
+    upload_floats.Increment(comm.upload_floats);
+    download_floats.Increment(comm.download_floats);
+    if (dropped > 0) dropped_counter.Increment(dropped);
+    if (stragglers > 0) straggler_counter.Increment(stragglers);
+    if (crashed > 0) crashed_counter.Increment(crashed);
+    round_seconds.Record(round_timer.Seconds());
+    timeline.AsyncAdmission(round,
+                            static_cast<int64_t>(drain.admitted.size()),
+                            drain.stale_dropped,
+                            static_cast<int64_t>(queue.depth()));
+    timeline.RoundEnd(round, client_seconds, server_seconds,
+                      /*bytes_sent=*/0, /*bytes_recv=*/0, dropped, stragglers,
+                      crashed);
+
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      RoundStats stats;
+      stats.round = round;
+      stats.train_loss =
+          admitted_ids.empty()
+              ? 0.0
+              : loss_sum / static_cast<double>(admitted_ids.size());
+      stats.client_seconds = result.total_client_seconds;
+      stats.server_seconds = result.total_server_seconds;
+      stats.upload_floats = result.total_upload_floats;
+      stats.download_floats = result.total_download_floats;
+      stats.dropped_clients = result.total_dropped_clients;
+      stats.straggler_clients = result.total_straggler_clients;
+      stats.crashed_clients = result.total_crashed_clients;
+      Evaluate(&stats.test_accuracy, &stats.val_accuracy);
+      if (stats.val_accuracy > best_val) {
+        best_val = stats.val_accuracy;
+        result.best_test_accuracy = stats.test_accuracy;
+      }
+      result.final_test_accuracy = stats.test_accuracy;
+      result.curve.push_back(stats);
+    }
   }
   result.metrics_json = metrics.ToJson();
   return result;

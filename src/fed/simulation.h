@@ -49,6 +49,19 @@ struct SimulationConfig {
   /// checkpoint_dir is set); 0 runs to `rounds`. Used by tests to emulate a
   /// kill at a round boundary without killing the process.
   int halt_after_round = 0;
+  /// Async runtime (DESIGN.md §5i): client updates stream through an
+  /// AsyncUpdateQueue instead of a hard round barrier. Injected stragglers
+  /// deliver their update `FailurePlan::StragglerDelay` rounds late rather
+  /// than being discarded; each round admits updates at most
+  /// `staleness_tau` rounds stale (older ones are dropped and counted) and
+  /// discounts admitted stale updates by `staleness_decay`^staleness before
+  /// aggregation. With staleness_tau = 0 the run is bit-identical to the
+  /// synchronous path. Incompatible with FGL wrappers and checkpointing.
+  bool async = false;
+  int staleness_tau = 0;
+  /// Per-round staleness discount in (0, 1] applied to an admitted update's
+  /// confidence (FedGTA Eq. 7 weight) and data-size weight.
+  double staleness_decay = 0.5;
 };
 
 /// Per-evaluated-round statistics.
@@ -88,6 +101,10 @@ struct SimulationResult {
   int64_t total_crashed_clients = 0;
   /// Round this run resumed from (0 = fresh start).
   int resumed_from_round = 0;
+  /// Async runtime totals (zero on synchronous runs; not part of the
+  /// checkpoint format — async runs never checkpoint).
+  int64_t total_admitted_updates = 0;
+  int64_t total_stale_dropped_updates = 0;
   /// JSON snapshot of the global metrics registry taken when Run()
   /// returned: per-phase timers (phase.*.seconds), per-round deltas
   /// (round.client_seconds / round.server_seconds), per-client training
@@ -130,6 +147,13 @@ class Simulation {
   /// Weighted test/val accuracy across clients with each client's served
   /// parameters.
   void Evaluate(double* test_accuracy, double* val_accuracy);
+
+  /// The async round loop (config_.async): the in-process oracle for the
+  /// distributed async runtime. Training still runs under a per-round
+  /// barrier — asynchrony is virtual (stragglers arrive StragglerDelay
+  /// rounds late through the AsyncUpdateQueue) — so admission decisions,
+  /// and therefore the whole run, are deterministic for any tau.
+  SimulationResult RunAsync();
 
   /// Atomically writes the full simulation state after `completed_rounds`.
   Status SaveCheckpoint(const std::string& path, int completed_rounds,

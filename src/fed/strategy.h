@@ -64,6 +64,13 @@ struct StrategyCapabilities {
   /// moments M (Algorithm 1 line 11) — alongside the weights; remote
   /// workers must compute and ship them.
   bool uploads_topology_metrics = false;
+  /// Aggregate tolerates the async runtime's admission set: a mix of fresh
+  /// and bounded-stale updates whose confidence / data-size weights carry a
+  /// staleness discount (DESIGN.md §5i). True for the strategies whose
+  /// aggregation is a pure weighted reduction over the round's uploads;
+  /// false for any strategy keyed to strict round alignment (control
+  /// variates, drift windows), which the async mode rejects up front.
+  bool async_capable = false;
 };
 
 /// A federated optimization strategy: decides which weights each client
@@ -156,7 +163,8 @@ class FedAvgStrategy : public Strategy {
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
   StrategyCapabilities Capabilities() const override {
-    return {.remote_executable = true, .needs_server_state = false};
+    return {.remote_executable = true, .needs_server_state = false,
+            .async_capable = true};
   }
 };
 
@@ -171,7 +179,8 @@ class LocalOnlyStrategy : public Strategy {
   void Aggregate(const std::vector<int>& participants,
                  const std::vector<LocalResult>& results) override;
   StrategyCapabilities Capabilities() const override {
-    return {.remote_executable = true, .needs_server_state = false};
+    return {.remote_executable = true, .needs_server_state = false,
+            .async_capable = true};
   }
   void SaveState(serialize::Writer* writer) const override;
   Status LoadState(serialize::Reader* reader) override;

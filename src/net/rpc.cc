@@ -100,6 +100,9 @@ void WireFedConfig::Encode(serialize::Writer* w) const {
   w->WriteDouble(fail_straggler);
   w->WriteDouble(fail_crash);
   w->WriteU64(fail_seed);
+  w->WriteBool(async);
+  w->WriteI32(staleness_tau);
+  w->WriteDouble(staleness_decay);
 }
 
 Status WireFedConfig::Decode(serialize::Reader* rd) {
@@ -135,6 +138,9 @@ Status WireFedConfig::Decode(serialize::Reader* rd) {
   FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&fail_straggler));
   FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&fail_crash));
   FEDGTA_RETURN_IF_ERROR(rd->ReadU64(&fail_seed));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadBool(&async));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadI32(&staleness_tau));
+  FEDGTA_RETURN_IF_ERROR(rd->ReadDouble(&staleness_decay));
   return OkStatus();
 }
 
@@ -175,6 +181,7 @@ Status TrainRequestMsg::Decode(serialize::Reader* r) {
 
 void TrainResponseMsg::Encode(serialize::Writer* w) const {
   w->WriteI32(client_id);
+  w->WriteI32(round);
   w->WriteU32(fate);
   w->WriteDouble(loss);
   w->WriteI64(num_samples);
@@ -186,6 +193,7 @@ void TrainResponseMsg::Encode(serialize::Writer* w) const {
 }
 Status TrainResponseMsg::Decode(serialize::Reader* r) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&round));
   FEDGTA_RETURN_IF_ERROR(r->ReadU32(&fate));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&loss));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&num_samples));

@@ -43,8 +43,14 @@ namespace net {
 /// v2: trace envelope after the type tag; Hello/AssignConfig carry clock
 /// sync timestamps + worker index; Train/Eval responses piggyback a
 /// metrics delta.
+///
+/// v3: async runtime. WireFedConfig carries the async/staleness knobs so
+/// workers know to ship straggler payloads instead of discarding them, and
+/// TrainResponse echoes the dispatch round — in async mode responses
+/// stream back out of round order, so the server can no longer infer the
+/// round from its own state machine position.
 
-inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kProtocolVersion = 3;
 
 enum class MsgType : uint32_t {
   kHello = 1,
@@ -119,6 +125,13 @@ struct WireFedConfig {
   double fail_straggler = 0.0;
   double fail_crash = 0.0;
   uint64_t fail_seed = 0xFA11;
+  // Async runtime (DESIGN.md §5i). When `async` is set, workers fill the
+  // full upload payload for stragglers too (their update is late, not
+  // lost); the staleness knobs ride along so a worker can render them in
+  // diagnostics even though admission is enforced server-side only.
+  bool async = false;
+  int32_t staleness_tau = 0;
+  double staleness_decay = 0.5;
 
   void Encode(serialize::Writer* w) const;
   Status Decode(serialize::Reader* r);
@@ -173,11 +186,17 @@ struct TrainRequestMsg {
 /// Worker -> server: the upload. `fate` is the worker's locally computed
 /// ClientFate for (round, client); for non-healthy fates the tensor fields
 /// stay empty (the server discards them anyway — matching the simulation,
-/// where failed results never reach aggregation). `confidence`/`moments`
-/// carry the FedGTA H and M uploads when the strategy wants them.
+/// where failed results never reach aggregation), except that in async
+/// mode (WireFedConfig::async) stragglers ship the full payload: their
+/// update is late, not lost, and the server's bounded-staleness queue
+/// decides its fate. `confidence`/`moments` carry the FedGTA H and M
+/// uploads when the strategy wants them.
 struct TrainResponseMsg {
   static constexpr MsgType kType = MsgType::kTrainResponse;
   int32_t client_id = 0;
+  /// Echo of TrainRequestMsg::round (v3): async responses stream back out
+  /// of round order, so the dispatch round must travel with the upload.
+  int32_t round = 0;
   uint32_t fate = 0;  // static_cast<uint32_t>(ClientFate)
   double loss = 0.0;
   int64_t num_samples = 0;

@@ -48,6 +48,8 @@ const char* TimelineEventKindName(TimelineEventKind kind) {
       return "phase";
     case TimelineEventKind::kWorker:
       return "worker";
+    case TimelineEventKind::kAsyncAdmission:
+      return "async_admission";
   }
   return "unknown";
 }
@@ -84,6 +86,10 @@ std::string TimelineEvent::ToJson() const {
   if (participants > 0) {
     out += StrFormat(", \"participants\": %lld",
                      static_cast<long long>(participants));
+  }
+  if (queue_depth > 0) {
+    out += StrFormat(", \"queue_depth\": %lld",
+                     static_cast<long long>(queue_depth));
   }
   out += "}";
   return out;
@@ -148,6 +154,17 @@ void Timeline::Phase(int32_t round, const std::string& phase,
   e.round = round;
   e.label = phase;
   e.seconds = seconds;
+  Record(std::move(e));
+}
+
+void Timeline::AsyncAdmission(int32_t round, int64_t admitted,
+                              int64_t stale_dropped, int64_t queue_depth) {
+  TimelineEvent e;
+  e.kind = TimelineEventKind::kAsyncAdmission;
+  e.round = round;
+  e.participants = admitted;
+  e.dropped = stale_dropped;
+  e.queue_depth = queue_depth;
   Record(std::move(e));
 }
 

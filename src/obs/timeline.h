@@ -15,9 +15,10 @@ namespace fedgta {
 enum class TimelineEventKind {
   kRoundStart,   // a federated round began
   kRoundEnd,     // a round finished (phase durations + wire totals)
-  kClientFate,   // one client's outcome within a round
-  kPhase,        // a named phase duration within a round
-  kWorker,       // worker lifecycle (connected, lost, ...)
+  kClientFate,       // one client's outcome within a round
+  kPhase,            // a named phase duration within a round
+  kWorker,           // worker lifecycle (connected, lost, ...)
+  kAsyncAdmission,   // async runtime: one round's update-admission outcome
 };
 
 const char* TimelineEventKindName(TimelineEventKind kind);
@@ -38,6 +39,8 @@ struct TimelineEvent {
   int64_t stragglers = 0;
   int64_t crashed = 0;
   int64_t participants = 0;
+  /// kAsyncAdmission: updates still buffered after this round's drain.
+  int64_t queue_depth = 0;
 
   /// One-line JSON object (no trailing newline).
   std::string ToJson() const;
@@ -64,6 +67,11 @@ class Timeline {
                   double seconds);
   void Phase(int32_t round, const std::string& phase, double seconds);
   void Worker(int32_t worker, const std::string& event);
+  /// Async runtime: one round's admission outcome — `admitted` updates
+  /// aggregated (recorded as `participants`), `stale_dropped` past the
+  /// staleness bound (recorded as `dropped`), `queue_depth` still buffered.
+  void AsyncAdmission(int32_t round, int64_t admitted, int64_t stale_dropped,
+                      int64_t queue_depth);
 
   std::vector<TimelineEvent> Events() const;
   size_t size() const;

@@ -101,4 +101,40 @@ TEST(FlagsTest, UnknownFlagIsRejected) {
   ExpectRejected("--bogus=1", "unknown flag: --bogus=1");
 }
 
+TEST(FlagsTest, HelpListsAsyncFlags) {
+  const CliResult result = RunCli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--async"), std::string::npos);
+  EXPECT_NE(result.output.find("--staleness_tau"), std::string::npos);
+  EXPECT_NE(result.output.find("--staleness_decay"), std::string::npos);
+}
+
+TEST(FlagsTest, StalenessKnobsWithoutAsyncAreRejected) {
+  ExpectRejected("--staleness_tau=2",
+                 "--staleness_tau/--staleness_decay require --async");
+  ExpectRejected("--staleness_decay=0.5",
+                 "--staleness_tau/--staleness_decay require --async");
+}
+
+TEST(FlagsTest, AsyncStalenessBoundsAreRejected) {
+  ExpectRejected("--async --staleness_tau=-1",
+                 "--staleness_tau must be >= 0");
+  ExpectRejected("--async --staleness_decay=0",
+                 "--staleness_decay must be in (0, 1]");
+  ExpectRejected("--async --staleness_decay=1.5",
+                 "--staleness_decay must be in (0, 1]");
+}
+
+TEST(FlagsTest, AsyncWithCheckpointingIsRejected) {
+  ExpectRejected("--async --checkpoint_dir=/tmp/fedgta_flags_test_ckpt",
+                 "--async does not support checkpointing");
+  ExpectRejected("--async --halt_after_round=2",
+                 "--async does not support checkpointing");
+}
+
+TEST(FlagsTest, AsyncWithRoundAlignedStrategyIsRejected) {
+  ExpectRejected("--async --strategy=scaffold",
+                 "--async requires an async-capable strategy; 'scaffold'");
+}
+
 }  // namespace

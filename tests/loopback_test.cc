@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fed/failure.h"
 #include "fed/remote_coordinator.h"
 #include "fed/simulation.h"
 #include "net/socket.h"
@@ -179,6 +180,107 @@ TEST(LoopbackTest, FedProxOverTwoWorkersIsBitIdenticalToSimulation) {
   ExpectBitIdentical(*remote, local);
 }
 
+TEST(LoopbackTest, AsyncTauZeroIsBitIdenticalToSyncSimulation) {
+  // The bounded-staleness runtime at tau = 0: the wait rule degenerates to
+  // the full round barrier, every injected straggler's late upload misses
+  // the window, and the run must reproduce the *synchronous* in-process
+  // simulation bit for bit — the async plane's determinism oracle.
+  RemoteFedConfig config = BaseConfig();
+  config.seed = 13;
+  config.num_workers = 3;
+  config.sim.rounds = 3;
+  config.sim.failure.straggler_rate = 0.3;
+  config.sim.failure.seed = 5;
+  config.sim.async = true;
+  config.sim.staleness_tau = 0;
+
+  std::vector<int> exit_codes;
+  Result<SimulationResult> remote =
+      RunRemote(config, /*max_train_requests=*/0, &exit_codes);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  for (int code : exit_codes) EXPECT_EQ(code, 0);
+
+  RemoteFedConfig sync_config = config;
+  sync_config.sim.async = false;
+  sync_config.sim.staleness_tau = 0;
+  const SimulationResult local = RunInProcess(sync_config);
+  EXPECT_GT(local.total_straggler_clients, 0);
+  ExpectBitIdentical(*remote, local);
+}
+
+int64_t CounterValue(const std::string& name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(LoopbackTest, AsyncBoundedStalenessMatchesOracleAndPlan) {
+  // tau = 2 over five workers with 40% injected stragglers. Every admission
+  // decision is a pure function of (seed, round, client): a straggler
+  // trained at round r with StragglerDelay d is admitted iff d <= tau and
+  // r + d lands inside the run, stale-dropped iff d > tau (and it arrives
+  // at all), undelivered iff the run ends first. The remote run must match
+  // the in-process async oracle bit for bit and the fed.async.* counters
+  // must match the plan's closed form exactly.
+  RemoteFedConfig config = BaseConfig();
+  config.seed = 17;
+  config.num_workers = 5;
+  config.sim.rounds = 5;
+  config.sim.failure.straggler_rate = 0.4;
+  config.sim.failure.seed = 11;
+  config.sim.async = true;
+  config.sim.staleness_tau = 2;
+  config.sim.staleness_decay = 0.5;
+
+  const FailurePlan plan(config.sim.failure);
+  int64_t expect_stale = 0;
+  int64_t expect_undelivered = 0;
+  int64_t expect_accepted = 0;  // admitted + superseded
+  for (int r = 1; r <= config.sim.rounds; ++r) {
+    for (int c = 0; c < config.split.num_clients; ++c) {
+      if (plan.FateOf(r, c) != ClientFate::kStraggler) {
+        ++expect_accepted;  // healthy: always admitted within the window
+        continue;
+      }
+      const int d = plan.StragglerDelay(r, c);
+      if (r + d > config.sim.rounds) {
+        ++expect_undelivered;
+      } else if (d > config.sim.staleness_tau) {
+        ++expect_stale;
+      } else {
+        ++expect_accepted;
+      }
+    }
+  }
+  ASSERT_GT(expect_stale, 0) << "plan produced no over-tau stragglers";
+  ASSERT_GT(expect_undelivered, 0) << "plan produced no undelivered updates";
+
+  const int64_t admitted0 = CounterValue("fed.async.admitted");
+  const int64_t superseded0 = CounterValue("fed.async.superseded");
+  const int64_t stale0 = CounterValue("fed.async.stale_dropped");
+  const int64_t undelivered0 = CounterValue("fed.async.undelivered");
+
+  Result<SimulationResult> remote = RunRemote(config);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  EXPECT_EQ(CounterValue("fed.async.stale_dropped") - stale0, expect_stale);
+  EXPECT_EQ(CounterValue("fed.async.undelivered") - undelivered0,
+            expect_undelivered);
+  EXPECT_EQ(CounterValue("fed.async.admitted") - admitted0 +
+                CounterValue("fed.async.superseded") - superseded0,
+            expect_accepted);
+  EXPECT_EQ(remote->total_stale_dropped_updates, expect_stale);
+  EXPECT_GT(remote->total_admitted_updates, 0);
+
+  // With eval_every = 1 every round ends in a full barrier, which pins the
+  // drain schedule: the distributed run is bit-identical to the in-process
+  // oracle even at tau > 0.
+  const SimulationResult local = RunInProcess(config);
+  ExpectBitIdentical(*remote, local);
+  EXPECT_EQ(remote->total_admitted_updates, local.total_admitted_updates);
+  EXPECT_EQ(remote->total_stale_dropped_updates,
+            local.total_stale_dropped_updates);
+}
+
 TEST(LoopbackTest, NonRemotableStrategyIsRejectedBeforeAcceptingWorkers) {
   RemoteFedConfig config = BaseConfig();
   config.strategy = "scaffold";  // mutates per-client server state
@@ -187,11 +289,6 @@ TEST(LoopbackTest, NonRemotableStrategyIsRejectedBeforeAcceptingWorkers) {
   const Result<SimulationResult> result = coordinator.Run();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
-}
-
-int64_t CounterValue(const std::string& name) {
-  const Counter* c = GlobalMetrics().FindCounter(name);
-  return c != nullptr ? c->value() : 0;
 }
 
 std::string QueryStatus(int port, const std::string& command) {

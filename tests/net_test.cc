@@ -195,6 +195,9 @@ TEST(RpcTest, WireFedConfigRoundTrips) {
   in.batch_size = 64;
   in.fail_dropout = 0.125;
   in.fail_seed = 99;
+  in.async = true;
+  in.staleness_tau = 3;
+  in.staleness_decay = 0.625;
 
   serialize::Writer writer;
   in.Encode(&writer);
@@ -225,6 +228,9 @@ TEST(RpcTest, WireFedConfigRoundTrips) {
   EXPECT_EQ(out.batch_size, in.batch_size);
   EXPECT_EQ(out.fail_dropout, in.fail_dropout);
   EXPECT_EQ(out.fail_seed, in.fail_seed);
+  EXPECT_EQ(out.async, in.async);
+  EXPECT_EQ(out.staleness_tau, in.staleness_tau);
+  EXPECT_EQ(out.staleness_decay, in.staleness_decay);
 }
 
 TEST(RpcTest, ChannelEchoesARequestResponseExchange) {
@@ -384,6 +390,9 @@ TEST(RpcTest, TrainResponsePiggybacksAMetricsDelta) {
   std::thread sender([&] {
     TrainResponseMsg resp;
     resp.client_id = 4;
+    // v3 round echo: async responses arrive out of round order, so the
+    // dispatch round must survive the wire rather than being inferred.
+    resp.round = 9;
     resp.metrics.seq = 17;
     resp.metrics.counters["phase.remote_train.calls"] = 2;
     ASSERT_TRUE(SendMessage(loop.peer, resp).ok());
@@ -393,6 +402,7 @@ TEST(RpcTest, TrainResponsePiggybacksAMetricsDelta) {
   sender.join();
   ASSERT_TRUE(received.ok()) << received;
   EXPECT_EQ(got.client_id, 4);
+  EXPECT_EQ(got.round, 9);
   EXPECT_EQ(got.metrics.seq, 17u);
   EXPECT_EQ(got.metrics.counters.at("phase.remote_train.calls"), 2);
 }
