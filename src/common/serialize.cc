@@ -71,7 +71,11 @@ void Writer::WriteI64Vec(std::span<const int64_t> v) {
 }
 
 std::string Writer::Encode() const {
-  FileHeader header;
+  // Value-initialized: the struct's 4 alignment-padding bytes are part of
+  // the emitted buffer, and garbage there would make two encodings of the
+  // same payload differ byte for byte (readers ignore the padding, so
+  // zeroing it is compatible with every existing file).
+  FileHeader header{};
   header.magic = kMagic;
   header.version = kVersion;
   header.payload_size = buf_.size();
@@ -84,7 +88,7 @@ std::string Writer::Encode() const {
 }
 
 Status Writer::WriteToFile(const std::string& path) const {
-  FileHeader header;
+  FileHeader header{};  // zeroed padding; see Encode()
   header.magic = kMagic;
   header.version = kVersion;
   header.payload_size = buf_.size();

@@ -9,6 +9,7 @@
 #include "fed/simulation.h"
 #include "fed/strategy.h"
 #include "linalg/backend.h"
+#include "net/compress/codec.h"
 
 namespace fedgta {
 namespace cli {
@@ -135,6 +136,17 @@ const FlagDef kFlags[] = {
      [](ExperimentCli& c, const std::string& v) {
        c.halt_after_round = ToInt(v);
      }},
+    // Wire compression.
+    {"compress", kRun | kSrv | kWrk,
+     [](ExperimentCli& c, const std::string& v) {
+       c.compress = v;
+       c.compress_given = true;
+     }},
+    {"compress_topk", kRun | kSrv | kWrk,
+     [](ExperimentCli& c, const std::string& v) {
+       c.compress_topk = ToInt(v);
+       c.compress_topk_given = true;
+     }},
     // Transport.
     {"port", kSrv | kWrk,
      [](ExperimentCli& c, const std::string& v) { c.port = ToInt(v); }},
@@ -217,6 +229,22 @@ std::string AsyncHelpLines() {
          "                        (requires --async; default 0.5)\n";
 }
 
+std::string CompressHelpLines() {
+  return "  --compress=MODE       wire codec for train/eval tensor traffic:\n"
+         "                        off | raw | fp16 | int8 | delta (default "
+         "off).\n"
+         "                        fp16/int8 quantize per tensor; delta ships\n"
+         "                        top-k sparsified updates against the last\n"
+         "                        exchanged model (DESIGN.md §5j). Workers "
+         "that\n"
+         "                        don't advertise the codec fall back to "
+         "raw\n"
+         "  --compress_topk=N     elements kept per delta-sparsified tensor\n"
+         "                        (requires --compress=delta; default: "
+         "n/8,\n"
+         "                        small tensors ship whole)\n";
+}
+
 std::string ThreadHelpLines() {
   return "  --num_threads=N       worker threads for the shared pool (client\n"
          "                        dispatch + GEMM/SpMM); 0 = "
@@ -242,6 +270,26 @@ Status Validate(Role role, ExperimentCli* cli) {
       linalg::FindBackend(cli->backend) == nullptr) {
     return Invalid("unknown backend: " + cli->backend +
                    " (have: " + JoinBackends() + ")");
+  }
+  // Compression flags apply (and validate) in every role: the server
+  // requests the codec, the worker restricts its advertisement, and
+  // run_experiment keeps flag parity for scripted A/B comparisons.
+  if (cli->compress != "off" &&
+      net::compress::FindCodec(cli->compress) == nullptr) {
+    std::string names;
+    for (const std::string& name : net::compress::ListCodecNames()) {
+      names += " " + name;
+    }
+    return Invalid("--compress must be off or one of:" + names +
+                   " (got: " + cli->compress + ")");
+  }
+  if (cli->compress_topk_given) {
+    if (cli->compress != "delta") {
+      return Invalid("--compress_topk requires --compress=delta");
+    }
+    if (cli->compress_topk < 1) {
+      return Invalid("--compress_topk must be >= 1 (omit for the auto mode)");
+    }
   }
   if (role == Role::kWorker) {
     // Transport-only process; nothing below applies.
@@ -396,6 +444,8 @@ RemoteFedConfig ExperimentCli::ToRemoteConfig() const {
   config.sim.async = async_mode;
   config.sim.staleness_tau = staleness_tau;
   config.sim.staleness_decay = staleness_decay;
+  config.compress = compress;
+  config.compress_topk = compress_topk;
   config.num_workers = workers;
   config.rpc.deadline_ms = deadline_ms;
   config.accept_timeout_ms = accept_timeout_ms;
@@ -411,6 +461,9 @@ RemoteRunnerOptions ExperimentCli::ToRunnerOptions() const {
   options.rpc.max_attempts = connect_attempts;
   options.idle_timeout_ms = idle_timeout_ms;
   options.max_train_requests = max_train_requests;
+  // The absent flag advertises every codec (the server picks); an explicit
+  // --compress restricts the advertisement (or, with "off", disables it).
+  options.compress = compress_given ? compress : "";
   return options;
 }
 
@@ -493,7 +546,13 @@ std::string HelpText(Role role) {
           "  --fail_seed=N         failure-injection seed, independent of "
           "--seed\n"
           "                        (default 0xFA11)\n" +
-          AsyncHelpLines();
+          AsyncHelpLines() +
+          "  --compress=MODE       accepted for flag parity with "
+          "fedgta_server\n"
+          "                        (validated, but the in-process run has "
+          "no\n"
+          "                        wire to compress)\n"
+          "  --compress_topk=N     ditto (requires --compress=delta)\n";
       break;
     }
     case Role::kServer: {
@@ -526,7 +585,8 @@ std::string HelpText(Role role) {
           "  --deadline_ms=N       per-RPC straggler deadline (default "
           "120000)\n"
           "  --accept_timeout_ms=N wait per worker connection (default "
-          "60000)\n"
+          "60000)\n" +
+          CompressHelpLines() +
           "  --fail_dropout=F      injected dropout probability (default "
           "0)\n"
           "  --fail_straggler=F    injected straggler probability (default "
@@ -570,6 +630,16 @@ std::string HelpText(Role role) {
           "                        a killed process (fault-injection "
           "testing;\n"
           "                        0 = disabled)\n"
+          "  --compress=MODE       restrict the codecs advertised to the\n"
+          "                        server: off advertises none (forces "
+          "raw),\n"
+          "                        a codec name advertises just that one.\n"
+          "                        Default: advertise everything — the "
+          "server's\n"
+          "                        --compress choice decides\n"
+          "  --compress_topk=N     accepted for flag parity; the server's\n"
+          "                        assigned top-k is binding (requires\n"
+          "                        --compress=delta)\n"
           "  --trace_out=PATH      write this worker's Chrome trace; its "
           "spans\n"
           "                        carry the server's trace ids and clock "

@@ -1,5 +1,6 @@
 #include "fed/remote_client_runner.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -35,12 +36,46 @@ Status RemoteClientRunner::Run() {
   net::Socket sock = std::move(*dialed);
   FEDGTA_RETURN_IF_ERROR(sock.SetRecvTimeout(options_.rpc.deadline_ms));
 
+  // Advertised codec set (DESIGN.md §5j): everything by default, nothing
+  // beyond raw under --compress=off, or a single named codec. The server
+  // negotiates its own request down to this set, so a restricted worker
+  // degrades the connection rather than failing the handshake.
+  uint32_t advertised =
+      net::compress::CapabilityBit(net::compress::CodecId::kRaw);
+  if (options_.compress.empty()) {
+    advertised = net::compress::AllCapabilities();
+  } else if (options_.compress != "off") {
+    const net::compress::Codec* codec =
+        net::compress::FindCodec(options_.compress);
+    if (codec == nullptr) {
+      return InvalidArgumentError("unknown compress codec '" +
+                                  options_.compress + "'");
+    }
+    advertised |= net::compress::CapabilityBit(codec->id());
+  }
+
   net::HelloMsg hello;
   hello.t_send_us = internal_obs::TraceNowMicros();
+  hello.codec_capabilities = advertised;
   FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, hello));
   net::AssignConfigMsg assign;
   FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(sock, &assign));
   const int64_t t3 = internal_obs::TraceNowMicros();
+
+  // The server's codec choice is binding, but only within what we
+  // advertised — anything else is a protocol violation, not a fallback.
+  std::unique_ptr<net::compress::Link> link;
+  const auto codec_id = static_cast<net::compress::CodecId>(assign.codec_id);
+  if (codec_id != net::compress::CodecId::kRaw) {
+    const net::compress::Codec* codec = net::compress::FindCodec(codec_id);
+    if (codec == nullptr ||
+        (advertised & net::compress::CapabilityBit(codec_id)) == 0) {
+      return Complain(sock, InvalidArgumentError(
+                                "server assigned unadvertised codec id " +
+                                std::to_string(assign.codec_id)));
+    }
+    link = std::make_unique<net::compress::Link>(codec, assign.compress_topk);
+  }
 
   // NTP midpoint from the Hello/AssignConfig ping-pong: t0/t3 on our trace
   // clock, t1/t2 on the server's. Shifting our trace timestamps by this
@@ -129,11 +164,14 @@ Status RemoteClientRunner::Run() {
     switch (*type) {
       case net::MsgType::kTrainRequest: {
         net::TrainRequestMsg req;
-        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader));
+        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader, link.get()));
         if (!reader->AtEnd()) {
           return Complain(sock,
                           InvalidArgumentError("trailing bytes after train"));
         }
+        // Credit the download's decompression savings to net.bytes_raw
+        // (the frame layer only saw the wire bytes).
+        if (link) net::AddRecvSavedBytes(link->TakeSavedBytes());
         auto it = hosted.find(req.client_id);
         if (it == hosted.end()) {
           return Complain(sock, InvalidArgumentError(
@@ -198,7 +236,7 @@ Status RemoteClientRunner::Run() {
           resp.seconds = timer.Seconds();
         }
         resp.metrics = metrics_encoder.Next();
-        FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp));
+        FEDGTA_RETURN_IF_ERROR(net::SendMessage(sock, resp, link.get()));
         ++train_responses;
         if (options_.max_train_requests > 0 &&
             train_responses >= options_.max_train_requests) {
@@ -209,11 +247,12 @@ Status RemoteClientRunner::Run() {
       }
       case net::MsgType::kEvalRequest: {
         net::EvalRequestMsg req;
-        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader));
+        FEDGTA_RETURN_IF_ERROR(req.Decode(&*reader, link.get()));
         if (!reader->AtEnd()) {
           return Complain(sock,
                           InvalidArgumentError("trailing bytes after eval"));
         }
+        if (link) net::AddRecvSavedBytes(link->TakeSavedBytes());
         auto it = hosted.find(req.client_id);
         if (it == hosted.end()) {
           return Complain(sock, InvalidArgumentError(

@@ -30,6 +30,17 @@ struct RemoteFedConfig {
   /// in-process Simulation).
   SimulationConfig sim;
 
+  /// Wire compression (DESIGN.md §5j): "off" (no compression plane at
+  /// all — legacy bytes), or a codec name from
+  /// net::compress::ListCodecNames() ("raw", "fp16", "int8", "delta")
+  /// requested for every worker connection. Workers that don't advertise
+  /// the codec negotiate down to raw.
+  std::string compress = "off";
+  /// Elements per delta-sparsified tensor; 0 = auto (n/8, floored so
+  /// small tensors ship whole). Only meaningful
+  /// with compress = "delta".
+  int compress_topk = 0;
+
   /// Workers to accept before round 1; client i is hosted by worker
   /// i % num_workers (accept order).
   int num_workers = 1;

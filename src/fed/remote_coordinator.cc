@@ -57,6 +57,14 @@ Status RemoteCoordinator::ValidateConfig() const {
       return InvalidArgumentError("staleness_decay must be in (0, 1]");
     }
   }
+  if (config_.compress != "off" &&
+      net::compress::FindCodec(config_.compress) == nullptr) {
+    return InvalidArgumentError("unknown compress codec '" +
+                                config_.compress + "'");
+  }
+  if (config_.compress_topk < 0) {
+    return InvalidArgumentError("compress_topk must be >= 0");
+  }
   FEDGTA_RETURN_IF_ERROR(GetDatasetSpec(config_.dataset).status());
   return OkStatus();
 }
@@ -124,13 +132,28 @@ Status RemoteCoordinator::Handshake() {
     net::HelloMsg hello;
     FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(channel.socket(), &hello));
     const int64_t hello_recv_us = internal_obs::TraceNowMicros();
-    if (hello.protocol_version != net::kProtocolVersion) {
+    if (hello.protocol_version < net::kMinProtocolVersion ||
+        hello.protocol_version > net::kProtocolVersion) {
       net::ErrorMsg err;
-      err.message = "protocol version " + std::to_string(net::kProtocolVersion) +
-                    " expected, worker speaks " +
-                    std::to_string(hello.protocol_version);
+      err.message =
+          "protocol versions " + std::to_string(net::kMinProtocolVersion) +
+          ".." + std::to_string(net::kProtocolVersion) +
+          " accepted, worker speaks " +
+          std::to_string(hello.protocol_version);
       (void)net::SendMessage(channel.socket(), err);
       return FailedPreconditionError(err.message);
+    }
+    // Codec negotiation: the requested codec if this worker advertised it,
+    // raw otherwise (a v3 hello advertises nothing). A raw outcome builds
+    // no Link at all, so those connections ship the legacy bytes.
+    net::compress::CodecId negotiated = net::compress::CodecId::kRaw;
+    if (config_.compress != "off") {
+      const net::compress::Codec* requested =
+          net::compress::FindCodec(config_.compress);
+      FEDGTA_CHECK(requested != nullptr)
+          << "ValidateConfig admitted unknown codec " << config_.compress;
+      negotiated = net::compress::Negotiate(requested->id(),
+                                            hello.codec_capabilities);
     }
     net::AssignConfigMsg assign;
     assign.config = wire;
@@ -141,6 +164,14 @@ Status RemoteCoordinator::Handshake() {
     // them with its own send/recv times to shift its trace timebase.
     assign.hello_recv_us = hello_recv_us;
     assign.worker_index = w;
+    assign.codec_id = static_cast<uint32_t>(negotiated);
+    assign.compress_topk = config_.compress_topk;
+    assign.peer_version = hello.protocol_version;
+    link.peer_version = hello.protocol_version;
+    if (negotiated != net::compress::CodecId::kRaw) {
+      link.compress = std::make_unique<net::compress::Link>(
+          net::compress::FindCodec(negotiated), config_.compress_topk);
+    }
     assign.assign_send_us = internal_obs::TraceNowMicros();
     net::ConfigAckMsg ack;
     FEDGTA_RETURN_IF_ERROR(channel.Call(assign, &ack));
@@ -209,7 +240,7 @@ void RemoteCoordinator::Evaluate(double* test_accuracy,
         req.client_id = id;
         req.weights = CopyParams(strategy_->ParamsFor(id));
         net::EvalResponseMsg resp;
-        if (!link.channel.Call(req, &resp).ok()) {
+        if (!link.channel.Call(req, &resp, link.compress.get()).ok()) {
           link.health->healthy.store(false, std::memory_order_relaxed);
           continue;
         }
@@ -374,7 +405,8 @@ Result<SimulationResult> RemoteCoordinator::Run() {
           req.round = round;
           req.client_id = id;
           req.weights = CopyParams(strategy_->ParamsFor(id));
-          rpc_status[i] = link.channel.Call(req, &responses[i]);
+          rpc_status[i] =
+              link.channel.Call(req, &responses[i], link.compress.get());
           if (!rpc_status[i].ok()) {
             link.health->healthy.store(false, std::memory_order_relaxed);
             continue;
@@ -611,7 +643,7 @@ Status RemoteCoordinator::RunAsyncRounds(SimulationResult* result) {
           req.round = cmd.round;
           req.client_id = cmd.client_id;
           req.weights = std::move(cmd.weights);
-          rpc = link.channel.Call(req, &resp);
+          rpc = link.channel.Call(req, &resp, link.compress.get());
         }
         if (rpc.ok() &&
             (resp.client_id != cmd.client_id || resp.round != cmd.round)) {
@@ -863,6 +895,49 @@ std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
     out += StrFormat("  %s: count=%lld p50=%.6f p99=%.6f\n", name,
                      static_cast<long long>(s.count), s.Quantile(0.5),
                      s.Quantile(0.99));
+  }
+  // Wire plane (DESIGN.md §5j): where the round bytes actually go, and
+  // what compression is buying. bytes_raw counts what the same traffic
+  // would have cost uncompressed, so ratio = raw/wire (1.00 when no codec
+  // is engaged).
+  {
+    std::string plane;
+    const Counter* wire = GlobalMetrics().FindCounter("net.bytes_wire");
+    const Counter* raw = GlobalMetrics().FindCounter("net.bytes_raw");
+    if (wire != nullptr && wire->value() > 0) {
+      const int64_t wire_bytes = wire->value();
+      const int64_t raw_bytes = raw != nullptr ? raw->value() : wire_bytes;
+      plane += StrFormat("  net.bytes_wire: %lld\n",
+                         static_cast<long long>(wire_bytes));
+      plane += StrFormat("  net.bytes_raw: %lld\n",
+                         static_cast<long long>(raw_bytes));
+      plane += StrFormat("  compression_ratio: %.2fx (%lld bytes saved)\n",
+                         static_cast<double>(raw_bytes) /
+                             static_cast<double>(wire_bytes),
+                         static_cast<long long>(raw_bytes - wire_bytes));
+    }
+    for (const char* name :
+         {"net.bytes_sent.TrainRequest", "net.bytes_sent.TrainResponse",
+          "net.bytes_sent.EvalRequest", "net.bytes_sent.EvalResponse",
+          "net.bytes_sent.AssignConfig", "net.bytes_sent.ConfigAck"}) {
+      const Counter* c = GlobalMetrics().FindCounter(name);
+      if (c == nullptr || c->value() == 0) continue;
+      plane += StrFormat("  %s: %lld\n", name,
+                         static_cast<long long>(c->value()));
+    }
+    if (const Histogram* h =
+            GlobalMetrics().FindHistogram("net.compress.seconds");
+        h != nullptr) {
+      const Histogram::Snapshot s = h->snapshot();
+      if (s.count > 0) {
+        plane += StrFormat("  net.compress.seconds: count=%lld p50=%.6f\n",
+                           static_cast<long long>(s.count), s.Quantile(0.5));
+      }
+    }
+    if (!plane.empty()) {
+      out += StrFormat("net (compress=%s):\n", config_.compress.c_str()) +
+             plane;
+    }
   }
   // Similarity/aggregation plane counters (DESIGN.md §5h) — present once
   // the first FedGTA aggregation has run.

@@ -79,6 +79,14 @@ class RemoteCoordinator {
     net::RpcChannel channel;
     /// Hosted client ids, ascending.
     std::vector<int> client_ids;
+    /// Negotiated per-connection compression state (DESIGN.md §5j); null
+    /// when the connection negotiated raw (or compress = "off"), keeping
+    /// that path's bytes exactly the legacy wire format. Touched only by
+    /// the one thread currently driving this worker's channel.
+    std::unique_ptr<net::compress::Link> compress;
+    /// Hello protocol version of this worker (v3 peers never see v4
+    /// message trailers).
+    uint32_t peer_version = net::kProtocolVersion;
     /// Shared with the published fleet status (the endpoint may outlive a
     /// rebuilt workers_ vector).
     std::shared_ptr<WorkerHealth> health = std::make_shared<WorkerHealth>();

@@ -58,13 +58,32 @@ const char* MsgTypeName(MsgType type) {
   return "UnknownMsg";
 }
 
-void HelloMsg::Encode(serialize::Writer* w) const {
+void AddSentMessageBytes(MsgType type, int64_t wire) {
+  GlobalMetrics()
+      .GetCounter(std::string("net.bytes_sent.") + MsgTypeName(type))
+      .Increment(wire);
+}
+
+void AddRecvSavedBytes(int64_t saved) {
+  if (saved != 0) {
+    GlobalMetrics().GetCounter("net.bytes_raw").Increment(saved);
+  }
+}
+
+void HelloMsg::Encode(serialize::Writer* w, compress::Link* /*link*/) const {
   w->WriteU32(protocol_version);
   w->WriteI64(t_send_us);
+  w->WriteU32(codec_capabilities);
 }
-Status HelloMsg::Decode(serialize::Reader* r) {
+Status HelloMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
   FEDGTA_RETURN_IF_ERROR(r->ReadU32(&protocol_version));
-  return r->ReadI64(&t_send_us);
+  FEDGTA_RETURN_IF_ERROR(r->ReadI64(&t_send_us));
+  // A v3 hello ends here; no capabilities means raw after negotiation.
+  codec_capabilities = 0;
+  if (!r->AtEnd()) {
+    FEDGTA_RETURN_IF_ERROR(r->ReadU32(&codec_capabilities));
+  }
+  return OkStatus();
 }
 
 void WireFedConfig::Encode(serialize::Writer* w) const {
@@ -144,96 +163,160 @@ Status WireFedConfig::Decode(serialize::Reader* rd) {
   return OkStatus();
 }
 
-void AssignConfigMsg::Encode(serialize::Writer* w) const {
+void AssignConfigMsg::Encode(serialize::Writer* w,
+                             compress::Link* /*link*/) const {
   config.Encode(w);
   w->WriteI32Vec(client_ids);
   w->WriteI64(hello_recv_us);
   w->WriteI64(assign_send_us);
   w->WriteI32(worker_index);
+  // The v4 trailer would read as trailing bytes to a v3 peer's strict
+  // AtEnd check, so it only ships when the Hello said v4+.
+  if (peer_version >= 4) {
+    w->WriteU32(codec_id);
+    w->WriteI32(compress_topk);
+  }
 }
-Status AssignConfigMsg::Decode(serialize::Reader* r) {
+Status AssignConfigMsg::Decode(serialize::Reader* r,
+                               compress::Link* /*link*/) {
   FEDGTA_RETURN_IF_ERROR(config.Decode(r));
   FEDGTA_RETURN_IF_ERROR(r->ReadI32Vec(&client_ids));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&hello_recv_us));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&assign_send_us));
-  return r->ReadI32(&worker_index);
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&worker_index));
+  codec_id = 0;
+  compress_topk = 0;
+  if (!r->AtEnd()) {
+    FEDGTA_RETURN_IF_ERROR(r->ReadU32(&codec_id));
+    FEDGTA_RETURN_IF_ERROR(r->ReadI32(&compress_topk));
+  }
+  return OkStatus();
 }
 
-void ConfigAckMsg::Encode(serialize::Writer* w) const {
+void ConfigAckMsg::Encode(serialize::Writer* w,
+                          compress::Link* /*link*/) const {
+  // init_params ship raw even on compressed links: they are the one-time
+  // common initialization every strategy must start from bit-exactly.
   w->WriteI64(param_count);
   w->WriteFloatVec(init_params);
 }
-Status ConfigAckMsg::Decode(serialize::Reader* r) {
+Status ConfigAckMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&param_count));
   return r->ReadFloatVec(&init_params);
 }
 
-void TrainRequestMsg::Encode(serialize::Writer* w) const {
+void TrainRequestMsg::Encode(serialize::Writer* w,
+                             compress::Link* link) const {
   w->WriteI32(round);
   w->WriteI32(client_id);
-  w->WriteFloatVec(weights);
+  if (link != nullptr && link->active()) {
+    link->EncodeDownload(client_id, weights, w);
+  } else {
+    w->WriteFloatVec(weights);
+  }
 }
-Status TrainRequestMsg::Decode(serialize::Reader* r) {
+Status TrainRequestMsg::Decode(serialize::Reader* r, compress::Link* link) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&round));
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  if (link != nullptr && link->active()) {
+    return link->DecodeDownload(client_id, r, &weights);
+  }
   return r->ReadFloatVec(&weights);
 }
 
-void TrainResponseMsg::Encode(serialize::Writer* w) const {
+void TrainResponseMsg::Encode(serialize::Writer* w,
+                              compress::Link* link) const {
   w->WriteI32(client_id);
   w->WriteI32(round);
   w->WriteU32(fate);
   w->WriteDouble(loss);
   w->WriteI64(num_samples);
-  w->WriteFloatVec(weights);
+  const bool compressed = link != nullptr && link->active();
+  if (compressed) {
+    link->EncodeUploadWeights(client_id, weights, w);
+  } else {
+    w->WriteFloatVec(weights);
+  }
   w->WriteDouble(confidence);
-  w->WriteFloatVec(moments);
+  if (compressed) {
+    link->EncodeMoments(client_id, moments, w);
+  } else {
+    w->WriteFloatVec(moments);
+  }
   w->WriteDouble(seconds);
   EncodeMetricsDelta(metrics, w);
 }
-Status TrainResponseMsg::Decode(serialize::Reader* r) {
+Status TrainResponseMsg::Decode(serialize::Reader* r, compress::Link* link) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&round));
   FEDGTA_RETURN_IF_ERROR(r->ReadU32(&fate));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&loss));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&num_samples));
-  FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&weights));
+  const bool compressed = link != nullptr && link->active();
+  if (compressed) {
+    FEDGTA_RETURN_IF_ERROR(link->DecodeUploadWeights(client_id, r, &weights));
+  } else {
+    FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&weights));
+  }
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&confidence));
-  FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&moments));
+  if (compressed) {
+    FEDGTA_RETURN_IF_ERROR(link->DecodeMoments(client_id, r, &moments));
+  } else {
+    FEDGTA_RETURN_IF_ERROR(r->ReadFloatVec(&moments));
+  }
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&seconds));
   return DecodeMetricsDelta(r, &metrics);
 }
 
-void EvalRequestMsg::Encode(serialize::Writer* w) const {
+void EvalRequestMsg::Encode(serialize::Writer* w, compress::Link* link) const {
   w->WriteI32(client_id);
-  w->WriteFloatVec(weights);
+  if (link != nullptr && link->active()) {
+    link->EncodeDownload(client_id, weights, w);
+  } else {
+    w->WriteFloatVec(weights);
+  }
 }
-Status EvalRequestMsg::Decode(serialize::Reader* r) {
+Status EvalRequestMsg::Decode(serialize::Reader* r, compress::Link* link) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
+  if (link != nullptr && link->active()) {
+    return link->DecodeDownload(client_id, r, &weights);
+  }
   return r->ReadFloatVec(&weights);
 }
 
-void EvalResponseMsg::Encode(serialize::Writer* w) const {
+void EvalResponseMsg::Encode(serialize::Writer* w,
+                             compress::Link* /*link*/) const {
   w->WriteI32(client_id);
   w->WriteDouble(test_accuracy);
   w->WriteDouble(val_accuracy);
   EncodeMetricsDelta(metrics, w);
 }
-Status EvalResponseMsg::Decode(serialize::Reader* r) {
+Status EvalResponseMsg::Decode(serialize::Reader* r,
+                               compress::Link* /*link*/) {
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&client_id));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&test_accuracy));
   FEDGTA_RETURN_IF_ERROR(r->ReadDouble(&val_accuracy));
   return DecodeMetricsDelta(r, &metrics);
 }
 
-void ShutdownMsg::Encode(serialize::Writer* /*w*/) const {}
-Status ShutdownMsg::Decode(serialize::Reader* /*r*/) { return OkStatus(); }
+void ShutdownMsg::Encode(serialize::Writer* /*w*/,
+                         compress::Link* /*link*/) const {}
+Status ShutdownMsg::Decode(serialize::Reader* /*r*/,
+                           compress::Link* /*link*/) {
+  return OkStatus();
+}
 
-void ShutdownAckMsg::Encode(serialize::Writer* /*w*/) const {}
-Status ShutdownAckMsg::Decode(serialize::Reader* /*r*/) { return OkStatus(); }
+void ShutdownAckMsg::Encode(serialize::Writer* /*w*/,
+                            compress::Link* /*link*/) const {}
+Status ShutdownAckMsg::Decode(serialize::Reader* /*r*/,
+                              compress::Link* /*link*/) {
+  return OkStatus();
+}
 
-void ErrorMsg::Encode(serialize::Writer* w) const { w->WriteString(message); }
-Status ErrorMsg::Decode(serialize::Reader* r) {
+void ErrorMsg::Encode(serialize::Writer* w, compress::Link* /*link*/) const {
+  w->WriteString(message);
+}
+Status ErrorMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
   return r->ReadString(&message);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "net/compress/wire.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "obs/metrics_delta.h"
@@ -49,8 +50,17 @@ namespace net {
 /// TrainResponse echoes the dispatch round — in async mode responses
 /// stream back out of round order, so the server can no longer infer the
 /// round from its own state machine position.
+///
+/// v4: wire compression (DESIGN.md §5j). Hello advertises the worker's
+/// codec capability bits; AssignConfig answers with the negotiated codec
+/// id and top-k so both ends build matching compress::Links, and the
+/// tensor fields of Train/Eval messages are codec-encoded on active links.
+/// A v3 peer advertises nothing, negotiates raw, and sees bit-identical
+/// v3 bytes — the server still accepts kMinProtocolVersion.
 
-inline constexpr uint32_t kProtocolVersion = 3;
+inline constexpr uint32_t kProtocolVersion = 4;
+/// Oldest peer version the server still speaks (v3 = pre-compression).
+inline constexpr uint32_t kMinProtocolVersion = 3;
 
 enum class MsgType : uint32_t {
   kHello = 1,
@@ -75,9 +85,13 @@ struct HelloMsg {
   static constexpr MsgType kType = MsgType::kHello;
   uint32_t protocol_version = kProtocolVersion;
   int64_t t_send_us = 0;
+  /// v4: compress::CapabilityBit mask of codecs this worker can decode.
+  /// A v3 hello ends before this field; the decoder leaves it 0, which
+  /// Negotiate maps to raw.
+  uint32_t codec_capabilities = 0;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// The full experiment identity a worker needs to materialize its shards
@@ -153,9 +167,18 @@ struct AssignConfigMsg {
   /// This worker's 0-based index in the fleet (stable process identity for
   /// trace pids and the worker.<id>.* metrics namespace).
   int32_t worker_index = 0;
+  /// v4: the codec the server negotiated for this connection (a
+  /// compress::CodecId the worker advertised, or raw) and the delta top-k
+  /// knob. Only encoded when `peer_version` >= 4 — a v3 worker must see a
+  /// byte-identical v3 AssignConfig.
+  uint32_t codec_id = 0;
+  int32_t compress_topk = 0;
+  /// Not serialized: the Hello version of the peer this message is being
+  /// encoded for, which gates the v4 trailer.
+  uint32_t peer_version = kProtocolVersion;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// Worker -> server after materializing its shards. `init_params` is
@@ -168,8 +191,8 @@ struct ConfigAckMsg {
   int64_t param_count = 0;
   std::vector<float> init_params;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// Server -> worker: run one client's local round from `weights`.
@@ -179,8 +202,8 @@ struct TrainRequestMsg {
   int32_t client_id = 0;
   std::vector<float> weights;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// Worker -> server: the upload. `fate` is the worker's locally computed
@@ -209,8 +232,8 @@ struct TrainResponseMsg {
   /// server-side seq check keeps re-delivery idempotent.
   MetricsDelta metrics;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// Server -> worker: evaluate `weights` on one client's local test/val
@@ -220,8 +243,8 @@ struct EvalRequestMsg {
   int32_t client_id = 0;
   std::vector<float> weights;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 struct EvalResponseMsg {
@@ -232,20 +255,20 @@ struct EvalResponseMsg {
   /// See TrainResponseMsg::metrics.
   MetricsDelta metrics;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 struct ShutdownMsg {
   static constexpr MsgType kType = MsgType::kShutdown;
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 struct ShutdownAckMsg {
   static constexpr MsgType kType = MsgType::kShutdownAck;
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
 
 /// Either side -> peer: a fatal protocol-level complaint (version skew,
@@ -254,22 +277,42 @@ struct ErrorMsg {
   static constexpr MsgType kType = MsgType::kError;
   std::string message;
 
-  void Encode(serialize::Writer* w) const;
-  Status Decode(serialize::Reader* r);
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
 };
+
+/// Accumulates `wire` bytes into the per-message-type counter
+/// `net.bytes_sent.<MsgTypeName>` (non-template so SendMessage
+/// instantiations share one definition).
+void AddSentMessageBytes(MsgType type, int64_t wire);
+/// Folds a compression Link's decode-side savings into `net.bytes_raw`
+/// (the receive path can only account for them after the payload is
+/// decoded).
+void AddRecvSavedBytes(int64_t saved);
 
 /// Ships one typed message as one frame, stamping the calling thread's
 /// TraceContext into the envelope (all zeros when no context is active).
+/// With an active compression Link the tensor fields are codec-encoded
+/// and the frame is marked compressed; a null (or raw) link produces the
+/// legacy bytes.
 template <typename M>
-Status SendMessage(Socket& sock, const M& msg) {
+Status SendMessage(Socket& sock, const M& msg,
+                   compress::Link* link = nullptr) {
   serialize::Writer writer;
   writer.WriteU32(static_cast<uint32_t>(M::kType));
   const TraceContext ctx = CurrentTraceContext();
   writer.WriteU64(ctx.trace_id);
   writer.WriteU64(ctx.span_id);
   writer.WriteI32(ctx.round);
-  msg.Encode(&writer);
-  return SendFrame(sock, writer);
+  msg.Encode(&writer, link);
+  const bool compressed = link != nullptr && link->active();
+  const int64_t saved = link != nullptr ? link->TakeSavedBytes() : 0;
+  int64_t wire = 0;
+  FEDGTA_RETURN_IF_ERROR(SendFrame(
+      sock, writer, compressed ? FrameKind::kCompressed : FrameKind::kRaw,
+      saved, &wire));
+  AddSentMessageBytes(M::kType, wire);
+  return OkStatus();
 }
 
 /// Receives one frame and returns its validated payload Reader; the caller
@@ -284,9 +327,10 @@ Result<MsgType> ReadMsgType(serialize::Reader* reader,
 
 /// Receives a message that must be of type M. A kError message from the
 /// peer is surfaced as a FailedPrecondition carrying its text; any other
-/// type mismatch is a protocol error.
+/// type mismatch is a protocol error. Pass the connection's Link to
+/// decode codec-encoded tensor fields.
 template <typename M>
-Status ExpectMessage(Socket& sock, M* out);
+Status ExpectMessage(Socket& sock, M* out, compress::Link* link = nullptr);
 
 /// Per-message retry/backoff knobs shared by the channel and the worker's
 /// connect loop.
@@ -317,10 +361,10 @@ class RpcChannel {
   Socket& socket() { return sock_; }
 
   template <typename Req, typename Resp>
-  Status Call(const Req& req, Resp* resp) {
+  Status Call(const Req& req, Resp* resp, compress::Link* link = nullptr) {
     return CallImpl(
-        [&](Socket& s) { return SendMessage(s, req); },
-        [&](Socket& s) { return ExpectMessage(s, resp); });
+        [&](Socket& s) { return SendMessage(s, req, link); },
+        [&](Socket& s) { return ExpectMessage(s, resp, link); });
   }
 
  private:
@@ -339,7 +383,7 @@ Result<Socket> ConnectWithRetry(const std::string& host, int port,
                                 const RpcOptions& options);
 
 template <typename M>
-Status ExpectMessage(Socket& sock, M* out) {
+Status ExpectMessage(Socket& sock, M* out, compress::Link* link) {
   Result<serialize::Reader> reader = RecvMessage(sock);
   FEDGTA_RETURN_IF_ERROR(reader.status());
   Result<MsgType> type = ReadMsgType(&*reader);
@@ -354,11 +398,12 @@ Status ExpectMessage(Socket& sock, M* out) {
                                 MsgTypeName(M::kType) + ", peer sent " +
                                 MsgTypeName(*type));
   }
-  FEDGTA_RETURN_IF_ERROR(out->Decode(&*reader));
+  FEDGTA_RETURN_IF_ERROR(out->Decode(&*reader, link));
   if (!reader->AtEnd()) {
     return InvalidArgumentError(std::string("trailing bytes after ") +
                                 MsgTypeName(M::kType));
   }
+  if (link != nullptr) AddRecvSavedBytes(link->TakeSavedBytes());
   return OkStatus();
 }
 

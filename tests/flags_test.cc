@@ -6,8 +6,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "eval/cli.h"
 
 namespace {
 
@@ -135,6 +138,83 @@ TEST(FlagsTest, AsyncWithCheckpointingIsRejected) {
 TEST(FlagsTest, AsyncWithRoundAlignedStrategyIsRejected) {
   ExpectRejected("--async --strategy=scaffold",
                  "--async requires an async-capable strategy; 'scaffold'");
+}
+
+TEST(FlagsTest, HelpListsCompressFlags) {
+  const CliResult result = RunCli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--compress"), std::string::npos);
+  EXPECT_NE(result.output.find("--compress_topk"), std::string::npos);
+}
+
+TEST(FlagsTest, UnknownCompressCodecIsRejected) {
+  ExpectRejected("--compress=gzip", "--compress must be off or one of");
+}
+
+TEST(FlagsTest, CompressTopkWithoutDeltaIsRejected) {
+  ExpectRejected("--compress_topk=4",
+                 "--compress_topk requires --compress=delta");
+  ExpectRejected("--compress=int8 --compress_topk=4",
+                 "--compress_topk requires --compress=delta");
+}
+
+TEST(FlagsTest, CompressTopkOutOfRangeIsRejected) {
+  ExpectRejected("--compress=delta --compress_topk=0",
+                 "--compress_topk must be >= 1");
+  ExpectRejected("--compress=delta --compress_topk=-3",
+                 "--compress_topk must be >= 1");
+}
+
+// The server and worker roles share the same flag table and validation;
+// exercise them in-process (the binaries would block on sockets).
+fedgta::Result<fedgta::cli::ExperimentCli> Parse(
+    fedgta::cli::Role role, std::vector<std::string> args) {
+  std::string prog = "flags_test_binary";
+  std::vector<char*> argv = {prog.data()};
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return fedgta::cli::ParseAndValidate(role, static_cast<int>(argv.size()),
+                                       argv.data());
+}
+
+TEST(RoleFlagsTest, ServerAcceptsAndPlumbsCompressFlags) {
+  fedgta::Result<fedgta::cli::ExperimentCli> cli =
+      Parse(fedgta::cli::Role::kServer,
+            {"--compress=delta", "--compress_topk=64"});
+  ASSERT_TRUE(cli.ok()) << cli.status();
+  const fedgta::RemoteFedConfig config = cli->ToRemoteConfig();
+  EXPECT_EQ(config.compress, "delta");
+  EXPECT_EQ(config.compress_topk, 64);
+}
+
+TEST(RoleFlagsTest, ServerRejectsBadCompressValues) {
+  EXPECT_FALSE(Parse(fedgta::cli::Role::kServer, {"--compress=gzip"}).ok());
+  EXPECT_FALSE(
+      Parse(fedgta::cli::Role::kServer, {"--compress_topk=4"}).ok());
+  EXPECT_FALSE(Parse(fedgta::cli::Role::kServer,
+                     {"--compress=delta", "--compress_topk=0"})
+                   .ok());
+}
+
+TEST(RoleFlagsTest, WorkerCompressFlagRestrictsAdvertisement) {
+  // No flag: advertise everything (empty sentinel).
+  fedgta::Result<fedgta::cli::ExperimentCli> dflt =
+      Parse(fedgta::cli::Role::kWorker, {});
+  ASSERT_TRUE(dflt.ok()) << dflt.status();
+  EXPECT_EQ(dflt->ToRunnerOptions().compress, "");
+  // Explicit codec: advertise just that one.
+  fedgta::Result<fedgta::cli::ExperimentCli> fp16 =
+      Parse(fedgta::cli::Role::kWorker, {"--compress=fp16"});
+  ASSERT_TRUE(fp16.ok()) << fp16.status();
+  EXPECT_EQ(fp16->ToRunnerOptions().compress, "fp16");
+  // Explicit off: advertise none.
+  fedgta::Result<fedgta::cli::ExperimentCli> off =
+      Parse(fedgta::cli::Role::kWorker, {"--compress=off"});
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->ToRunnerOptions().compress, "off");
+  // Bad values are rejected in the worker role too.
+  EXPECT_FALSE(Parse(fedgta::cli::Role::kWorker, {"--compress=lzma"}).ok());
+  EXPECT_FALSE(
+      Parse(fedgta::cli::Role::kWorker, {"--compress_topk=2"}).ok());
 }
 
 }  // namespace

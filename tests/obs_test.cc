@@ -449,7 +449,8 @@ TEST(TraceContextTest, ChromeOutputCarriesContextPidAndOffset) {
   EXPECT_NE(content.find("\"round\": 2"), std::string::npos);
   // The offset shifts the emitted timestamps onto the server timebase; the
   // raw in-memory event keeps the local clock.
-  const TraceEvent* e = FindEvent(CollectTraceEvents(), "offset_span");
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  const TraceEvent* e = FindEvent(events, "offset_span");
   ASSERT_NE(e, nullptr);
   const std::string shifted =
       "\"ts\": " + std::to_string(e->ts_us + 1000000);
