@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "common/timer.h"
 #include "core/fedgta_metrics.h"
 #include "core/similarity.h"
+#include "fed/role.h"
+#include "fed/shard_plane.h"
 #include "linalg/backend.h"
 #include "linalg/ops.h"
 #include "obs/metrics.h"
@@ -140,6 +144,7 @@ struct ArmResult {
   int64_t pairs_pruned = 0;
   int64_t unique_sets = 0;
   std::vector<std::vector<int>> sets;
+  std::vector<std::vector<float>> personalized;
 };
 
 ArmResult RunPlaneArm(const Round& round, SimilarityMode mode) {
@@ -159,7 +164,142 @@ ArmResult RunPlaneArm(const Round& round, SimilarityMode mode) {
   arm.pairs_exact = CounterValue("fedgta.similarity.pairs_exact") - exact0;
   arm.pairs_pruned = CounterValue("fedgta.similarity.pairs_pruned") - pruned0;
   arm.unique_sets = CounterValue("fedgta.aggregation.unique_sets") - unique0;
+  arm.personalized = std::move(personalized);
   return arm;
+}
+
+// --- Sharded arm: the hierarchical Eq. 6/7 plane, in process -------------
+//
+// K ShardPlanes run the regional-aggregator exchange (DESIGN.md §5k)
+// without the network: stage, signature concat, candidate prescreen
+// against the global frame, cross-shard moment fetch, set admission, and
+// globally-deduplicated Eq. 7 (local sets aggregated in place, cross-shard
+// sets via the chained ascending-shard partial pass). The point of the arm
+// is the memory claim: no process ever materializes the full participant
+// state, so per-process peak state must sit strictly below the
+// single-server plane's — while staying bit-identical to it.
+
+struct ShardedResult {
+  double seconds = 0.0;
+  int64_t unique_sets = 0;
+  /// Largest per-shard participant-state footprint: staged params +
+  /// normalized moment rows + fetched remote rows + the installed global
+  /// signature frame.
+  int64_t peak_state_bytes = 0;
+};
+
+int64_t ShardStateBytes(int staged, int remote_rows, size_t global_sig_words) {
+  return static_cast<int64_t>(staged) * (kParamDim + kMomentDim) * 4 +
+         static_cast<int64_t>(remote_rows) * kMomentDim * 4 +
+         static_cast<int64_t>(global_sig_words) * 8;
+}
+
+ShardedResult RunShardedArm(const Round& round, int num_shards,
+                            const ArmResult& oracle) {
+  FedGtaOptions options;
+  options.epsilon = kEpsilon;
+  options.similarity.mode = SimilarityMode::kLsh;
+  const int n = static_cast<int>(round.metrics.size());
+  const fed::Topology topo(n, num_shards, num_shards);
+  ShardedResult result;
+  std::vector<std::vector<float>> personalized(static_cast<size_t>(n));
+  WallTimer timer;
+
+  std::vector<std::unique_ptr<fed::ShardPlane>> planes;
+  std::vector<uint64_t> global_sigs;
+  for (int a = 0; a < num_shards; ++a) {
+    planes.push_back(std::make_unique<fed::ShardPlane>(
+        n, topo.ClientShard(a), options, round.train_sizes));
+    std::vector<fed::ShardUpload> uploads;
+    for (int id = topo.ClientShard(a).begin; id < topo.ClientShard(a).end;
+         ++id) {
+      fed::ShardUpload up;
+      up.client_id = id;
+      up.params = round.params[static_cast<size_t>(id)];
+      up.moments = round.metrics[static_cast<size_t>(id)].moments;
+      up.confidence = round.metrics[static_cast<size_t>(id)].confidence;
+      uploads.push_back(std::move(up));
+    }
+    planes.back()->StageRound(std::move(uploads));
+    const std::vector<uint64_t> sigs = planes.back()->Signatures();
+    global_sigs.insert(global_sigs.end(), sigs.begin(), sigs.end());
+  }
+
+  std::vector<double> confidences;
+  confidences.reserve(static_cast<size_t>(n));
+  for (int id : round.participants) {
+    confidences.push_back(round.metrics[static_cast<size_t>(id)].confidence);
+  }
+  std::vector<fed::ShardPlane::Candidates> candidates;
+  for (int a = 0; a < num_shards; ++a) {
+    planes[static_cast<size_t>(a)]->InstallGlobalFrame(
+        round.participants, confidences, global_sigs);
+    candidates.push_back(
+        planes[static_cast<size_t>(a)]->ComputeCandidates(/*use_lsh=*/true));
+  }
+  for (int a = 0; a < num_shards; ++a) {
+    std::vector<std::vector<int>> by_owner(static_cast<size_t>(num_shards));
+    for (int id : candidates[static_cast<size_t>(a)].remote_wanted) {
+      by_owner[static_cast<size_t>(topo.AggregatorOf(id))].push_back(id);
+    }
+    for (int src = 0; src < num_shards; ++src) {
+      const std::vector<int>& ids = by_owner[static_cast<size_t>(src)];
+      if (ids.empty()) continue;
+      planes[static_cast<size_t>(a)]->InstallRemoteRows(
+          ids, planes[static_cast<size_t>(src)]->ExportRows(ids));
+    }
+  }
+
+  // Global dedup, the root's Phase 5-7 in miniature: one Eq. 7 evaluation
+  // per distinct canonical set, local sets short-circuited on their shard.
+  std::map<std::vector<int>, std::vector<float>> groups;
+  for (int a = 0; a < num_shards; ++a) {
+    const fed::ShardPlane& plane = *planes[static_cast<size_t>(a)];
+    const auto sets = plane.BuildSets(candidates[static_cast<size_t>(a)]);
+    FEDGTA_CHECK_EQ(sets.size(), plane.staged().size());
+    for (size_t r = 0; r < sets.size(); ++r) {
+      const int id = plane.staged()[r];
+      FEDGTA_CHECK(sets[r] == oracle.sets[static_cast<size_t>(id)])
+          << "sharded set diverges from single-server at client " << id;
+      std::vector<int> canonical = sets[r];
+      std::sort(canonical.begin(), canonical.end());
+      auto it = groups.find(canonical);
+      if (it == groups.end()) {
+        std::vector<float> acc;
+        const bool local =
+            std::all_of(canonical.begin(), canonical.end(),
+                        [&](int m) { return plane.shard().contains(m); });
+        if (local) {
+          acc = plane.AggregateLocalSet(canonical);
+        } else {
+          const double weight_sum = plane.WeightSum(canonical);
+          acc.assign(kParamDim, 0.0f);
+          for (int src = 0; src < num_shards; ++src) {
+            planes[static_cast<size_t>(src)]->AccumulatePartial(
+                canonical, weight_sum, &acc);
+          }
+        }
+        it = groups.emplace(std::move(canonical), std::move(acc)).first;
+      }
+      personalized[static_cast<size_t>(id)] = it->second;
+    }
+  }
+  result.seconds = timer.Seconds();
+  result.unique_sets = static_cast<int64_t>(groups.size());
+
+  FEDGTA_CHECK(personalized == oracle.personalized)
+      << "sharded personalized weights diverge from single-server";
+
+  for (int a = 0; a < num_shards; ++a) {
+    result.peak_state_bytes = std::max(
+        result.peak_state_bytes,
+        ShardStateBytes(
+            static_cast<int>(planes[static_cast<size_t>(a)]->staged().size()),
+            static_cast<int>(
+                candidates[static_cast<size_t>(a)].remote_wanted.size()),
+            global_sigs.size()));
+  }
+  return result;
 }
 
 ArmResult RunSeedArm(const Round& round) {
@@ -182,11 +322,15 @@ ArmResult RunSeedArm(const Round& round) {
   return arm;
 }
 
+constexpr int kShards = 4;
+
 struct SweepPoint {
   int participants = 0;
   ArmResult seed;
   ArmResult exact;
   ArmResult lsh;
+  ShardedResult sharded;
+  int64_t single_server_state_bytes = 0;
 };
 
 void Run(const char* out_path) {
@@ -219,16 +363,26 @@ void Run(const char* out_path) {
     FEDGTA_CHECK(point.lsh.sets == point.exact.sets)
         << "lsh sets diverge from exact sets at n=" << n;
 
+    // Sharded arm (bit-identity CHECKed inside against the exact arm).
+    point.sharded = RunShardedArm(round, kShards, point.exact);
+    point.single_server_state_bytes =
+        static_cast<int64_t>(n) * (kParamDim + kMomentDim) * 4;
+
     std::printf(
-        "  seed   %8.3f s\n  exact  %8.3f s (%.1fx)\n  lsh    %8.3f s "
-        "(%.1fx, pruned %lld/%lld pairs, %lld unique sets)\n",
+        "  seed    %8.3f s\n  exact   %8.3f s (%.1fx)\n  lsh     %8.3f s "
+        "(%.1fx, pruned %lld/%lld pairs, %lld unique sets)\n"
+        "  sharded %8.3f s (K=%d, peak state %.1f MB vs %.1f MB "
+        "single-server, bit-identical)\n",
         point.seed.seconds, point.exact.seconds,
         point.seed.seconds / point.exact.seconds, point.lsh.seconds,
         point.seed.seconds / point.lsh.seconds,
         static_cast<long long>(point.lsh.pairs_pruned),
         static_cast<long long>(point.lsh.pairs_pruned +
                                point.lsh.pairs_exact),
-        static_cast<long long>(point.lsh.unique_sets));
+        static_cast<long long>(point.lsh.unique_sets),
+        point.sharded.seconds, kShards,
+        static_cast<double>(point.sharded.peak_state_bytes) / 1e6,
+        static_cast<double>(point.single_server_state_bytes) / 1e6);
     std::fflush(stdout);
     points.push_back(std::move(point));
   }
@@ -239,6 +393,11 @@ void Run(const char* out_path) {
   const double speedup_10k = at10k.seed.seconds / best_seconds;
   FEDGTA_CHECK_GE(speedup_10k, 5.0)
       << "10k-participant server plane speedup regressed below 5x";
+  // The hierarchy's memory claim (DESIGN.md §5k): at 10k participants no
+  // shard's state reaches the single-server footprint.
+  FEDGTA_CHECK_LT(at10k.sharded.peak_state_bytes,
+                  at10k.single_server_state_bytes)
+      << "sharded per-process peak state not below single-server at 10k";
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -258,12 +417,19 @@ void Run(const char* out_path) {
         "     \"exact_seconds\": %.4f, \"lsh_seconds\": %.4f,\n"
         "     \"speedup_exact\": %.2f, \"speedup_lsh\": %.2f,\n"
         "     \"lsh_pairs_pruned\": %lld, \"lsh_pairs_exact\": %lld,\n"
-        "     \"unique_sets\": %lld, \"sets_match\": true}%s\n",
+        "     \"unique_sets\": %lld, \"sets_match\": true,\n"
+        "     \"sharded\": {\"shards\": %d, \"seconds\": %.4f,\n"
+        "      \"unique_sets\": %lld, \"peak_state_bytes\": %lld,\n"
+        "      \"single_server_state_bytes\": %lld,\n"
+        "      \"bit_identical\": true}}%s\n",
         p.participants, p.seed.seconds, p.exact.seconds, p.lsh.seconds,
         p.seed.seconds / p.exact.seconds, p.seed.seconds / p.lsh.seconds,
         static_cast<long long>(p.lsh.pairs_pruned),
         static_cast<long long>(p.lsh.pairs_exact),
-        static_cast<long long>(p.lsh.unique_sets),
+        static_cast<long long>(p.lsh.unique_sets), kShards,
+        p.sharded.seconds, static_cast<long long>(p.sharded.unique_sets),
+        static_cast<long long>(p.sharded.peak_state_bytes),
+        static_cast<long long>(p.single_server_state_bytes),
         i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup_10k\": %.2f\n}\n", speedup_10k);

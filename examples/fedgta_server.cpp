@@ -13,6 +13,7 @@
 #include <string>
 
 #include "eval/cli.h"
+#include "fed/hierarchy.h"
 #include "fed/remote_coordinator.h"
 #include "linalg/backend.h"
 #include "obs/timeline.h"
@@ -43,24 +44,48 @@ int main(int argc, char** argv) {
     SetTraceProcessName("fedgta_server");
     EnableTracing();
   }
-  RemoteCoordinator coordinator(config);
-  if (const Status status = coordinator.Listen(flags.port); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+  // Hierarchical deployments (--aggregators > 0) swap the flat
+  // coordinator for the root of the aggregator tier; everything below the
+  // Run() call is identical (DESIGN.md §5k).
+  Result<SimulationResult> result = InternalError("unreachable");
+  if (config.num_aggregators > 0) {
+    fed::RootCoordinator root(config);
+    if (const Status status = root.Listen(flags.port); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (root.status_port() >= 0) {
+      std::printf("status endpoint on port %d\n", root.status_port());
+    }
+    std::printf(
+        "listening on port %d, waiting for %d aggregator(s) covering %d "
+        "worker(s)\n"
+        "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs | "
+        "backend %s\n",
+        root.port(), config.num_aggregators, flags.workers,
+        flags.dataset.c_str(), flags.model.c_str(), flags.strategy.c_str(),
+        flags.split.c_str(), flags.clients, flags.rounds, flags.epochs,
+        linalg::ActiveBackend().description().c_str());
+    result = root.Run();
+  } else {
+    RemoteCoordinator coordinator(config);
+    if (const Status status = coordinator.Listen(flags.port); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (coordinator.status_port() >= 0) {
+      std::printf("status endpoint on port %d\n", coordinator.status_port());
+    }
+    std::printf(
+        "listening on port %d, waiting for %d worker(s)\n"
+        "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs | "
+        "backend %s\n",
+        coordinator.port(), flags.workers, flags.dataset.c_str(),
+        flags.model.c_str(), flags.strategy.c_str(), flags.split.c_str(),
+        flags.clients, flags.rounds, flags.epochs,
+        linalg::ActiveBackend().description().c_str());
+    result = coordinator.Run();
   }
-  if (coordinator.status_port() >= 0) {
-    std::printf("status endpoint on port %d\n", coordinator.status_port());
-  }
-  std::printf(
-      "listening on port %d, waiting for %d worker(s)\n"
-      "%s | %s | %s | %s split | %d clients | %d rounds x %d epochs | "
-      "backend %s\n",
-      coordinator.port(), flags.workers, flags.dataset.c_str(),
-      flags.model.c_str(), flags.strategy.c_str(), flags.split.c_str(),
-      flags.clients, flags.rounds, flags.epochs,
-      linalg::ActiveBackend().description().c_str());
-
-  const Result<SimulationResult> result = coordinator.Run();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

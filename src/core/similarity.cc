@@ -94,43 +94,14 @@ std::vector<std::vector<int>> SetsViaLsh(const Matrix& normalized,
   const int64_t p = normalized.rows();
   const int64_t d = normalized.cols();
   const float eps = static_cast<float>(epsilon);
-  const int64_t words =
-      std::max<int64_t>(1, (plane.lsh_signature_bits + 63) / 64);
-  const int64_t bits = words * 64;
+  const LshShape shape = LshShapeFor(epsilon, plane);
+  const int64_t words = shape.words;
+  const int64_t h_max = shape.h_max;
 
-  // The prune threshold in Hamming bits. A keep-limit >= 1 keeps every
-  // pair (ε <= -1 admits everything; the screen must not prune).
-  const double t_eps = std::acos(std::clamp(epsilon, -1.0, 1.0)) / kPi;
-  const double keep_limit = t_eps + plane.lsh_margin;
-  const int64_t h_max =
-      keep_limit >= 1.0
-          ? bits
-          : static_cast<int64_t>(keep_limit * static_cast<double>(bits));
-
-  std::vector<uint64_t> sig(static_cast<size_t>(p * words), 0);
+  std::vector<uint64_t> sig;
   {
     FEDGTA_PHASE_SCOPE("similarity_candidates");
-    // Shared random hyperplanes: one projection GEMM, then sign-pack. The
-    // plane depends only on (seed, moment dimension), so every round with
-    // the same upload shape reuses the same hash family.
-    Rng rng(plane.lsh_seed);
-    Matrix planes(d, bits);
-    planes.GaussianInit(rng, 1.0f);
-    const Matrix proj = MatMul(normalized, planes);
-    ParallelForChunked(0, p, [&](int64_t lo, int64_t hi) {
-      for (int64_t a = lo; a < hi; ++a) {
-        const float* row = proj.data() + a * bits;
-        uint64_t* out = sig.data() + a * words;
-        for (int64_t w = 0; w < words; ++w) {
-          uint64_t word = 0;
-          const float* src = row + w * 64;
-          for (int64_t l = 0; l < 64; ++l) {
-            if (src[l] >= 0.0f) word |= uint64_t{1} << l;
-          }
-          out[w] = word;
-        }
-      }
-    });
+    sig = ComputeLshSignatures(normalized, plane);
   }
 
   FEDGTA_PHASE_SCOPE("similarity");
@@ -173,17 +144,7 @@ std::vector<std::vector<int>> SetsViaLsh(const Matrix& normalized,
                         normalized.data() + cand[static_cast<size_t>(idx)] * d,
                         static_cast<size_t>(d) * sizeof(float));
           }
-          sims.EnsureShape(1, c);
-          linalg::GemmCall call;
-          call.a = {normalized.data() + a * d, d, 1};
-          call.b = {gathered.data(), 1, d};  // transposed gathered view
-          call.m = 1;
-          call.n = c;
-          call.k = d;
-          call.alpha = 1.0f;
-          call.beta = 0.0f;
-          call.c = sims.data();
-          linalg::ActiveBackend().GemmRows(call, 0, 1);
+          ExactSimilarityRow(normalized.data() + a * d, gathered, &sims);
           for (int64_t idx = 0; idx < c; ++idx) {
             if (sims.data()[idx] >= eps) {
               set.push_back(participants[static_cast<size_t>(
@@ -240,6 +201,70 @@ std::string_view SimilarityModeName(SimilarityMode mode) {
       return "lsh";
   }
   return "exact";
+}
+
+LshShape LshShapeFor(double epsilon, const SimilarityPlaneOptions& plane) {
+  LshShape shape;
+  shape.words = std::max<int64_t>(1, (plane.lsh_signature_bits + 63) / 64);
+  shape.bits = shape.words * 64;
+  // The prune threshold in Hamming bits. A keep-limit >= 1 keeps every
+  // pair (ε <= -1 admits everything; the screen must not prune).
+  const double t_eps = std::acos(std::clamp(epsilon, -1.0, 1.0)) / kPi;
+  const double keep_limit = t_eps + plane.lsh_margin;
+  shape.h_max = keep_limit >= 1.0
+                    ? shape.bits
+                    : static_cast<int64_t>(keep_limit *
+                                           static_cast<double>(shape.bits));
+  return shape;
+}
+
+std::vector<uint64_t> ComputeLshSignatures(
+    const Matrix& normalized, const SimilarityPlaneOptions& plane) {
+  const int64_t p = normalized.rows();
+  const int64_t d = normalized.cols();
+  const LshShape shape = LshShapeFor(/*epsilon=*/1.0, plane);
+  const int64_t words = shape.words;
+  const int64_t bits = shape.bits;
+  std::vector<uint64_t> sig(static_cast<size_t>(p * words), 0);
+  // Shared random hyperplanes: one projection GEMM, then sign-pack. The
+  // plane depends only on (seed, moment dimension), so every round with
+  // the same upload shape reuses the same hash family.
+  Rng rng(plane.lsh_seed);
+  Matrix planes(d, bits);
+  planes.GaussianInit(rng, 1.0f);
+  const Matrix proj = MatMul(normalized, planes);
+  ParallelForChunked(0, p, [&](int64_t lo, int64_t hi) {
+    for (int64_t a = lo; a < hi; ++a) {
+      const float* row = proj.data() + a * bits;
+      uint64_t* out = sig.data() + a * words;
+      for (int64_t w = 0; w < words; ++w) {
+        uint64_t word = 0;
+        const float* src = row + w * 64;
+        for (int64_t l = 0; l < 64; ++l) {
+          if (src[l] >= 0.0f) word |= uint64_t{1} << l;
+        }
+        out[w] = word;
+      }
+    }
+  });
+  return sig;
+}
+
+void ExactSimilarityRow(const float* row, const Matrix& gathered,
+                        Matrix* sims) {
+  const int64_t c = gathered.rows();
+  const int64_t d = gathered.cols();
+  sims->EnsureShape(1, c);
+  linalg::GemmCall call;
+  call.a = {row, d, 1};
+  call.b = {gathered.data(), 1, d};  // transposed gathered view
+  call.m = 1;
+  call.n = c;
+  call.k = d;
+  call.alpha = 1.0f;
+  call.beta = 0.0f;
+  call.c = sims->data();
+  linalg::ActiveBackend().GemmRows(call, 0, 1);
 }
 
 Matrix StackNormalizedMoments(const std::vector<std::vector<float>>& moments,

@@ -51,6 +51,37 @@ struct SimilarityStats {
   SimilarityMode mode_used = SimilarityMode::kExact;
 };
 
+/// Resolved LSH geometry for one (ε, plane) pair. Deterministic in its
+/// inputs, so every process of a sharded fleet derives the same shape from
+/// the shipped plane options (DESIGN.md §5k).
+struct LshShape {
+  /// Packed signature width: words 64-bit words = bits sign bits.
+  int64_t words = 1;
+  int64_t bits = 64;
+  /// Prune threshold in Hamming bits: a pair survives the prescreen iff
+  /// its signature distance is <= h_max (bits keeps every pair).
+  int64_t h_max = 64;
+};
+LshShape LshShapeFor(double epsilon, const SimilarityPlaneOptions& plane);
+
+/// Packed sign-random-projection signatures of the normalized moment rows,
+/// row-major `normalized.rows() x shape.words`. The projection matrix
+/// depends only on (plane.lsh_seed, moment dimension) and each row is
+/// hashed independently, so a shard slice of the global row matrix yields
+/// exactly the rows a whole-fleet computation would — the contract that
+/// lets regional aggregators exchange signatures instead of moments.
+std::vector<uint64_t> ComputeLshSignatures(const Matrix& normalized,
+                                           const SimilarityPlaneOptions& plane);
+
+/// One exact similarity row through the backend GEMM: sims (resized to
+/// 1 x gathered.rows()) gets the cosine of `row` (length gathered.cols(),
+/// already normalized) against every gathered row. Bit-identical per
+/// element to the full-block sweep (chunk-invariance contract of
+/// GemmRows), which is what keeps LSH and sharded candidate checks on the
+/// exact oracle's arithmetic.
+void ExactSimilarityRow(const float* row, const Matrix& gathered,
+                        Matrix* sims);
+
 /// Compact participants-indexed cosine block: values(a, b) is the cosine
 /// similarity of participants[a] and participants[b]. Unlike the legacy
 /// clients x clients matrix this allocates only participants², which is

@@ -18,6 +18,7 @@ namespace {
 constexpr unsigned kRun = 1u << 0;
 constexpr unsigned kSrv = 1u << 1;
 constexpr unsigned kWrk = 1u << 2;
+constexpr unsigned kAgg = 1u << 3;
 
 unsigned RoleBit(Role role) {
   switch (role) {
@@ -27,6 +28,8 @@ unsigned RoleBit(Role role) {
       return kSrv;
     case Role::kWorker:
       return kWrk;
+    case Role::kAggregator:
+      return kAgg;
   }
   return 0;
 }
@@ -109,19 +112,19 @@ const FlagDef kFlags[] = {
        c.staleness_decay_given = true;
      }},
     // Runtime.
-    {"num_threads", kRun | kSrv | kWrk,
+    {"num_threads", kRun | kSrv | kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) {
        c.num_threads = ToInt(v);
        c.num_threads_given = true;
      }},
-    {"backend", kRun | kSrv | kWrk,
+    {"backend", kRun | kSrv | kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.backend = v; }},
     // Outputs.
     {"csv", kRun,
      [](ExperimentCli& c, const std::string& v) { c.csv = v; }},
     {"metrics_json", kRun | kSrv,
      [](ExperimentCli& c, const std::string& v) { c.metrics_json = v; }},
-    {"trace_out", kRun | kSrv | kWrk,
+    {"trace_out", kRun | kSrv | kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.trace_out = v; }},
     {"timeline_out", kRun | kSrv,
      [](ExperimentCli& c, const std::string& v) { c.timeline_out = v; }},
@@ -148,23 +151,27 @@ const FlagDef kFlags[] = {
        c.compress_topk_given = true;
      }},
     // Transport.
-    {"port", kSrv | kWrk,
+    {"port", kSrv | kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.port = ToInt(v); }},
     {"workers", kSrv,
      [](ExperimentCli& c, const std::string& v) { c.workers = ToInt(v); }},
-    {"host", kWrk,
+    {"aggregators", kSrv,
+     [](ExperimentCli& c, const std::string& v) {
+       c.aggregators = ToInt(v);
+     }},
+    {"host", kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.host = v; }},
-    {"deadline_ms", kSrv | kWrk,
+    {"deadline_ms", kSrv | kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.deadline_ms = ToInt(v); }},
     {"accept_timeout_ms", kSrv,
      [](ExperimentCli& c, const std::string& v) {
        c.accept_timeout_ms = ToInt(v);
      }},
-    {"connect_attempts", kWrk,
+    {"connect_attempts", kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) {
        c.connect_attempts = ToInt(v);
      }},
-    {"idle_timeout_ms", kWrk,
+    {"idle_timeout_ms", kWrk | kAgg,
      [](ExperimentCli& c, const std::string& v) {
        c.idle_timeout_ms = ToInt(v);
      }},
@@ -172,8 +179,12 @@ const FlagDef kFlags[] = {
      [](ExperimentCli& c, const std::string& v) {
        c.max_train_requests = ToInt(v);
      }},
-    {"status_port", kSrv,
+    {"status_port", kSrv | kAgg,
      [](ExperimentCli& c, const std::string& v) { c.status_port = ToInt(v); }},
+    {"listen_port", kAgg,
+     [](ExperimentCli& c, const std::string& v) { c.listen_port = ToInt(v); }},
+    {"port_file", kAgg,
+     [](ExperimentCli& c, const std::string& v) { c.port_file = v; }},
 };
 
 /// Boolean switches (no =value).
@@ -291,6 +302,14 @@ Status Validate(Role role, ExperimentCli* cli) {
       return Invalid("--compress_topk must be >= 1 (omit for the auto mode)");
     }
   }
+  if (role == Role::kAggregator) {
+    // Transport + shard-plane process; its experiment identity and fleet
+    // knobs all arrive in ShardAssign, so nothing below applies.
+    if (cli->listen_port < 0) {
+      return Invalid("--listen_port must be >= 0 (0 = ephemeral)");
+    }
+    return OkStatus();
+  }
   if (role == Role::kWorker) {
     // Transport-only process; nothing below applies.
     return OkStatus();
@@ -313,6 +332,23 @@ Status Validate(Role role, ExperimentCli* cli) {
   }
   if (role == Role::kServer && cli->workers < 1) {
     return Invalid("--workers must be >= 1");
+  }
+  if (role == Role::kServer) {
+    if (cli->aggregators < 0) {
+      return Invalid("--aggregators must be >= 0 (0 = flat topology)");
+    }
+    if (cli->aggregators > 0) {
+      if (cli->aggregators > cli->workers) {
+        return Invalid(
+            "--aggregators must be <= --workers (every aggregator needs a "
+            "worker slice)");
+      }
+      if (cli->async_mode) {
+        return Invalid(
+            "--async is not supported with regional aggregators (DESIGN.md "
+            "§5k)");
+      }
+    }
   }
   if (!cli->async_mode &&
       (cli->staleness_tau_given || cli->staleness_decay_given)) {
@@ -447,6 +483,7 @@ RemoteFedConfig ExperimentCli::ToRemoteConfig() const {
   config.compress = compress;
   config.compress_topk = compress_topk;
   config.num_workers = workers;
+  config.num_aggregators = aggregators;
   config.rpc.deadline_ms = deadline_ms;
   config.accept_timeout_ms = accept_timeout_ms;
   config.status_port = status_port;
@@ -464,6 +501,19 @@ RemoteRunnerOptions ExperimentCli::ToRunnerOptions() const {
   // The absent flag advertises every codec (the server picks); an explicit
   // --compress restricts the advertisement (or, with "off", disables it).
   options.compress = compress_given ? compress : "";
+  return options;
+}
+
+fed::AggregatorOptions ExperimentCli::ToAggregatorOptions() const {
+  fed::AggregatorOptions options;
+  options.host = host;
+  options.port = port;
+  options.listen_port = listen_port;
+  options.port_file = port_file;
+  options.status_port = status_port;
+  options.rpc.deadline_ms = deadline_ms;
+  options.rpc.max_attempts = connect_attempts;
+  options.idle_timeout_ms = idle_timeout_ms;
   return options;
 }
 
@@ -561,6 +611,16 @@ std::string HelpText(Role role) {
           "  --port=N              listening port, 0 = ephemeral (default "
           "5714)\n"
           "  --workers=N           worker processes to accept (default 1)\n"
+          "  --aggregators=K       accept K regional aggregator processes\n"
+          "                        instead of workers; each owns a "
+          "contiguous\n"
+          "                        client shard and a slice of the worker\n"
+          "                        count, and runs its shard's Eq. 6/7 "
+          "plane\n"
+          "                        (DESIGN.md §5k). Results are bit-"
+          "identical\n"
+          "                        to the flat topology. 0 = flat (default "
+          "0)\n"
           "  --dataset=NAME        dataset recipe shipped to workers\n"
           "  --model=NAME          gcn sage sgc sign s2gc gbp gamlp\n"
           "  --strategy=NAME       fedavg fedprox fedgta local "
@@ -646,6 +706,47 @@ std::string HelpText(Role role) {
           "offset,\n"
           "                        so trace_merge stitches them under the\n"
           "                        server's timeline\n" +
+          ThreadHelpLines() + BackendHelpLines();
+      break;
+    }
+    case Role::kAggregator: {
+      text =
+          "fedgta_aggregator — regional aggregator for hierarchical FedGTA\n"
+          "\n"
+          "Dials the root server, receives a contiguous client shard plus a\n"
+          "worker slice via ShardAssign, accepts those workers, and serves\n"
+          "the shard-local half of the Eq. 6/7 plane (DESIGN.md §5k).\n\n"
+          "  --host=ADDR           root server address (default 127.0.0.1)\n"
+          "  --port=N              root server port (default 5714)\n"
+          "  --listen_port=N       worker-facing listening port, 0 = "
+          "ephemeral\n"
+          "                        (default 0)\n"
+          "  --port_file=PATH      publish \"<worker_port>\\n<agg_index>\\n\" "
+          "here\n"
+          "                        (atomic rename) once the listener is "
+          "bound;\n"
+          "                        launch scripts poll it to start the "
+          "shard's\n"
+          "                        workers\n"
+          "  --status_port=N       serve this aggregator's own status "
+          "endpoint;\n"
+          "                        0 = ephemeral (reported to the root in\n"
+          "                        ShardReady), negative = disabled (default "
+          "-1)\n"
+          "  --deadline_ms=N       uplink handshake receive deadline "
+          "(default\n"
+          "                        120000)\n"
+          "  --connect_attempts=N  dial attempts with backoff (default 20)\n"
+          "  --idle_timeout_ms=N   serve-loop receive timeout, 0 = wait "
+          "forever\n"
+          "                        (default 0)\n"
+          "  --trace_out=PATH      write this aggregator's Chrome trace; "
+          "its\n"
+          "                        spans carry the root's trace ids and "
+          "clock\n"
+          "                        offset, so trace_merge stitches the "
+          "whole\n"
+          "                        fleet into one timeline\n" +
           ThreadHelpLines() + BackendHelpLines();
       break;
     }

@@ -1,12 +1,12 @@
 #ifndef FEDGTA_EVAL_CLI_H_
 #define FEDGTA_EVAL_CLI_H_
 
-// Unified command-line surface for the three FedGTA entry points
-// (run_experiment, fedgta_server, fedgta_worker). One flag table, one
-// validation pass, one help-text generator — so round shape, failure
-// injection, thread-pool, and kernel-backend options cannot drift between
-// binaries. Each role exposes the subset of flags that applies to it;
-// flags outside the role's subset are rejected as unknown.
+// Unified command-line surface for the four FedGTA entry points
+// (run_experiment, fedgta_server, fedgta_aggregator, fedgta_worker). One
+// flag table, one validation pass, one help-text generator — so round
+// shape, failure injection, thread-pool, and kernel-backend options cannot
+// drift between binaries. Each role exposes the subset of flags that
+// applies to it; flags outside the role's subset are rejected as unknown.
 
 #include <cstdint>
 #include <string>
@@ -15,6 +15,7 @@
 #include "core/similarity.h"
 #include "data/registry.h"
 #include "eval/experiment.h"
+#include "fed/aggregator.h"
 #include "fed/remote_client_runner.h"
 #include "fed/remote_config.h"
 
@@ -23,7 +24,7 @@ namespace cli {
 
 /// Which binary is parsing. Decides the flag subset, the help text, and
 /// which validation rules fire.
-enum class Role { kRunExperiment, kServer, kWorker };
+enum class Role { kRunExperiment, kServer, kWorker, kAggregator };
 
 /// Every option any of the three binaries accepts, with the shared
 /// defaults. Fields outside the parsing role's subset keep their defaults.
@@ -99,17 +100,26 @@ struct ExperimentCli {
   int compress_topk = 0;
   bool compress_topk_given = false;
 
-  // Transport (server, worker).
+  // Transport (server, aggregator, worker).
   int port = 5714;
   int workers = 1;
+  /// Regional aggregators the server accepts instead of workers; 0 keeps
+  /// the flat topology (server; DESIGN.md §5k).
+  int aggregators = 0;
   std::string host = "127.0.0.1";
   int deadline_ms = 120000;
   int accept_timeout_ms = 60000;
   int connect_attempts = 20;
   int idle_timeout_ms = 0;
   int max_train_requests = 0;
-  /// Live status endpoint (server): 0 = ephemeral, negative = disabled.
+  /// Live status endpoint (server, aggregator): 0 = ephemeral, negative =
+  /// disabled.
   int status_port = -1;
+  /// Worker-facing listening port of an aggregator; 0 = ephemeral.
+  int listen_port = 0;
+  /// Where an aggregator publishes "<worker_port>\n<agg_index>\n" once its
+  /// listener is bound (atomic rename; launch scripts poll this).
+  std::string port_file;
 
   // Filled by validation (run_experiment, server).
   ModelType model_type = ModelType::kGamlp;
@@ -124,6 +134,8 @@ struct ExperimentCli {
   RemoteFedConfig ToRemoteConfig() const;
   /// Worker process options (Role::kWorker).
   RemoteRunnerOptions ToRunnerOptions() const;
+  /// Regional aggregator process options (Role::kAggregator).
+  fed::AggregatorOptions ToAggregatorOptions() const;
 };
 
 /// Full flag reference for `role`, ready to print.

@@ -28,7 +28,8 @@ class FedGtaStrategy : public Strategy {
     return {.remote_executable = true,
             .needs_server_state = false,
             .uploads_topology_metrics = true,
-            .async_capable = true};
+            .async_capable = true,
+            .shardable = true};
   }
   /// Saves/restores the personalized model table plus the last round's
   /// confidence (H) uploads and aggregation sets, so a resumed server

@@ -20,7 +20,7 @@ class FedProxStrategy : public Strategy {
   /// is a pure function of the download — remotable.
   StrategyCapabilities Capabilities() const override {
     return {.remote_executable = true, .needs_server_state = false,
-            .async_capable = true};
+            .async_capable = true, .shardable = true};
   }
 
  private:

@@ -44,6 +44,13 @@ struct RemoteFedConfig {
   /// Workers to accept before round 1; client i is hosted by worker
   /// i % num_workers (accept order).
   int num_workers = 1;
+  /// Regional aggregators of a hierarchical deployment (DESIGN.md §5k).
+  /// 0 = the flat topology: RemoteCoordinator speaks the worker protocol
+  /// directly. > 0 = fed::RootCoordinator accepts this many aggregator
+  /// connections instead of workers, deals each a contiguous client shard
+  /// and a block of the worker count, and the aggregators accept the
+  /// workers.
+  int num_aggregators = 0;
   /// Per-RPC deadline / retry / backoff. `rpc.deadline_ms` is the straggler
   /// deadline: a worker that blows it is dropped from the round and the
   /// server moves on.

@@ -113,84 +113,23 @@ Status RemoteCoordinator::Handshake() {
         "more workers than clients: every worker must host at least one");
   }
 
-  workers_.clear();
-  workers_.resize(static_cast<size_t>(config_.num_workers));
-  owner_.assign(static_cast<size_t>(n_clients), 0);
+  std::vector<std::vector<int>> ownership(
+      static_cast<size_t>(config_.num_workers));
   for (int id = 0; id < n_clients; ++id) {
-    const int w = id % config_.num_workers;
-    owner_[static_cast<size_t>(id)] = w;
-    workers_[static_cast<size_t>(w)].client_ids.push_back(id);
+    ownership[static_cast<size_t>(id % config_.num_workers)].push_back(id);
   }
 
-  const net::WireFedConfig wire = ToWireConfig(config_);
-  std::vector<float> init_params;
-  int64_t param_count = -1;
-  for (int w = 0; w < config_.num_workers; ++w) {
-    Result<net::Socket> accepted = server_.Accept(config_.accept_timeout_ms);
-    FEDGTA_RETURN_IF_ERROR(accepted.status());
-    net::RpcChannel channel(std::move(*accepted), config_.rpc);
-    net::HelloMsg hello;
-    FEDGTA_RETURN_IF_ERROR(net::ExpectMessage(channel.socket(), &hello));
-    const int64_t hello_recv_us = internal_obs::TraceNowMicros();
-    if (hello.protocol_version < net::kMinProtocolVersion ||
-        hello.protocol_version > net::kProtocolVersion) {
-      net::ErrorMsg err;
-      err.message =
-          "protocol versions " + std::to_string(net::kMinProtocolVersion) +
-          ".." + std::to_string(net::kProtocolVersion) +
-          " accepted, worker speaks " +
-          std::to_string(hello.protocol_version);
-      (void)net::SendMessage(channel.socket(), err);
-      return FailedPreconditionError(err.message);
-    }
-    // Codec negotiation: the requested codec if this worker advertised it,
-    // raw otherwise (a v3 hello advertises nothing). A raw outcome builds
-    // no Link at all, so those connections ship the legacy bytes.
-    net::compress::CodecId negotiated = net::compress::CodecId::kRaw;
-    if (config_.compress != "off") {
-      const net::compress::Codec* requested =
-          net::compress::FindCodec(config_.compress);
-      FEDGTA_CHECK(requested != nullptr)
-          << "ValidateConfig admitted unknown codec " << config_.compress;
-      negotiated = net::compress::Negotiate(requested->id(),
-                                            hello.codec_capabilities);
-    }
-    net::AssignConfigMsg assign;
-    assign.config = wire;
-    WorkerLink& link = workers_[static_cast<size_t>(w)];
-    assign.client_ids.assign(link.client_ids.begin(), link.client_ids.end());
-    // Clock sync (NTP midpoint): echo when the Hello landed and when this
-    // reply leaves, both on the server trace clock; the worker combines
-    // them with its own send/recv times to shift its trace timebase.
-    assign.hello_recv_us = hello_recv_us;
-    assign.worker_index = w;
-    assign.codec_id = static_cast<uint32_t>(negotiated);
-    assign.compress_topk = config_.compress_topk;
-    assign.peer_version = hello.protocol_version;
-    link.peer_version = hello.protocol_version;
-    if (negotiated != net::compress::CodecId::kRaw) {
-      link.compress = std::make_unique<net::compress::Link>(
-          net::compress::FindCodec(negotiated), config_.compress_topk);
-    }
-    assign.assign_send_us = internal_obs::TraceNowMicros();
-    net::ConfigAckMsg ack;
-    FEDGTA_RETURN_IF_ERROR(channel.Call(assign, &ack));
-    GlobalTimeline().Worker(w, "connected");
-    if (param_count < 0) param_count = ack.param_count;
-    if (ack.param_count != param_count) {
-      return FailedPreconditionError(
-          "workers disagree on the model parameter count");
-    }
-    if (!ack.init_params.empty()) init_params = std::move(ack.init_params);
-    link.channel = std::move(channel);
-  }
-  if (init_params.empty()) {
+  WorkerFleetOptions options;
+  options.wire = ToWireConfig(config_);
+  options.compress = config_.compress;
+  options.compress_topk = config_.compress_topk;
+  options.rpc = config_.rpc;
+  options.accept_timeout_ms = config_.accept_timeout_ms;
+  FEDGTA_RETURN_IF_ERROR(
+      workers_.Accept(server_, n_clients, ownership, options));
+  if (workers_.init_params().empty()) {
     return InternalError(
         "no worker reported the common initialization (client 0 unhosted?)");
-  }
-  if (static_cast<int64_t>(init_params.size()) != param_count) {
-    return FailedPreconditionError(
-        "init parameter vector length disagrees with the reported count");
   }
 
   std::vector<int64_t> train_sizes;
@@ -198,17 +137,13 @@ Status RemoteCoordinator::Handshake() {
   for (const ClientData& shard : data_.clients) {
     train_sizes.push_back(shard.num_train());
   }
-  strategy_->Initialize(n_clients, train_sizes, init_params);
+  strategy_->Initialize(n_clients, train_sizes, workers_.init_params());
 
   // Publish the fleet to the status endpoint (its thread is already
   // serving; until this point it reports "handshake in progress").
   {
     std::lock_guard<std::mutex> lock(status_mutex_);
-    fleet_status_.clear();
-    for (const WorkerLink& link : workers_) {
-      fleet_status_.push_back(
-          {link.health, static_cast<int>(link.client_ids.size())});
-    }
+    fleet_status_ = workers_.StatusSnapshot();
   }
   return OkStatus();
 }
@@ -220,42 +155,9 @@ void RemoteCoordinator::Evaluate(double* test_accuracy,
   std::vector<double> val_acc(n, 0.0);
   std::vector<char> evaluated(n, 0);
 
-  // Thread-locals don't cross std::thread creation: capture the round's
-  // context here and re-install it in each eval thread so the requests'
-  // envelopes parent to the round span.
-  const TraceContext eval_ctx = CurrentTraceContext();
-  std::vector<std::thread> threads;
-  threads.reserve(workers_.size());
-  for (size_t w = 0; w < workers_.size(); ++w) {
-    threads.emplace_back([this, w, eval_ctx, &test_acc, &val_acc,
-                          &evaluated] {
-      ScopedTraceContext adopt(eval_ctx);
-      WorkerLink& link = workers_[w];
-      for (int id : link.client_ids) {
-        if (!link.channel.ok()) {
-          link.health->healthy.store(false, std::memory_order_relaxed);
-          return;
-        }
-        net::EvalRequestMsg req;
-        req.client_id = id;
-        req.weights = CopyParams(strategy_->ParamsFor(id));
-        net::EvalResponseMsg resp;
-        if (!link.channel.Call(req, &resp, link.compress.get()).ok()) {
-          link.health->healthy.store(false, std::memory_order_relaxed);
-          continue;
-        }
-        link.health->last_response_us.store(internal_obs::TraceNowMicros(),
-                                            std::memory_order_relaxed);
-        link.health->responses.fetch_add(1, std::memory_order_relaxed);
-        fleet_.Apply(static_cast<int>(w), resp.metrics);
-        if (resp.client_id != id) continue;
-        test_acc[static_cast<size_t>(id)] = resp.test_accuracy;
-        val_acc[static_cast<size_t>(id)] = resp.val_accuracy;
-        evaluated[static_cast<size_t>(id)] = 1;
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  workers_.EvalClients(
+      [this](int id) { return CopyParams(strategy_->ParamsFor(id)); }, &fleet_,
+      &test_acc, &val_acc, &evaluated);
 
   // Weighted reduction in client order — same arithmetic stream as
   // Simulation::Evaluate.
@@ -301,13 +203,7 @@ Result<SimulationResult> RemoteCoordinator::Run() {
 
   if (config_.sim.async) {
     FEDGTA_RETURN_IF_ERROR(RunAsyncRounds(&result));
-    for (WorkerLink& link : workers_) {
-      if (!link.channel.ok()) continue;
-      net::ShutdownMsg shutdown;
-      if (!net::SendMessage(link.channel.socket(), shutdown).ok()) continue;
-      net::ShutdownAckMsg ack;
-      (void)net::ExpectMessage(link.channel.socket(), &ack);
-    }
+    workers_.Shutdown();
     result.metrics_json = GlobalMetrics().ToJson();
     return result;
   }
@@ -348,7 +244,6 @@ Result<SimulationResult> RemoteCoordinator::Run() {
     round_ctx.round = round;
     ScopedTraceContext scoped_round(round_ctx);
     FEDGTA_TRACE_SCOPE("round");
-    const TraceContext dispatch_ctx = CurrentTraceContext();
     WallTimer round_timer;
     const int64_t bytes_sent0 = bytes_sent_counter.value();
     const int64_t bytes_recv0 = bytes_recv_counter.value();
@@ -376,53 +271,15 @@ Result<SimulationResult> RemoteCoordinator::Run() {
       }
     }
 
-    // One dispatch thread per worker: requests on one connection are
-    // strictly sequential (request/response protocol); workers run
-    // concurrently. Responses land in participant-index-aligned slots.
-    std::vector<net::TrainResponseMsg> responses(n_part);
-    std::vector<Status> rpc_status(n_part, OkStatus());
+    // Dispatch delegates to the fleet (one thread per worker, responses in
+    // participant-index-aligned slots; see WorkerFleet::TrainRound).
+    std::vector<net::TrainResponseMsg> responses;
+    std::vector<Status> rpc_status;
     WallTimer client_timer;
-    std::vector<std::thread> threads;
-    threads.reserve(workers_.size());
-    for (size_t w = 0; w < workers_.size(); ++w) {
-      threads.emplace_back([&, w] {
-        // Re-install the round context (thread-locals don't inherit), so
-        // every TrainRequest envelope parents to the round span.
-        ScopedTraceContext adopt(dispatch_ctx);
-        WorkerLink& link = workers_[w];
-        for (size_t i = 0; i < n_part; ++i) {
-          const int id = participants[i];
-          if (owner_[static_cast<size_t>(id)] != static_cast<int>(w)) {
-            continue;
-          }
-          if (fates[i] == ClientFate::kDropout) continue;
-          if (!link.channel.ok()) {
-            link.health->healthy.store(false, std::memory_order_relaxed);
-            rpc_status[i] = InternalError("worker connection is down");
-            continue;
-          }
-          net::TrainRequestMsg req;
-          req.round = round;
-          req.client_id = id;
-          req.weights = CopyParams(strategy_->ParamsFor(id));
-          rpc_status[i] =
-              link.channel.Call(req, &responses[i], link.compress.get());
-          if (!rpc_status[i].ok()) {
-            link.health->healthy.store(false, std::memory_order_relaxed);
-            continue;
-          }
-          link.health->last_response_us.store(
-              internal_obs::TraceNowMicros(), std::memory_order_relaxed);
-          link.health->responses.fetch_add(1, std::memory_order_relaxed);
-          fleet_.Apply(static_cast<int>(w), responses[i].metrics);
-          if (responses[i].client_id != id) {
-            rpc_status[i] =
-                InternalError("response for a different client id");
-          }
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
+    workers_.TrainRound(
+        round, participants, fates,
+        [this](int id) { return CopyParams(strategy_->ParamsFor(id)); },
+        &fleet_, &responses, &rpc_status);
     const double client_seconds = client_timer.Seconds();
 
     // Survivor reduction in participant order, mirroring Simulation::Run.
@@ -531,14 +388,7 @@ Result<SimulationResult> RemoteCoordinator::Run() {
     }
   }
 
-  // Best-effort goodbye; a dead worker just errors out of the exchange.
-  for (WorkerLink& link : workers_) {
-    if (!link.channel.ok()) continue;
-    net::ShutdownMsg shutdown;
-    if (!net::SendMessage(link.channel.socket(), shutdown).ok()) continue;
-    net::ShutdownAckMsg ack;
-    (void)net::ExpectMessage(link.channel.socket(), &ack);
-  }
+  workers_.Shutdown();
 
   result.metrics_json = GlobalMetrics().ToJson();
   return result;
@@ -600,7 +450,8 @@ Status RemoteCoordinator::RunAsyncRounds(SimulationResult* result) {
   Timeline& timeline = GlobalTimeline();
 
   AsyncUpdateQueue queue;
-  std::vector<WorkerFeed> feeds(workers_.size());
+  std::vector<WorkerLink>& links = workers_.links();
+  std::vector<WorkerFeed> feeds(links.size());
   // RPC failures surface asynchronously on the feed threads; the round loop
   // folds the running total's per-round delta into its dropped count.
   std::atomic<int64_t> rpc_failures{0};
@@ -615,11 +466,11 @@ Status RemoteCoordinator::RunAsyncRounds(SimulationResult* result) {
   // late, not lost), MarkAccounted for crashes and transport failures — so
   // the round loop's wait rule always terminates.
   std::vector<std::thread> feeders;
-  feeders.reserve(workers_.size());
-  for (size_t w = 0; w < workers_.size(); ++w) {
+  feeders.reserve(links.size());
+  for (size_t w = 0; w < links.size(); ++w) {
     feeders.emplace_back([&, w] {
       WorkerFeed& feed = feeds[w];
-      WorkerLink& link = workers_[w];
+      WorkerLink& link = links[w];
       while (true) {
         FeedCommand cmd;
         {
@@ -737,8 +588,7 @@ Status RemoteCoordinator::RunAsyncRounds(SimulationResult* result) {
       cmd.client_id = id;
       cmd.fate = fate;
       cmd.weights = CopyParams(strategy_->ParamsFor(id));
-      const size_t owner = static_cast<size_t>(owner_[static_cast<size_t>(id)]);
-      WorkerFeed& feed = feeds[owner];
+      WorkerFeed& feed = feeds[static_cast<size_t>(workers_.owner(id))];
       std::unique_lock<std::mutex> lock(feed.mutex);
       feed.cv.wait(lock, [&feed] {
         return feed.queue.size() < WorkerFeed::kMaxDepth;
@@ -868,7 +718,7 @@ std::string RemoteCoordinator::RenderStatus(const std::string& command) const {
     } else {
       out += StrFormat("workers: %zu\n", fleet_status_.size());
       for (size_t w = 0; w < fleet_status_.size(); ++w) {
-        const FleetStatusEntry& entry = fleet_status_[w];
+        const WorkerStatusEntry& entry = fleet_status_[w];
         const int64_t last =
             entry.health->last_response_us.load(std::memory_order_relaxed);
         const int64_t lag_ms = last > 0 ? (now_us - last) / 1000 : -1;

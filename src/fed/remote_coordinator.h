@@ -1,13 +1,13 @@
 #ifndef FEDGTA_FED_REMOTE_COORDINATOR_H_
 #define FEDGTA_FED_REMOTE_COORDINATOR_H_
 
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "fed/remote_config.h"
+#include "fed/worker_fleet.h"
 #include "net/rpc.h"
 #include "net/status.h"
 #include "obs/metrics_delta.h"
@@ -66,37 +66,6 @@ class RemoteCoordinator {
   Result<SimulationResult> Run();
 
  private:
-  /// Live per-worker signals, updated by the dispatch threads and read by
-  /// the status endpoint — atomics only, no lock on the hot path.
-  struct WorkerHealth {
-    std::atomic<bool> healthy{true};
-    /// Trace-clock time of the last successful response; 0 before any.
-    std::atomic<int64_t> last_response_us{0};
-    std::atomic<int64_t> responses{0};
-  };
-
-  struct WorkerLink {
-    net::RpcChannel channel;
-    /// Hosted client ids, ascending.
-    std::vector<int> client_ids;
-    /// Negotiated per-connection compression state (DESIGN.md §5j); null
-    /// when the connection negotiated raw (or compress = "off"), keeping
-    /// that path's bytes exactly the legacy wire format. Touched only by
-    /// the one thread currently driving this worker's channel.
-    std::unique_ptr<net::compress::Link> compress;
-    /// Hello protocol version of this worker (v3 peers never see v4
-    /// message trailers).
-    uint32_t peer_version = net::kProtocolVersion;
-    /// Shared with the published fleet status (the endpoint may outlive a
-    /// rebuilt workers_ vector).
-    std::shared_ptr<WorkerHealth> health = std::make_shared<WorkerHealth>();
-  };
-
-  struct FleetStatusEntry {
-    std::shared_ptr<WorkerHealth> health;
-    int num_clients = 0;
-  };
-
   Status ValidateConfig() const;
   /// Accepts workers, exchanges Hello/AssignConfig/ConfigAck, initializes
   /// the strategy from the reported common init weights.
@@ -116,9 +85,9 @@ class RemoteCoordinator {
   net::ServerSocket server_;
   std::unique_ptr<Strategy> strategy_;
   FederatedDataset data_;
-  std::vector<WorkerLink> workers_;
-  /// client id -> hosting worker index (id % num_workers).
-  std::vector<int> owner_;
+  /// Worker connections + per-round dispatch (shared with the hierarchy's
+  /// regional aggregators; see fed/worker_fleet.h).
+  WorkerFleet workers_;
 
   /// One id per Run(), stamped into every RPC envelope so worker spans
   /// stitch to this run's timeline.
@@ -129,7 +98,7 @@ class RemoteCoordinator {
   /// Guards fleet_status_ (published once after the handshake, read by the
   /// status endpoint thread).
   mutable std::mutex status_mutex_;
-  std::vector<FleetStatusEntry> fleet_status_;
+  std::vector<WorkerStatusEntry> fleet_status_;
 };
 
 }  // namespace fedgta

@@ -1,0 +1,75 @@
+#ifndef FEDGTA_FED_RUN_RESULT_H_
+#define FEDGTA_FED_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedgta {
+namespace fed {
+
+/// Per-evaluated-round statistics of a federated run. One type for every
+/// execution plane — the in-process Simulation, the flat TCP coordinator,
+/// and the hierarchical root — so bit-identity tests can compare whole
+/// results instead of field-by-field copies that drift when either side
+/// grows a field.
+struct RoundStats {
+  int round = 0;
+  double test_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double train_loss = 0.0;
+  /// Cumulative wall-clock seconds of client work / server aggregation.
+  double client_seconds = 0.0;
+  double server_seconds = 0.0;
+  /// Cumulative simulated communication volume (floats up / down).
+  int64_t upload_floats = 0;
+  int64_t download_floats = 0;
+  /// Cumulative injected client failures (zero without a FailureConfig).
+  int64_t dropped_clients = 0;
+  int64_t straggler_clients = 0;
+  int64_t crashed_clients = 0;
+};
+
+/// Outcome of a full federated run, whichever plane executed it.
+struct RunResult {
+  std::vector<RoundStats> curve;
+  /// Test accuracy at the round with the best validation accuracy.
+  double best_test_accuracy = 0.0;
+  double final_test_accuracy = 0.0;
+  double total_client_seconds = 0.0;
+  double total_server_seconds = 0.0;
+  /// Total simulated communication volume (floats up / down).
+  int64_t total_upload_floats = 0;
+  int64_t total_download_floats = 0;
+  /// Wall-clock seconds of the setup phase (incl. FedSage+ mending).
+  double setup_seconds = 0.0;
+  /// Total injected client failures across all rounds.
+  int64_t total_dropped_clients = 0;
+  int64_t total_straggler_clients = 0;
+  int64_t total_crashed_clients = 0;
+  /// Round this run resumed from (0 = fresh start).
+  int resumed_from_round = 0;
+  /// Async runtime totals (zero on synchronous runs; not part of the
+  /// checkpoint format — async runs never checkpoint).
+  int64_t total_admitted_updates = 0;
+  int64_t total_stale_dropped_updates = 0;
+  /// JSON snapshot of the global metrics registry taken when Run()
+  /// returned: per-phase timers (phase.*.seconds), per-round deltas
+  /// (round.client_seconds / round.server_seconds), per-client training
+  /// times, and communication counters. See MetricsRegistry::ToJson().
+  std::string metrics_json;
+};
+
+/// Compares the deterministic portion of two results bit-exactly:
+/// accuracies, losses, communication volumes, and failure counts — per
+/// round and in total. Wall-clock fields (any *_seconds) and the metrics
+/// snapshot are excluded: they legitimately differ between planes and
+/// between runs. On mismatch returns false and, when `diff` is non-null,
+/// fills it with a human-readable description of the first divergence.
+bool DeterministicEquals(const RunResult& a, const RunResult& b,
+                         std::string* diff = nullptr);
+
+}  // namespace fed
+}  // namespace fedgta
+
+#endif  // FEDGTA_FED_RUN_RESULT_H_

@@ -9,6 +9,7 @@
 #include "fed/failure.h"
 #include "fed/fedgl.h"
 #include "fed/fedsage.h"
+#include "fed/run_result.h"
 #include "fed/strategy.h"
 
 namespace fedgta {
@@ -64,53 +65,12 @@ struct SimulationConfig {
   double staleness_decay = 0.5;
 };
 
-/// Per-evaluated-round statistics.
-struct RoundStats {
-  int round = 0;
-  double test_accuracy = 0.0;
-  double val_accuracy = 0.0;
-  double train_loss = 0.0;
-  /// Cumulative wall-clock seconds of client work / server aggregation.
-  double client_seconds = 0.0;
-  double server_seconds = 0.0;
-  /// Cumulative simulated communication volume (floats up / down).
-  int64_t upload_floats = 0;
-  int64_t download_floats = 0;
-  /// Cumulative injected client failures (zero without a FailureConfig).
-  int64_t dropped_clients = 0;
-  int64_t straggler_clients = 0;
-  int64_t crashed_clients = 0;
-};
-
-/// Outcome of a full federated run.
-struct SimulationResult {
-  std::vector<RoundStats> curve;
-  /// Test accuracy at the round with the best validation accuracy.
-  double best_test_accuracy = 0.0;
-  double final_test_accuracy = 0.0;
-  double total_client_seconds = 0.0;
-  double total_server_seconds = 0.0;
-  /// Total simulated communication volume (floats up / down).
-  int64_t total_upload_floats = 0;
-  int64_t total_download_floats = 0;
-  /// Wall-clock seconds of the setup phase (incl. FedSage+ mending).
-  double setup_seconds = 0.0;
-  /// Total injected client failures across all rounds.
-  int64_t total_dropped_clients = 0;
-  int64_t total_straggler_clients = 0;
-  int64_t total_crashed_clients = 0;
-  /// Round this run resumed from (0 = fresh start).
-  int resumed_from_round = 0;
-  /// Async runtime totals (zero on synchronous runs; not part of the
-  /// checkpoint format — async runs never checkpoint).
-  int64_t total_admitted_updates = 0;
-  int64_t total_stale_dropped_updates = 0;
-  /// JSON snapshot of the global metrics registry taken when Run()
-  /// returned: per-phase timers (phase.*.seconds), per-round deltas
-  /// (round.client_seconds / round.server_seconds), per-client training
-  /// times, and communication counters. See MetricsRegistry::ToJson().
-  std::string metrics_json;
-};
+/// Round statistics and run outcome live in fed/run_result.h so the
+/// in-process, flat TCP, and hierarchical planes return one type and
+/// bit-identity tests compare it with fed::DeterministicEquals. The
+/// historical names remain as aliases.
+using RoundStats = fed::RoundStats;
+using SimulationResult = fed::RunResult;
 
 /// Drives `rounds` of strategy-managed federated training over the clients
 /// of a FederatedDataset. Evaluation is the data-size-weighted accuracy of

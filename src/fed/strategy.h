@@ -71,6 +71,13 @@ struct StrategyCapabilities {
   /// false for any strategy keyed to strict round alignment (control
   /// variates, drift windows), which the async mode rejects up front.
   bool async_capable = false;
+  /// Aggregation decomposes over a contiguous client-id sharding: each
+  /// regional aggregator can run the strategy's reduction over its own
+  /// shard (plus, for FedGTA, the cross-shard Eq. 7 sets stitched through
+  /// the root's routed envelopes) without any process holding the full
+  /// participant set. The hierarchical root rejects non-shardable
+  /// strategies up front (DESIGN.md §5k).
+  bool shardable = false;
 };
 
 /// A federated optimization strategy: decides which weights each client
@@ -164,7 +171,7 @@ class FedAvgStrategy : public Strategy {
                  const std::vector<LocalResult>& results) override;
   StrategyCapabilities Capabilities() const override {
     return {.remote_executable = true, .needs_server_state = false,
-            .async_capable = true};
+            .async_capable = true, .shardable = true};
   }
 };
 

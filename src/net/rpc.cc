@@ -54,8 +54,54 @@ const char* MsgTypeName(MsgType type) {
       return "ShutdownAck";
     case MsgType::kError:
       return "Error";
+    case MsgType::kRouted:
+      return "Routed";
   }
   return "UnknownMsg";
+}
+
+const char* EnvelopeKindName(EnvelopeKind kind) {
+  switch (kind) {
+    case EnvelopeKind::kShardAssign:
+      return "ShardAssign";
+    case EnvelopeKind::kShardReady:
+      return "ShardReady";
+    case EnvelopeKind::kInitModel:
+      return "InitModel";
+    case EnvelopeKind::kTrainShard:
+      return "TrainShard";
+    case EnvelopeKind::kTrainShardDone:
+      return "TrainShardDone";
+    case EnvelopeKind::kSignatureExchange:
+      return "SignatureExchange";
+    case EnvelopeKind::kSignatureBlock:
+      return "SignatureBlock";
+    case EnvelopeKind::kCandidatePairs:
+      return "CandidatePairs";
+    case EnvelopeKind::kCandidateWants:
+      return "CandidateWants";
+    case EnvelopeKind::kMomentFetch:
+      return "MomentFetch";
+    case EnvelopeKind::kMomentBlock:
+      return "MomentBlock";
+    case EnvelopeKind::kSetBuild:
+      return "SetBuild";
+    case EnvelopeKind::kSetReport:
+      return "SetReport";
+    case EnvelopeKind::kPartialAggregate:
+      return "PartialAggregate";
+    case EnvelopeKind::kPartialBlock:
+      return "PartialBlock";
+    case EnvelopeKind::kGroupDeliver:
+      return "GroupDeliver";
+    case EnvelopeKind::kGroupAck:
+      return "GroupAck";
+    case EnvelopeKind::kEvalShard:
+      return "EvalShard";
+    case EnvelopeKind::kEvalShardDone:
+      return "EvalShardDone";
+  }
+  return "UnknownEnvelope";
 }
 
 void AddSentMessageBytes(MsgType type, int64_t wire) {
@@ -73,17 +119,22 @@ void AddRecvSavedBytes(int64_t saved) {
 void HelloMsg::Encode(serialize::Writer* w, compress::Link* /*link*/) const {
   w->WriteU32(protocol_version);
   w->WriteI64(t_send_us);
-  w->WriteU32(codec_capabilities);
+  // The dialer does not know the peer's version yet, so it always writes
+  // its newest layout; the receiver's TrailerReader tolerates the short
+  // buffers of older dialers instead.
+  TrailerWriter t(w, kProtocolVersion);
+  t.U32(4, codec_capabilities);
+  t.U32(5, node_role);
 }
 Status HelloMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
   FEDGTA_RETURN_IF_ERROR(r->ReadU32(&protocol_version));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&t_send_us));
-  // A v3 hello ends here; no capabilities means raw after negotiation.
-  codec_capabilities = 0;
-  if (!r->AtEnd()) {
-    FEDGTA_RETURN_IF_ERROR(r->ReadU32(&codec_capabilities));
-  }
-  return OkStatus();
+  // A v3 hello ends here; no capabilities means raw after negotiation,
+  // and no role means worker.
+  TrailerReader t(r);
+  t.U32(&codec_capabilities, 0);
+  t.U32(&node_role, 0);
+  return t.status();
 }
 
 void WireFedConfig::Encode(serialize::Writer* w) const {
@@ -172,10 +223,9 @@ void AssignConfigMsg::Encode(serialize::Writer* w,
   w->WriteI32(worker_index);
   // The v4 trailer would read as trailing bytes to a v3 peer's strict
   // AtEnd check, so it only ships when the Hello said v4+.
-  if (peer_version >= 4) {
-    w->WriteU32(codec_id);
-    w->WriteI32(compress_topk);
-  }
+  TrailerWriter t(w, peer_version);
+  t.U32(4, codec_id);
+  t.I32(4, compress_topk);
 }
 Status AssignConfigMsg::Decode(serialize::Reader* r,
                                compress::Link* /*link*/) {
@@ -184,13 +234,10 @@ Status AssignConfigMsg::Decode(serialize::Reader* r,
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&hello_recv_us));
   FEDGTA_RETURN_IF_ERROR(r->ReadI64(&assign_send_us));
   FEDGTA_RETURN_IF_ERROR(r->ReadI32(&worker_index));
-  codec_id = 0;
-  compress_topk = 0;
-  if (!r->AtEnd()) {
-    FEDGTA_RETURN_IF_ERROR(r->ReadU32(&codec_id));
-    FEDGTA_RETURN_IF_ERROR(r->ReadI32(&compress_topk));
-  }
-  return OkStatus();
+  TrailerReader t(r);
+  t.U32(&codec_id, 0);
+  t.I32(&compress_topk, 0);
+  return t.status();
 }
 
 void ConfigAckMsg::Encode(serialize::Writer* w,
@@ -320,6 +367,23 @@ Status ErrorMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
   return r->ReadString(&message);
 }
 
+void RoutedMsg::Encode(serialize::Writer* w, compress::Link* /*link*/) const {
+  w->WriteU32(kind);
+  w->WriteI32(round);
+  w->WriteI32(src);
+  w->WriteI32(dst);
+  w->WriteString(body);
+  EncodeMetricsDelta(metrics, w);
+}
+Status RoutedMsg::Decode(serialize::Reader* r, compress::Link* /*link*/) {
+  FEDGTA_RETURN_IF_ERROR(r->ReadU32(&kind));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&round));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&src));
+  FEDGTA_RETURN_IF_ERROR(r->ReadI32(&dst));
+  FEDGTA_RETURN_IF_ERROR(r->ReadString(&body));
+  return DecodeMetricsDelta(r, &metrics);
+}
+
 Result<serialize::Reader> RecvMessage(Socket& sock) {
   return RecvFrame(sock);
 }
@@ -328,7 +392,7 @@ Result<MsgType> ReadMsgType(serialize::Reader* reader, TraceContext* ctx) {
   uint32_t raw = 0;
   FEDGTA_RETURN_IF_ERROR(reader->ReadU32(&raw));
   if (raw < static_cast<uint32_t>(MsgType::kHello) ||
-      raw > static_cast<uint32_t>(MsgType::kError)) {
+      raw > static_cast<uint32_t>(MsgType::kRouted)) {
     return InvalidArgumentError("unknown message type " + std::to_string(raw));
   }
   TraceContext envelope;

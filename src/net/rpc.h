@@ -57,8 +57,17 @@ namespace net {
 /// tensor fields of Train/Eval messages are codec-encoded on active links.
 /// A v3 peer advertises nothing, negotiates raw, and sees bit-identical
 /// v3 bytes — the server still accepts kMinProtocolVersion.
+///
+/// v5: hierarchical aggregation (DESIGN.md §5k). Hello gains a `node_role`
+/// trailer so the root can tell aggregators from mis-wired workers, and a
+/// single generic `Routed` envelope carries every root ↔ aggregator
+/// exchange (ShardAssign, SignatureExchange, CandidatePairs,
+/// PartialAggregate, ...) as a kind-tagged nested body instead of growing
+/// one MsgType per feature. The worker ↔ (root|aggregator) protocol is
+/// unchanged — a worker cannot tell whether its server is the root or a
+/// regional aggregator.
 
-inline constexpr uint32_t kProtocolVersion = 4;
+inline constexpr uint32_t kProtocolVersion = 5;
 /// Oldest peer version the server still speaks (v3 = pre-compression).
 inline constexpr uint32_t kMinProtocolVersion = 3;
 
@@ -73,9 +82,74 @@ enum class MsgType : uint32_t {
   kShutdown = 8,
   kShutdownAck = 9,
   kError = 10,
+  kRouted = 11,
 };
 
 const char* MsgTypeName(MsgType type);
+
+/// Version-gated trailer fields, shared by every message that grew after
+/// v1. Historically Hello and AssignConfig each hand-rolled its own
+/// "append when the peer is new enough / read what's left" loop and the
+/// three copies drifted; this pair now owns both directions.
+///
+/// Writing: each field names the protocol version that introduced it and
+/// is appended only when the peer speaks that version or newer. Senders
+/// that always write their newest layout (Hello: the sender does not know
+/// the peer version yet) pass kProtocolVersion as the peer version.
+///
+/// Reading: fields are consumed in declaration order until the buffer
+/// ends; the remaining fields keep their caller-supplied defaults (an
+/// older peer simply stopped writing earlier). Bytes that are present must
+/// still parse — a buffer ending mid-field is an error, surfaced through
+/// status().
+///
+/// The byte layouts are pinned: net_test encodes v3/v4-shaped messages
+/// against hand-written reference byte streams, so a refactor here cannot
+/// silently change what an older peer sees.
+class TrailerWriter {
+ public:
+  TrailerWriter(serialize::Writer* w, uint32_t peer_version)
+      : w_(w), peer_version_(peer_version) {}
+  void U32(uint32_t min_version, uint32_t v) {
+    if (peer_version_ >= min_version) w_->WriteU32(v);
+  }
+  void I32(uint32_t min_version, int32_t v) {
+    if (peer_version_ >= min_version) w_->WriteI32(v);
+  }
+  void I64(uint32_t min_version, int64_t v) {
+    if (peer_version_ >= min_version) w_->WriteI64(v);
+  }
+
+ private:
+  serialize::Writer* w_;
+  uint32_t peer_version_;
+};
+
+class TrailerReader {
+ public:
+  explicit TrailerReader(serialize::Reader* r) : r_(r) {}
+  void U32(uint32_t* out, uint32_t def = 0) {
+    *out = def;
+    if (More()) Take(r_->ReadU32(out));
+  }
+  void I32(int32_t* out, int32_t def = 0) {
+    *out = def;
+    if (More()) Take(r_->ReadI32(out));
+  }
+  void I64(int64_t* out, int64_t def = 0) {
+    *out = def;
+    if (More()) Take(r_->ReadI64(out));
+  }
+  Status status() const { return status_; }
+
+ private:
+  bool More() const { return status_.ok() && !r_->AtEnd(); }
+  void Take(Status s) {
+    if (!s.ok()) status_ = std::move(s);
+  }
+  serialize::Reader* r_;
+  Status status_ = OkStatus();
+};
 
 /// Worker -> server, immediately after connecting. `t_send_us` is the
 /// worker's trace clock at send time — the t0 of the NTP-style offset
@@ -89,9 +163,18 @@ struct HelloMsg {
   /// A v3 hello ends before this field; the decoder leaves it 0, which
   /// Negotiate maps to raw.
   uint32_t codec_capabilities = 0;
+  /// v5: what kind of process is dialing in (a NodeRole value). Workers
+  /// never set it, so the default keeps every pre-v5 peer a worker.
+  uint32_t node_role = 0;
 
   void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
   Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
+};
+
+/// HelloMsg::node_role values.
+enum class NodeRole : uint32_t {
+  kWorker = 0,
+  kAggregator = 1,
 };
 
 /// The full experiment identity a worker needs to materialize its shards
@@ -276,6 +359,54 @@ struct ShutdownAckMsg {
 struct ErrorMsg {
   static constexpr MsgType kType = MsgType::kError;
   std::string message;
+
+  void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
+  Status Decode(serialize::Reader* r, compress::Link* link = nullptr);
+};
+
+/// Body schema selector for RoutedMsg (the v5 root ↔ aggregator plane,
+/// DESIGN.md §5k). Bodies are nested serialize payloads defined in
+/// fed/hierarchy.h — the envelope itself is schema-agnostic, so the wire
+/// protocol never grows another MsgType for a new hierarchical phase.
+enum class EnvelopeKind : uint32_t {
+  kShardAssign = 1,       // root → agg: wire config + client shard + knobs
+  kShardReady = 2,        // agg → root: param count, init params, status port
+  kInitModel = 3,         // root → agg: common initialization broadcast
+  kTrainShard = 4,        // root → agg: run one round over shard survivors
+  kTrainShardDone = 5,    // agg → root: per-participant scalars (no tensors)
+  kSignatureExchange = 6, // root → agg: compute shard LSH signatures
+  kSignatureBlock = 7,    // agg → root: packed sign-projection words
+  kCandidatePairs = 8,    // root → agg: all signatures + confidences
+  kCandidateWants = 9,    // agg → root: remote moment rows this shard needs
+  kMomentFetch = 10,      // root → agg: rows other shards asked for
+  kMomentBlock = 11,      // agg → root: the normalized rows
+  kSetBuild = 12,         // root → agg: fetched remote rows, build Eq. 6 sets
+  kSetReport = 13,        // agg → root: cross-shard canonical sets
+  kPartialAggregate = 14, // root → agg: chained Eq. 7 accumulator pass
+  kPartialBlock = 15,     // agg → root: updated accumulators
+  kGroupDeliver = 16,     // root → agg: final vector for a cross-shard set
+  kGroupAck = 17,         // agg → root
+  kEvalShard = 18,        // root → agg: evaluate shard clients
+  kEvalShardDone = 19,    // agg → root: per-client accuracies
+};
+
+const char* EnvelopeKindName(EnvelopeKind kind);
+
+/// v5 routed envelope: the single message type of the root ↔ aggregator
+/// link. `kind` selects the body schema; `src`/`dst` are aggregator
+/// indices with -1 meaning the root, so a future multi-hop topology can
+/// forward envelopes without re-framing. Aggregator replies piggyback a
+/// metrics delta exactly like TrainResponse does, which is how the
+/// aggregator's own counters (and its rolled-up worker fleet) reach the
+/// root's registry.
+struct RoutedMsg {
+  static constexpr MsgType kType = MsgType::kRouted;
+  uint32_t kind = 0;  // static_cast<uint32_t>(EnvelopeKind)
+  int32_t round = 0;
+  int32_t src = -1;
+  int32_t dst = -1;
+  std::string body;
+  MetricsDelta metrics;
 
   void Encode(serialize::Writer* w, compress::Link* link = nullptr) const;
   Status Decode(serialize::Reader* r, compress::Link* link = nullptr);

@@ -101,6 +101,19 @@ Status Socket::ReadFull(void* buf, size_t n) {
   return OkStatus();
 }
 
+Result<size_t> Socket::ReadSome(void* buf, size_t n) {
+  if (!valid()) return FailedPreconditionError("socket is closed");
+  while (true) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return DeadlineExceededError("recv timed out");
+    }
+    return InternalError(Errno("recv"));
+  }
+}
+
 Status Socket::WriteFull(const void* buf, size_t n) {
   if (!valid()) return FailedPreconditionError("socket is closed");
   const char* in = static_cast<const char*>(buf);

@@ -42,6 +42,10 @@ class Socket {
   /// peer close before `n` bytes is an error, a recv-timeout expiry is
   /// kDeadlineExceeded.
   Status ReadFull(void* buf, size_t n);
+  /// Reads whatever is available, up to `n` bytes. Returns 0 at EOF (the
+  /// peer closed cleanly — not an error here, unlike ReadFull: callers of
+  /// ReadSome are consuming until-close streams like a status reply).
+  Result<size_t> ReadSome(void* buf, size_t n);
   /// Writes exactly `n` bytes, looping over short writes. A broken pipe
   /// (peer gone) is an error Status, never SIGPIPE.
   Status WriteFull(const void* buf, size_t n);

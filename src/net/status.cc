@@ -39,6 +39,25 @@ void StatusServer::Stop() {
   server_.Close();
 }
 
+Result<std::string> QueryStatusLine(const std::string& host, int port,
+                                    const std::string& command,
+                                    int timeout_ms) {
+  Result<Socket> sock = Connect(host, port, timeout_ms);
+  FEDGTA_RETURN_IF_ERROR(sock.status());
+  FEDGTA_RETURN_IF_ERROR(sock->SetRecvTimeout(timeout_ms));
+  (void)sock->SetSendTimeout(timeout_ms);
+  const std::string request = command + "\n";
+  FEDGTA_RETURN_IF_ERROR(sock->WriteFull(request.data(), request.size()));
+  std::string reply;
+  char buf[4096];
+  while (true) {
+    const Result<size_t> n = sock->ReadSome(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;  // endpoint closes after the reply
+    reply.append(buf, *n);
+  }
+  return reply;
+}
+
 void StatusServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     Result<Socket> client = server_.Accept(kAcceptTickMs);

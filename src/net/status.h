@@ -58,6 +58,14 @@ class StatusServer {
   bool running_ = false;
 };
 
+/// Client side of the line protocol: connects, sends `command` + newline,
+/// and returns everything the endpoint wrote back. Used by the root to
+/// probe its aggregators' status endpoints (a dead mid-tier process shows
+/// up as an error here, not as a silently stale table) and by tests.
+Result<std::string> QueryStatusLine(const std::string& host, int port,
+                                    const std::string& command,
+                                    int timeout_ms = 2000);
+
 }  // namespace net
 }  // namespace fedgta
 

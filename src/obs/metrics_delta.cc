@@ -170,21 +170,33 @@ MetricsDelta MetricsDeltaEncoder::Next() {
   return delta;
 }
 
-bool FleetMetricsMerger::Apply(int worker_id, const MetricsDelta& delta) {
+namespace {
+
+// An entry a downstream merger already namespaced is itself a rollup;
+// folding it into this registry's fleet.* would double-count its source.
+bool IsRollupName(const std::string& name) {
+  return name.rfind("worker.", 0) == 0 || name.rfind("fleet.", 0) == 0;
+}
+
+}  // namespace
+
+bool FleetMetricsMerger::Apply(int sender_id, const MetricsDelta& delta) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    uint64_t& last = last_seq_[worker_id];
+    uint64_t& last = last_seq_[sender_id];
     if (delta.seq <= last) return false;  // retry re-delivery or reordering
     last = delta.seq;
   }
-  const std::string worker_ns =
-      "worker." + std::to_string(worker_id) + ".";
+  const std::string sender_ns =
+      prefix_ + "." + std::to_string(sender_id) + ".";
   for (const auto& [name, value] : delta.counters) {
-    target_->GetCounter(worker_ns + name).Increment(value);
-    target_->GetCounter("fleet." + name).Increment(value);
+    target_->GetCounter(sender_ns + name).Increment(value);
+    if (!IsRollupName(name)) {
+      target_->GetCounter("fleet." + name).Increment(value);
+    }
   }
   for (const auto& [name, value] : delta.gauges) {
-    target_->GetGauge(worker_ns + name).Set(value);
+    target_->GetGauge(sender_ns + name).Set(value);
   }
   for (const auto& [name, h] : delta.histograms) {
     Histogram::Snapshot as_snapshot;
@@ -194,12 +206,13 @@ bool FleetMetricsMerger::Apply(int worker_id, const MetricsDelta& delta) {
     as_snapshot.max = h.max;
     as_snapshot.bounds = h.bounds;
     as_snapshot.bucket_counts = h.buckets;
-    const bool worker_ok =
-        target_->GetHistogram(worker_ns + name, h.bounds)
+    const bool sender_ok =
+        target_->GetHistogram(sender_ns + name, h.bounds)
             .Merge(as_snapshot);
     const bool fleet_ok =
+        IsRollupName(name) ||
         target_->GetHistogram("fleet." + name, h.bounds).Merge(as_snapshot);
-    if (!worker_ok || !fleet_ok) {
+    if (!sender_ok || !fleet_ok) {
       target_->GetCounter("obs.fleet.merge_errors").Increment();
     }
   }

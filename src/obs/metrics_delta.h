@@ -76,22 +76,29 @@ class MetricsDeltaEncoder {
   uint64_t seq_ = 0;
 };
 
-/// Merges per-worker deltas into a target registry under two namespaces:
-/// `worker.<id>.<name>` (that worker's view) and `fleet.<name>` (sum over
-/// workers). Gauges are per-worker only — a fleet-wide last-write-wins
-/// value is meaningless. Stale or duplicate deltas (seq <= last applied
-/// for that worker) are dropped, so RPC retries never double-count.
-/// Histogram merges with mismatched bucket bounds are counted in
-/// `obs.fleet.merge_errors` and skipped. Thread-safe.
+/// Merges per-sender deltas into a target registry under two namespaces:
+/// `<prefix>.<id>.<name>` (that sender's view; prefix defaults to
+/// "worker") and `fleet.<name>` (sum over senders). Gauges are per-sender
+/// only — a fleet-wide last-write-wins value is meaningless. Stale or
+/// duplicate deltas (seq <= last applied for that sender) are dropped, so
+/// RPC retries never double-count. Histogram merges with mismatched
+/// bucket bounds are counted in `obs.fleet.merge_errors` and skipped.
+/// Entries already namespaced by a downstream merger (names starting with
+/// "worker." or "fleet.", as in an aggregator's delta to the root) are
+/// kept out of the fleet rollup — they are themselves rollups, and
+/// re-summing them would double-count. Thread-safe.
 class FleetMetricsMerger {
  public:
-  explicit FleetMetricsMerger(MetricsRegistry* target) : target_(target) {}
+  explicit FleetMetricsMerger(MetricsRegistry* target,
+                              std::string prefix = "worker")
+      : target_(target), prefix_(std::move(prefix)) {}
 
   /// Returns true when the delta was applied, false when dropped as stale.
-  bool Apply(int worker_id, const MetricsDelta& delta);
+  bool Apply(int sender_id, const MetricsDelta& delta);
 
  private:
   MetricsRegistry* target_;
+  std::string prefix_;
   std::mutex mutex_;
   std::map<int, uint64_t> last_seq_;
 };

@@ -638,6 +638,88 @@ TEST(RpcTest, CompressedLinkRoundTripsTrainTensors) {
   server.join();
 }
 
+TEST(RpcTest, HelloEncodesByteIdenticalToVersionReferences) {
+  // Downgrade proof for the shared TrailerWriter: the Hello body must be
+  // byte-identical to the hand-written layout of each protocol version.
+  // v3 stops after the clock stamp, v4 appends the capabilities word, v5
+  // appends the role word. The dialer always writes its newest layout, so
+  // the full encode must equal the v5 reference exactly.
+  HelloMsg hello;
+  hello.t_send_us = 777;
+  hello.codec_capabilities = 0x0Fu;
+  hello.node_role = static_cast<uint32_t>(NodeRole::kAggregator);
+  serialize::Writer w;
+  hello.Encode(&w);
+
+  serialize::Writer v5;
+  v5.WriteU32(kProtocolVersion);
+  v5.WriteI64(777);
+  v5.WriteU32(0x0Fu);  // v4 trailer field
+  v5.WriteU32(1u);     // v5 trailer field: NodeRole::kAggregator
+  EXPECT_EQ(w.Encode(), v5.Encode());
+}
+
+TEST(RpcTest, V4ShapedHelloDecodesRoleToWorker) {
+  // A v4 hello ends after the capabilities word; the missing v5 role
+  // field must default to worker so pre-v5 fleets keep their meaning.
+  serialize::Writer w;
+  w.WriteU32(4u);
+  w.WriteI64(42);
+  w.WriteU32(compress::AllCapabilities());
+  const std::string encoded = w.Encode();
+  Result<serialize::Reader> reader = serialize::Reader::FromBuffer(encoded);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  HelloMsg hello;
+  ASSERT_TRUE(hello.Decode(&*reader).ok());
+  EXPECT_TRUE(reader->AtEnd());
+  EXPECT_EQ(hello.codec_capabilities, compress::AllCapabilities());
+  EXPECT_EQ(hello.node_role, static_cast<uint32_t>(NodeRole::kWorker));
+}
+
+TEST(RpcTest, AssignConfigV5BytesMatchV4) {
+  // v5 added no AssignConfig fields, so encoding for a v5 peer must be
+  // byte-identical to the v4 layout — the trailer only grows when a
+  // version actually appends something.
+  AssignConfigMsg in;
+  in.worker_index = 3;
+  in.codec_id = static_cast<uint32_t>(compress::CodecId::kInt8);
+  in.compress_topk = 16;
+  serialize::Writer w4;
+  in.peer_version = 4;
+  in.Encode(&w4);
+  serialize::Writer w5;
+  in.peer_version = 5;
+  in.Encode(&w5);
+  EXPECT_EQ(w4.Encode(), w5.Encode());
+}
+
+TEST(RpcTest, RoutedMsgRoundTripsOverSocket) {
+  // The v5 generic envelope: kind + routing header + opaque body. The
+  // hierarchy's typed payloads all ride inside `body`, so the transport
+  // layer only needs this frame to round-trip losslessly.
+  Loop loop = MakeLoop();
+  std::thread sender([&] {
+    RoutedMsg msg;
+    msg.kind = static_cast<uint32_t>(EnvelopeKind::kSignatureExchange);
+    msg.round = 12;
+    msg.src = 0;
+    msg.dst = 2;
+    msg.body = std::string("\x00\x01payload\xFF", 10);
+    ASSERT_TRUE(SendMessage(loop.peer, msg).ok());
+  });
+  RoutedMsg got;
+  const Status received = ExpectMessage(loop.client, &got);
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received;
+  EXPECT_EQ(got.kind, static_cast<uint32_t>(EnvelopeKind::kSignatureExchange));
+  EXPECT_EQ(got.round, 12);
+  EXPECT_EQ(got.src, 0);
+  EXPECT_EQ(got.dst, 2);
+  EXPECT_EQ(got.body, std::string("\x00\x01payload\xFF", 10));
+  EXPECT_STREQ(EnvelopeKindName(static_cast<EnvelopeKind>(got.kind)),
+               "SignatureExchange");
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace fedgta

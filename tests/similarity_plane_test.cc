@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,8 @@
 #include "common/thread_pool.h"
 #include "core/fedgta_metrics.h"
 #include "core/similarity.h"
+#include "fed/role.h"
+#include "fed/shard_plane.h"
 #include "linalg/ops.h"
 #include "obs/metrics.h"
 
@@ -356,6 +359,220 @@ TEST(FedGtaAggregatePlaneTest, AdaptiveEpsilonComputesSimilarityOnce) {
   FedGtaAggregate(metrics, params, train_sizes, AllParticipants(n), options,
                   &out);
   EXPECT_EQ(CounterValue("phase.similarity.calls") - calls_before, 1);
+}
+
+// --- Shard-boundary parity (DESIGN.md §5k) ---------------------------------
+//
+// Drives the full cross-shard exchange in-process over K ShardPlanes —
+// stage, signature concat, global frame install, candidate generation,
+// moment fetch, set admission — and checks the result against the
+// single-server oracle. This is the satellite contract: candidate pairs
+// that cross shard boundaries must match the oracle's sets exactly, for
+// every seed, shard count, and similarity mode.
+
+struct ShardedFixture {
+  int n = 0;
+  std::vector<int> participants;
+  std::vector<std::vector<float>> moments;
+  std::vector<std::vector<float>> params;
+  std::vector<double> confidences;  // by client id
+  std::vector<int64_t> train_sizes;
+};
+
+ShardedFixture MakeShardedFixture(int n, int dim, uint64_t seed) {
+  ShardedFixture f;
+  f.n = n;
+  f.moments = ClusteredMoments(n, std::max(2, n / 8), 31, seed, 0.15f);
+  f.params.resize(static_cast<size_t>(n));
+  f.confidences.resize(static_cast<size_t>(n));
+  f.train_sizes.resize(static_cast<size_t>(n));
+  Rng rng(seed ^ 0xABCDull);
+  for (int i = 0; i < n; ++i) {
+    f.params[static_cast<size_t>(i)].resize(static_cast<size_t>(dim));
+    for (float& x : f.params[static_cast<size_t>(i)]) x = rng.Normal();
+    f.confidences[static_cast<size_t>(i)] = 0.5 + 0.01 * i;
+    f.train_sizes[static_cast<size_t>(i)] = 10 + i;
+    // Drop some clients so the survivor frame is irregular and shard
+    // boundaries fall inside aggregation sets.
+    if (i % 7 != 3) f.participants.push_back(i);
+  }
+  return f;
+}
+
+// Stages every shard, runs the signature/candidate/moment exchange the
+// root drives over RPC, and returns one ShardPlane per shard, ready for
+// BuildSets. `candidates` receives each shard's candidate structure.
+std::vector<std::unique_ptr<fed::ShardPlane>> RunShardedExchange(
+    const ShardedFixture& f, const fed::Topology& topo,
+    const FedGtaOptions& options, bool use_lsh,
+    std::vector<fed::ShardPlane::Candidates>* candidates) {
+  const int shards = topo.num_aggregators();
+  std::vector<std::unique_ptr<fed::ShardPlane>> planes;
+  std::vector<uint64_t> global_sigs;
+  for (int a = 0; a < shards; ++a) {
+    planes.push_back(std::make_unique<fed::ShardPlane>(
+        f.n, topo.ClientShard(a), options, f.train_sizes));
+    std::vector<fed::ShardUpload> uploads;
+    for (int id : f.participants) {
+      if (!topo.ClientShard(a).contains(id)) continue;
+      fed::ShardUpload up;
+      up.client_id = id;
+      up.params = f.params[static_cast<size_t>(id)];
+      up.moments = f.moments[static_cast<size_t>(id)];
+      up.confidence = f.confidences[static_cast<size_t>(id)];
+      uploads.push_back(std::move(up));
+    }
+    planes.back()->StageRound(std::move(uploads));
+    if (use_lsh) {
+      // Shard-order concat == survivor-major global order (contiguity).
+      const std::vector<uint64_t> sigs = planes.back()->Signatures();
+      global_sigs.insert(global_sigs.end(), sigs.begin(), sigs.end());
+    }
+  }
+  std::vector<double> frame_confidences;
+  for (int id : f.participants) {
+    frame_confidences.push_back(f.confidences[static_cast<size_t>(id)]);
+  }
+  candidates->clear();
+  for (int a = 0; a < shards; ++a) {
+    planes[static_cast<size_t>(a)]->InstallGlobalFrame(
+        f.participants, frame_confidences, global_sigs);
+    candidates->push_back(
+        planes[static_cast<size_t>(a)]->ComputeCandidates(use_lsh));
+  }
+  // MomentFetch: serve each shard's want-list from the owning shards.
+  for (int a = 0; a < shards; ++a) {
+    std::vector<std::vector<int>> by_owner(static_cast<size_t>(shards));
+    for (int id : (*candidates)[static_cast<size_t>(a)].remote_wanted) {
+      by_owner[static_cast<size_t>(topo.AggregatorOf(id))].push_back(id);
+    }
+    for (int src = 0; src < shards; ++src) {
+      const std::vector<int>& ids = by_owner[static_cast<size_t>(src)];
+      if (ids.empty()) continue;
+      EXPECT_NE(src, a) << "shard wants a row it already owns";
+      planes[static_cast<size_t>(a)]->InstallRemoteRows(
+          ids, planes[static_cast<size_t>(src)]->ExportRows(ids));
+    }
+  }
+  return planes;
+}
+
+TEST(ShardPlaneParityTest, CrossShardSetsMatchSingleServerOracle) {
+  const int n = 48;
+  const double epsilon = 0.3;
+  for (uint64_t seed : {5ull, 311ull, 991ull}) {
+    const ShardedFixture f = MakeShardedFixture(n, /*dim=*/8, seed);
+    for (int shards : {2, 3, 4}) {
+      for (bool use_lsh : {false, true}) {
+        FedGtaOptions options;
+        options.epsilon = epsilon;
+        options.similarity.mode =
+            use_lsh ? SimilarityMode::kLsh : SimilarityMode::kExact;
+
+        SimilarityStats oracle_stats;
+        const auto oracle_sets = BuildAggregationSets(
+            f.moments, f.participants, epsilon, options.similarity,
+            &oracle_stats);
+
+        const fed::Topology topo(n, shards, shards);
+        std::vector<fed::ShardPlane::Candidates> candidates;
+        const auto planes =
+            RunShardedExchange(f, topo, options, use_lsh, &candidates);
+
+        // The sharded prescreen must examine exactly the pairs the
+        // single-server sweep examines, with the same prune decisions.
+        int64_t pairs_exact = 0;
+        int64_t pairs_pruned = 0;
+        for (const auto& c : candidates) {
+          pairs_exact += c.pairs_exact;
+          pairs_pruned += c.pairs_pruned;
+        }
+        EXPECT_EQ(pairs_exact, oracle_stats.pairs_exact)
+            << "shards=" << shards << " lsh=" << use_lsh << " seed=" << seed;
+        EXPECT_EQ(pairs_pruned, oracle_stats.pairs_pruned)
+            << "shards=" << shards << " lsh=" << use_lsh << " seed=" << seed;
+
+        // Every staged row's admitted set equals the oracle's, across
+        // shard boundaries.
+        for (int a = 0; a < shards; ++a) {
+          const auto sets =
+              planes[static_cast<size_t>(a)]->BuildSets(
+                  candidates[static_cast<size_t>(a)]);
+          const std::vector<int>& staged =
+              planes[static_cast<size_t>(a)]->staged();
+          ASSERT_EQ(sets.size(), staged.size());
+          for (size_t r = 0; r < staged.size(); ++r) {
+            EXPECT_EQ(sets[r],
+                      oracle_sets[static_cast<size_t>(staged[r])])
+                << "client " << staged[r] << " shard " << a
+                << " shards=" << shards << " lsh=" << use_lsh
+                << " seed=" << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The Eq. 7 half of the contract: chaining AccumulatePartial across the
+// shards in ascending shard order must reproduce the single-server
+// personalized weights bit for bit, and a set that never crosses a shard
+// boundary must short-circuit through AggregateLocalSet to the same bits.
+TEST(ShardPlaneParityTest, ChainedPartialsBitIdenticalToSingleServer) {
+  const int n = 36;
+  const int dim = 40;
+  const ShardedFixture f = MakeShardedFixture(n, dim, /*seed=*/77);
+
+  FedGtaOptions options;
+  options.epsilon = 0.4;
+
+  // Single-server oracle: the full Eq. 6+7 plane.
+  std::vector<ClientMetrics> metrics(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    metrics[static_cast<size_t>(i)].moments =
+        f.moments[static_cast<size_t>(i)];
+    metrics[static_cast<size_t>(i)].confidence =
+        f.confidences[static_cast<size_t>(i)];
+  }
+  std::vector<std::vector<float>> oracle_out(static_cast<size_t>(n));
+  std::vector<std::vector<int>> oracle_sets;
+  FedGtaAggregate(metrics, f.params, f.train_sizes, f.participants, options,
+                  &oracle_out, &oracle_sets);
+
+  for (int shards : {2, 3}) {
+    const fed::Topology topo(n, shards, shards);
+    std::vector<fed::ShardPlane::Candidates> candidates;
+    const auto planes =
+        RunShardedExchange(f, topo, options, /*use_lsh=*/false, &candidates);
+
+    for (int a = 0; a < shards; ++a) {
+      const fed::ShardPlane& plane = *planes[static_cast<size_t>(a)];
+      const auto sets = plane.BuildSets(candidates[static_cast<size_t>(a)]);
+      for (size_t r = 0; r < plane.staged().size(); ++r) {
+        const int id = plane.staged()[r];
+        std::vector<int> canonical = sets[r];
+        std::sort(canonical.begin(), canonical.end());
+        const bool local =
+            std::all_of(canonical.begin(), canonical.end(), [&](int m) {
+              return plane.shard().contains(m);
+            });
+        std::vector<float> got;
+        if (local) {
+          got = plane.AggregateLocalSet(canonical);
+        } else {
+          const double weight_sum = plane.WeightSum(canonical);
+          got.assign(static_cast<size_t>(dim), 0.0f);
+          for (int src = 0; src < shards; ++src) {
+            planes[static_cast<size_t>(src)]->AccumulatePartial(
+                canonical, weight_sum, &got);
+          }
+        }
+        EXPECT_EQ(got, oracle_out[static_cast<size_t>(id)])
+            << "client " << id << " shards=" << shards
+            << (local ? " (local set)" : " (cross-shard set)");
+      }
+    }
+  }
 }
 
 TEST(FedGtaAggregatePlaneTest, PairCountersAccumulateInRegistry) {
